@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pipesched/internal/ir"
+)
+
+func TestGenerateTupleOutputParsesBack(t *testing.T) {
+	var sb strings.Builder
+	err := generate(&sb, config{Blocks: 3, Statements: 5, Variables: 4, Constants: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := ir.ParseBlocks(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("emitted tuple code does not parse: %v\n%s", err, sb.String())
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(blocks))
+	}
+	for i, b := range blocks {
+		if err := b.Validate(); err != nil {
+			t.Errorf("block %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateSourceOutput(t *testing.T) {
+	var sb strings.Builder
+	err := generate(&sb, config{Blocks: 2, Statements: 4, Variables: 3, Constants: 2, Seed: 9, Source: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "# block") != 2 {
+		t.Errorf("source output missing block headers:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "=") {
+		t.Error("source output has no assignments")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	mk := func() string {
+		var sb strings.Builder
+		if err := generate(&sb, config{Blocks: 2, Statements: 6, Variables: 4, Constants: 3, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if mk() != mk() {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	var sb strings.Builder
+	if err := generate(&sb, config{Blocks: 1, Statements: 0, Variables: 1, Constants: 1}); err == nil {
+		t.Error("zero statements accepted")
+	}
+}
+
+func TestGenerateOptimized(t *testing.T) {
+	var plain, optimized strings.Builder
+	if err := generate(&plain, config{Blocks: 5, Statements: 8, Variables: 4, Constants: 3, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := generate(&optimized, config{Blocks: 5, Statements: 8, Variables: 4, Constants: 3, Seed: 3, Optimize: true}); err != nil {
+		t.Fatal(err)
+	}
+	if len(optimized.String()) > len(plain.String()) {
+		t.Error("optimization grew the emitted code")
+	}
+}

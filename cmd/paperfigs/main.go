@@ -1,0 +1,193 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	paperfigs -all                      # everything (paper-scale campaign)
+//	paperfigs -table 7 -runs 2000       # just Table 7, reduced campaign
+//	paperfigs -figure 4                 # just Figure 4
+//	paperfigs -table 1                  # the search-space comparison
+//	paperfigs -csv > campaign.csv       # raw records for external plotting
+//
+//	-runs n      campaign size (default 16000, the paper's)
+//	-seed n      master RNG seed (default 1990)
+//	-lambda n    curtail point in search placements (default 100000)
+//	-optimize    optimize blocks before scheduling
+//	-persize     also print the per-size aggregate table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pipesched/internal/experiments"
+	"pipesched/internal/machine"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// config mirrors the CLI flags; drive is the testable core.
+type config struct {
+	All      bool
+	Table    int
+	Figure   int
+	Runs     int
+	Seed     int64
+	Lambda   int64
+	Optimize bool
+	CSV      bool
+	PerSize  bool
+	Sweep    string
+}
+
+func run() error {
+	var cfg config
+	flag.BoolVar(&cfg.All, "all", false, "regenerate every table and figure")
+	flag.IntVar(&cfg.Table, "table", 0, "regenerate table N (1 or 7)")
+	flag.IntVar(&cfg.Figure, "figure", 0, "regenerate figure N (1, 4, 5, 6 or 7)")
+	flag.IntVar(&cfg.Runs, "runs", 16000, "campaign size")
+	flag.Int64Var(&cfg.Seed, "seed", 1990, "master RNG seed")
+	flag.Int64Var(&cfg.Lambda, "lambda", 100000, "curtail point (search placements)")
+	flag.BoolVar(&cfg.Optimize, "optimize", false, "optimize blocks before scheduling")
+	flag.BoolVar(&cfg.CSV, "csv", false, "dump raw campaign records as CSV")
+	flag.BoolVar(&cfg.PerSize, "persize", false, "print per-size aggregates")
+	flag.StringVar(&cfg.Sweep, "sweep", "", "extension sweep: lambda | window | ablation | postpass | greedygap | jitter | reassoc")
+	flag.Parse()
+	return drive(os.Stdout, os.Stderr, cfg)
+}
+
+func drive(out, diag io.Writer, cfg config) error {
+	if cfg.Sweep != "" {
+		return runSweep(out, cfg.Sweep, cfg.Seed)
+	}
+	wantTable1 := cfg.All || cfg.Table == 1
+	needCampaign := cfg.All || cfg.Table == 7 || cfg.Figure != 0 || cfg.CSV || cfg.PerSize
+	if !wantTable1 && !needCampaign {
+		return fmt.Errorf("nothing to do: pass -all, -table, -figure, -csv, -persize or -sweep")
+	}
+
+	if wantTable1 {
+		rows, err := experiments.RunTable1(experiments.Table1Config{Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, experiments.FormatTable1(rows))
+	}
+	if !needCampaign {
+		return nil
+	}
+
+	fmt.Fprintf(diag, "paperfigs: scheduling %d synthetic blocks...\n", cfg.Runs)
+	c, err := experiments.RunCampaign(experiments.CampaignConfig{
+		Runs: cfg.Runs, Seed: cfg.Seed, Lambda: cfg.Lambda, Optimize: cfg.Optimize,
+	})
+	if err != nil {
+		return err
+	}
+
+	if cfg.CSV {
+		fmt.Fprint(out, c.CSV())
+		return nil
+	}
+	show := func(fig int) {
+		switch fig {
+		case 1:
+			fmt.Fprintln(out, c.Figure1())
+		case 4:
+			fmt.Fprintln(out, c.Figure4())
+		case 5:
+			fmt.Fprintln(out, c.Figure5())
+		case 6:
+			fmt.Fprintln(out, c.Figure6())
+		case 7:
+			fmt.Fprintln(out, c.Figure7())
+		}
+	}
+	if cfg.All {
+		fmt.Fprintln(out, c.Table7())
+		for _, f := range []int{1, 4, 5, 6, 7} {
+			show(f)
+		}
+		fmt.Fprintln(out, c.PerSizeTable())
+		fmt.Fprintln(out, c.DetailTable())
+		return nil
+	}
+	if cfg.Table == 7 {
+		fmt.Fprintln(out, c.Table7())
+	}
+	if cfg.Figure != 0 {
+		switch cfg.Figure {
+		case 1, 4, 5, 6, 7:
+			show(cfg.Figure)
+		default:
+			return fmt.Errorf("the paper has figures 1, 4, 5, 6 and 7 (2 and 3 are diagrams)")
+		}
+	}
+	if cfg.PerSize {
+		fmt.Fprintln(out, c.PerSizeTable())
+	}
+	return nil
+}
+
+// runSweep runs one of the extension studies.
+func runSweep(out io.Writer, kind string, seed int64) error {
+	switch kind {
+	case "lambda":
+		rows, err := experiments.RunLambdaSweep(seed, 150, 8, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatLambdaSweep(rows))
+		return nil
+	case "window":
+		rows, err := experiments.RunWindowSweep(seed, 40, 40, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatWindowSweep(rows))
+		return nil
+	case "ablation":
+		rows, err := experiments.RunAblation(seed, 150, 7, machine.DeepMachine(), 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatAblation(rows))
+		return nil
+	case "postpass":
+		rows, err := experiments.RunPostpass(seed, 120, 6, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatPostpass(rows))
+		return nil
+	case "greedygap":
+		rows, err := experiments.RunGreedyGap(seed, 200, 7, nil, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatGreedyGap(rows))
+		return nil
+	case "jitter":
+		rows, err := experiments.RunJitterStudy(seed, 60, 7, 10, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatJitter(rows))
+		return nil
+	case "reassoc":
+		rows, err := experiments.RunReassocStudy(nil, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatReassoc(rows))
+		return nil
+	}
+	return fmt.Errorf("unknown sweep %q (want lambda, window, ablation, postpass, greedygap, jitter or reassoc)", kind)
+}

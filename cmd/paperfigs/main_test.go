@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDriveTable7Reduced(t *testing.T) {
+	var out, diag strings.Builder
+	err := drive(&out, &diag, config{Table: 7, Runs: 60, Seed: 3, Lambda: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 7", "Number of Runs", "Avg. Final NOPs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(diag.String(), "scheduling 60 synthetic blocks") {
+		t.Errorf("diagnostic missing: %q", diag.String())
+	}
+}
+
+func TestDriveFigures(t *testing.T) {
+	for _, fig := range []int{1, 4, 5, 6, 7} {
+		var out, diag strings.Builder
+		if err := drive(&out, &diag, config{Figure: fig, Runs: 40, Seed: 3, Lambda: 5000}); err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if len(out.String()) < 100 {
+			t.Errorf("figure %d output too short", fig)
+		}
+	}
+	var out, diag strings.Builder
+	if err := drive(&out, &diag, config{Figure: 2, Runs: 10, Seed: 3, Lambda: 100}); err == nil {
+		t.Error("figure 2 (a diagram) accepted")
+	}
+}
+
+func TestDriveCSV(t *testing.T) {
+	var out, diag strings.Builder
+	if err := drive(&out, &diag, config{CSV: true, Runs: 25, Seed: 3, Lambda: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 26 {
+		t.Errorf("CSV has %d lines, want 26", len(lines))
+	}
+}
+
+func TestDriveNothingToDo(t *testing.T) {
+	var out, diag strings.Builder
+	if err := drive(&out, &diag, config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestDriveSweepUnknown(t *testing.T) {
+	var out, diag strings.Builder
+	if err := drive(&out, &diag, config{Sweep: "bogus"}); err == nil {
+		t.Error("unknown sweep accepted")
+	}
+}
+
+func TestDriveSweepLambdaSmall(t *testing.T) {
+	var out strings.Builder
+	// runSweep's pool sizes are fixed; use the lambda sweep, which is the
+	// cheapest, directly with a writer.
+	if err := runSweep(&out, "lambda", 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Lambda sweep") {
+		t.Errorf("sweep output malformed: %q", out.String())
+	}
+}

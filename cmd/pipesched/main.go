@@ -1,0 +1,191 @@
+// Command pipesched is the compiler driver: it reads a source program
+// (or tuple code with -tuples), schedules it optimally for the selected
+// machine and prints the resulting assembly.
+//
+// Usage:
+//
+//	pipesched [flags] [file]           # default input: stdin
+//
+//	-preset name     machine preset: simulation | example | unpipelined | deep
+//	-machine file    machine description file (overrides -preset)
+//	-tuples          input is tuple code, not source
+//	-O               run the traditional optimizations before scheduling
+//	-mode m          delay mechanism: nop | explicit | implicit
+//	-lambda n        curtail point (0 = library default, <0 = unlimited)
+//	-registers n     architectural registers (0 = unlimited)
+//	-assign          enable the pipeline-assignment extension
+//	-stats           print search statistics to stderr
+//
+// Exit status is nonzero on any compile error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pipesched"
+	"pipesched/internal/dag"
+	"pipesched/internal/machine"
+	"pipesched/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pipesched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		preset    = flag.String("preset", "simulation", "machine preset: simulation|example|unpipelined|deep|r3000|m88k|carp")
+		machFile  = flag.String("machine", "", "machine description file")
+		tuples    = flag.Bool("tuples", false, "input is tuple code instead of source")
+		optimize  = flag.Bool("O", false, "optimize before scheduling")
+		modeName  = flag.String("mode", "nop", "delay mechanism: nop|explicit|implicit|tera")
+		lambda    = flag.Int64("lambda", 0, "curtail point (0 = default, <0 = unlimited)")
+		registers = flag.Int("registers", 0, "architectural registers (0 = unlimited)")
+		assign    = flag.Bool("assign", false, "enable pipeline-assignment extension")
+		stats     = flag.Bool("stats", false, "print search statistics")
+		timeline  = flag.Bool("timeline", false, "print a tick-by-tick pipeline occupancy timeline")
+		explain   = flag.Bool("explain", false, "annotate delays with their binding constraint")
+		report    = flag.Bool("report", false, "print a full compilation report instead of bare assembly")
+	)
+	flag.Parse()
+
+	m, err := pickMachine(*preset, *machFile)
+	if err != nil {
+		return err
+	}
+	mode, err := pickMode(*modeName)
+	if err != nil {
+		return err
+	}
+	input, err := readInput(flag.Args())
+	if err != nil {
+		return err
+	}
+
+	opts := pipesched.Options{
+		Lambda:          *lambda,
+		Optimize:        *optimize,
+		Registers:       *registers,
+		Mode:            mode,
+		AssignPipelines: *assign,
+		ExplainNOPs:     *explain,
+	}
+	if *tuples {
+		block, err := pipesched.ParseBlock(input)
+		if err != nil {
+			return err
+		}
+		compiled, err := pipesched.Schedule(block, m, opts)
+		if err != nil {
+			return err
+		}
+		if *report {
+			fmt.Print(compiled.Report(m))
+		} else {
+			emit(compiled, m, *stats)
+		}
+		if *timeline {
+			if err := printTimeline(compiled, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Multi-block sources are scheduled as a sequence with pipeline
+	// state threaded across the boundaries; plain sources produce one
+	// block either way.
+	seq, err := pipesched.CompileSequence(input, m, opts)
+	if err != nil {
+		return err
+	}
+	for _, c := range seq.Blocks {
+		if *report {
+			fmt.Print(c.Report(m))
+		} else {
+			emit(c, m, *stats)
+		}
+		if *timeline {
+			if err := printTimeline(c, m); err != nil {
+				return err
+			}
+		}
+	}
+	if len(seq.Blocks) > 1 && *stats {
+		fmt.Fprintf(os.Stderr, "sequence: blocks=%d total-nops=%d total-ticks=%d optimal=%t\n",
+			len(seq.Blocks), seq.TotalNOPs, seq.TotalTicks, seq.Optimal)
+	}
+	return nil
+}
+
+// emit prints one compiled block and, optionally, its statistics line.
+func emit(c *pipesched.Compiled, m *pipesched.Machine, stats bool) {
+	fmt.Print(c.Assembly)
+	if stats {
+		fmt.Fprintf(os.Stderr,
+			"machine=%s block=%s instructions=%d nops=%d ticks=%d optimal=%t seed-nops=%d omega=%d elapsed=%s\n",
+			m.Name, c.Scheduled.Label, c.Scheduled.Len(), c.TotalNOPs, c.Ticks,
+			c.Optimal, c.InitialNOPs, c.Stats.OmegaCalls, c.Stats.Elapsed)
+	}
+}
+
+func pickMachine(preset, file string) (*pipesched.Machine, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return machine.Parse(f)
+	}
+	if mk, ok := machine.Presets()[preset]; ok {
+		return mk(), nil
+	}
+	return nil, fmt.Errorf("unknown preset %q (want one of simulation, example, unpipelined, deep, r3000, m88k, carp)", preset)
+}
+
+func pickMode(name string) (pipesched.DelayMode, error) {
+	switch name {
+	case "nop":
+		return pipesched.NOPPadding, nil
+	case "explicit":
+		return pipesched.ExplicitInterlock, nil
+	case "implicit":
+		return pipesched.ImplicitInterlock, nil
+	case "tera":
+		return pipesched.TeraInterlock, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want nop, explicit, implicit or tera)", name)
+}
+
+func readInput(args []string) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("at most one input file")
+	}
+	if len(args) == 1 {
+		data, err := os.ReadFile(args[0])
+		return string(data), err
+	}
+	data, err := io.ReadAll(os.Stdin)
+	return string(data), err
+}
+
+// printTimeline renders the block's occupancy timeline to stderr.
+func printTimeline(c *pipesched.Compiled, m *pipesched.Machine) error {
+	g, err := dag.Build(c.Original)
+	if err != nil {
+		return err
+	}
+	in := sim.Input{Graph: g, M: m, Order: c.Order, Eta: c.Eta, Pipes: c.Pipes}
+	tr, err := sim.Run(in, sim.NOPPadding)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, sim.Timeline(in, tr))
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipesched"
+)
+
+func TestPickMachinePresets(t *testing.T) {
+	for _, preset := range []string{"simulation", "example", "unpipelined", "deep", "r3000", "m88k", "carp"} {
+		m, err := pickMachine(preset, "")
+		if err != nil {
+			t.Errorf("preset %q: %v", preset, err)
+			continue
+		}
+		if len(m.Pipelines) == 0 {
+			t.Errorf("preset %q: empty machine", preset)
+		}
+	}
+	if _, err := pickMachine("bogus", ""); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPickMachineFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.txt")
+	if err := os.WriteFile(path, []byte(pipesched.SimulationMachine().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := pickMachine("ignored", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "paper-simulation" {
+		t.Errorf("loaded machine %q", m.Name)
+	}
+	if _, err := pickMachine("", filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing machine file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("pipe x nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pickMachine("", bad); err == nil {
+		t.Error("malformed machine file accepted")
+	}
+}
+
+func TestPickMode(t *testing.T) {
+	cases := map[string]pipesched.DelayMode{
+		"nop":      pipesched.NOPPadding,
+		"explicit": pipesched.ExplicitInterlock,
+		"implicit": pipesched.ImplicitInterlock,
+	}
+	for name, want := range cases {
+		got, err := pickMode(name)
+		if err != nil || got != want {
+			t.Errorf("pickMode(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := pickMode("hardware"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestReadInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.src")
+	if err := os.WriteFile(path, []byte("a = b"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readInput([]string{path})
+	if err != nil || got != "a = b" {
+		t.Errorf("readInput = %q, %v", got, err)
+	}
+	if _, err := readInput([]string{path, path}); err == nil {
+		t.Error("two input files accepted")
+	}
+	if _, err := readInput([]string{filepath.Join(dir, "nope")}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+// TestDriverPathways exercises the compile paths the CLI wires together,
+// without flag plumbing.
+func TestDriverPathways(t *testing.T) {
+	m, err := pickMachine("simulation", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, err := pickMode("explicit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pipesched.Compile("a = b * c", m, pipesched.Options{Mode: mode, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Assembly == "" {
+		t.Error("driver produced no assembly")
+	}
+	// Tuple-input path.
+	block, err := pipesched.ParseBlock("1: Load #x\n2: Store #y, @1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipesched.Schedule(block, m, pipesched.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

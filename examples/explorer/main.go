@@ -1,0 +1,134 @@
+// Design-space explorer: studies how machine structure and the curtail
+// point λ interact with schedule quality on a shared pool of synthetic
+// blocks — the kind of what-if study the paper's generalized machine
+// model (per-pipeline latency AND enqueue time) enables.
+//
+//	go run ./examples/explorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/gross"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+	"pipesched/internal/synth"
+)
+
+const (
+	blocks = 150
+	seed   = 2024
+)
+
+func main() {
+	// A shared pool of benchmark blocks so the comparisons are paired.
+	rng := rand.New(rand.NewSource(seed))
+	var pool []*dag.Graph
+	for len(pool) < blocks {
+		b, err := synth.Generate(rng, synth.Params{
+			Statements: 4 + rng.Intn(8),
+			Variables:  8,
+			Constants:  6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := dag.Build(b.IR)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = append(pool, g)
+	}
+
+	fmt.Printf("Pool: %d synthetic blocks (mean %.1f tuples)\n\n", blocks, meanSize(pool))
+
+	// Study 1: machine structure. Same blocks, four machines.
+	fmt.Println("=== Study 1: machine structure (optimal scheduler, λ=200k) ===")
+	fmt.Println("machine            mean-NOPs  mean-ticks  pct-optimal   greedy-NOPs")
+	for _, m := range []*machine.Machine{
+		machine.SimulationMachine(),
+		machine.ExampleMachine(),
+		machine.UnpipelinedMachine(),
+		machine.DeepMachine(),
+	} {
+		var nops, ticks, optimal, greedyNops float64
+		for _, g := range pool {
+			sched, err := core.Find(g, m, core.Options{Lambda: 200_000})
+			if err != nil {
+				log.Fatal(err)
+			}
+			nops += float64(sched.TotalNOPs)
+			ticks += float64(sched.Ticks)
+			if sched.Optimal {
+				optimal++
+			}
+			greedyNops += float64(gross.Schedule(g, m, nopins.AssignFixed).TotalNOPs)
+		}
+		n := float64(len(pool))
+		fmt.Printf("%-17s  %9.2f  %10.2f  %10.1f%%  %11.2f\n",
+			m.Name, nops/n, ticks/n, 100*optimal/n, greedyNops/n)
+	}
+
+	// Study 2: the curtail point. How quickly does quality converge as λ
+	// grows, and what does the optimality proof cost?
+	fmt.Println("\n=== Study 2: curtail point λ (deep machine — hardest to schedule) ===")
+	fmt.Println("lambda     mean-NOPs  pct-proved-optimal")
+	deep := machine.DeepMachine()
+	for _, lambda := range []int64{50, 200, 1000, 5000, 50_000, 500_000} {
+		var nops, optimal float64
+		for _, g := range pool {
+			sched, err := core.Find(g, deep, core.Options{Lambda: lambda})
+			if err != nil {
+				log.Fatal(err)
+			}
+			nops += float64(sched.TotalNOPs)
+			if sched.Optimal {
+				optimal++
+			}
+		}
+		n := float64(len(pool))
+		fmt.Printf("%-9d  %9.2f  %14.1f%%\n", lambda, nops/n, 100*optimal/n)
+	}
+
+	// Study 3: the pipeline-assignment extension on the Tables 2/3
+	// machine — what the paper's footnote 3 left on the table.
+	fmt.Println("\n=== Study 3: pipeline assignment on the example machine ===")
+	var fixed, greedyAssign, exact float64
+	for _, g := range pool {
+		f, err := core.Find(g, machine.ExampleMachine(), core.Options{Lambda: 100_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ga, err := core.Find(g, machine.ExampleMachine(), core.Options{
+			Lambda: 100_000, Assign: nopins.AssignGreedy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex, err := core.Find(g, machine.ExampleMachine(), core.Options{
+			Lambda: 100_000, Assign: nopins.AssignGreedy, AssignSearch: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fixed += float64(f.TotalNOPs)
+		greedyAssign += float64(ga.TotalNOPs)
+		exact += float64(ex.TotalNOPs)
+	}
+	n := float64(len(pool))
+	fmt.Printf("fixed assignment (paper's model):   %.2f mean NOPs\n", fixed/n)
+	fmt.Printf("greedy per-placement assignment:    %.2f mean NOPs\n", greedyAssign/n)
+	fmt.Printf("exact assignment search (extension): %.2f mean NOPs\n", exact/n)
+}
+
+func meanSize(pool []*dag.Graph) float64 {
+	s := 0
+	for _, g := range pool {
+		s += g.N
+	}
+	return float64(s) / float64(len(pool))
+}

@@ -1,0 +1,192 @@
+package pipesched
+
+// Integration tests: whole-system paths that cross many packages at
+// once — kernels through every delay mode and machine preset, with the
+// emitted assembly executed on the register-machine interpreter and
+// compared against AST-level reference semantics.
+
+import (
+	"testing"
+
+	"pipesched/internal/asm"
+	"pipesched/internal/frontend"
+	"pipesched/internal/ir"
+	"pipesched/internal/kernels"
+	"pipesched/internal/machine"
+)
+
+// kernelEnv gives each declared input a deterministic nonzero value.
+func kernelEnv(k kernels.Kernel) map[string]int64 {
+	env := map[string]int64{}
+	for i, v := range k.Inputs {
+		env[v] = int64(2 + i)
+	}
+	return env
+}
+
+func TestKernelsThroughEveryModeAndMachine(t *testing.T) {
+	modes := []DelayMode{NOPPadding, ExplicitInterlock, ImplicitInterlock, TeraInterlock}
+	machines := []*Machine{
+		machine.SimulationMachine(),
+		machine.R3000Like(),
+		machine.CARPLike(),
+	}
+	for _, k := range kernels.All() {
+		prog, err := frontend.Parse(k.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		ref := kernelEnv(k)
+		if err := prog.Eval(ref); err != nil {
+			t.Fatalf("%s: reference eval: %v", k.Name, err)
+		}
+		for _, m := range machines {
+			for _, mode := range modes {
+				c, err := Compile(k.Source, m, Options{
+					Optimize: true, Mode: mode, Lambda: 50000,
+				})
+				if err != nil {
+					t.Fatalf("%s on %s (%v): %v", k.Name, m.Name, mode, err)
+				}
+				mem, err := asm.Run(c.Assembly, kernelEnv(k))
+				if err != nil {
+					t.Fatalf("%s on %s (%v): asm exec: %v\n%s", k.Name, m.Name, mode, err, c.Assembly)
+				}
+				for v, want := range ref {
+					if mem[v] != want {
+						t.Errorf("%s on %s (%v): %s = %d, want %d",
+							k.Name, m.Name, mode, v, mem[v], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelsReassociatedStillCorrect(t *testing.T) {
+	m := SimulationMachine()
+	for _, k := range kernels.All() {
+		prog, err := frontend.Parse(k.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := kernelEnv(k)
+		if err := prog.Eval(ref); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(k.Source, m, Options{Reassociate: true, Lambda: 50000})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		mem, err := asm.Run(c.Assembly, kernelEnv(k))
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for v, want := range ref {
+			if mem[v] != want {
+				t.Errorf("%s: reassociated %s = %d, want %d", k.Name, v, mem[v], want)
+			}
+		}
+	}
+}
+
+func TestConcatenatedKernelsAsLargeBlock(t *testing.T) {
+	// Stitch every kernel's tuple block into one giant block and schedule
+	// it via the section 5.3 splitter. Kernels share variable names, so
+	// the correctness statement is: the SCHEDULED combined block computes
+	// exactly what the UNSCHEDULED combined block computes, on any
+	// environment.
+	var blocks []*ir.Block
+	for _, k := range kernels.All() {
+		c, err := Compile(k.Source, SimulationMachine(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := c.Original
+		b.Label = k.Name
+		blocks = append(blocks, b)
+	}
+	combined, err := ir.Concat("suite", blocks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SimulationMachine()
+	c, err := ScheduleLarge(combined, m, 20, Options{Lambda: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scheduled.Len() != combined.Len() {
+		t.Fatalf("splitter lost tuples: %d vs %d", c.Scheduled.Len(), combined.Len())
+	}
+	env1 := ir.Env{}
+	env2 := ir.Env{}
+	for i, v := range combined.Vars() {
+		env1[v] = int64(i%7 + 2)
+		env2[v] = int64(i%7 + 2)
+	}
+	if _, err := ir.Exec(combined, env1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Exec(c.Scheduled, env2); err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range env1 {
+		if env2[v] != want {
+			t.Errorf("combined %s = %d, want %d", v, env2[v], want)
+		}
+	}
+}
+
+func TestSequenceOfKernelsEndToEnd(t *testing.T) {
+	// Schedule the kernels as a straight-line block sequence with
+	// pipeline threading, then execute every block's assembly in order
+	// on one shared machine state.
+	var blocks []*Block
+	names := []string{"dot4", "cmul", "norm2", "hash"}
+	for _, n := range names {
+		k, err := kernels.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(k.Source, SimulationMachine(), Options{Optimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := c.Original
+		b.Label = n
+		blocks = append(blocks, b)
+	}
+	r, err := ScheduleSequence(blocks, SimulationMachine(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[string]int64{}
+	for i, v := range []string{"a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3",
+		"ar", "ai", "br", "bi", "v0", "v1", "v2", "v3", "k"} {
+		mem[v] = int64(i + 2)
+	}
+	// Reference: run the unscheduled blocks in order on the tuple
+	// interpreter.
+	ref := ir.Env{}
+	for k, v := range mem {
+		ref[k] = v
+	}
+	for _, b := range blocks {
+		if _, err := ir.Exec(b, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Candidate: execute each scheduled block's assembly sequentially.
+	for _, c := range r.Blocks {
+		out, err := asm.Run(c.Assembly, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem = out
+	}
+	for v, want := range ref {
+		if mem[v] != want {
+			t.Errorf("sequence %s = %d, want %d", v, mem[v], want)
+		}
+	}
+}

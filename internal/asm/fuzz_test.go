@@ -1,0 +1,50 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the assembly parser never panics and that accepted
+// listings round-trip through instruction rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"lbl:\n\tNOP\n\tLI R1, #15\n\tLOAD R0, a\n\tMUL R0, R1, R0\n\tSTORE a, R0\n",
+		"\t[wait=3] ADD R1, R2, #4\n",
+		"\t[back=2] DIV R3, R1, R2 ; comment\n",
+		"\tBOGUS R1\n",
+		"\tLI R1\n",
+		"[wait=",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if p.Label != "" {
+			sb.WriteString(p.Label + ":\n")
+		}
+		for _, in := range p.Instrs {
+			sb.WriteString("\t" + in.String() + "\n")
+		}
+		again, err := Parse(sb.String())
+		if err != nil {
+			t.Fatalf("render of accepted input does not reparse: %v\n%s", err, sb.String())
+		}
+		if len(again.Instrs) != len(p.Instrs) {
+			t.Fatalf("round trip changed instruction count: %d vs %d",
+				len(p.Instrs), len(again.Instrs))
+		}
+		for i := range p.Instrs {
+			a, b := p.Instrs[i], again.Instrs[i]
+			a.Line, b.Line = 0, 0
+			if a != b {
+				t.Fatalf("instr %d changed: %+v vs %+v", i, p.Instrs[i], again.Instrs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package codegen converts a scheduled, register-allocated block into
+// symbolic target assembly, implementing the architectural delay
+// mechanisms of the paper's section 2.2:
+//
+//   - NOPPadding: the compiler emits explicit NOP instructions (the MIPS
+//     approach) — one per tick of required delay.
+//   - ExplicitInterlock: each instruction carries a per-tick wait count
+//     telling the hardware how long to hold issue.
+//   - ImplicitInterlock: no delay information is emitted at all; the
+//     hardware scoreboard discovers the delays itself (the classic
+//     IBM 801 / SPARC approach).
+//   - TeraInterlock: each instruction carries a lookback count naming
+//     the earlier instruction whose completion it must await (the Tera
+//     machine's encoding [Smi88]).
+//
+// The first three encode the same timing; the simulator (internal/sim)
+// demonstrates they execute in identical total ticks. The Tera encoding
+// is coarser (completion-wait) and may legally run a few ticks longer.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"pipesched/internal/ir"
+	"pipesched/internal/regalloc"
+)
+
+// Mode selects the delay mechanism encoded in the emitted assembly.
+type Mode uint8
+
+const (
+	// NOPPadding emits NOP instructions for every delay tick.
+	NOPPadding Mode = iota
+	// ExplicitInterlock prefixes delayed instructions with "wait=k".
+	ExplicitInterlock
+	// ImplicitInterlock emits bare instructions.
+	ImplicitInterlock
+	// TeraInterlock prefixes instructions with "[back=k]" lookback
+	// counts (the Tera-style explicit interlock of section 2.2): the
+	// hardware waits for the k-th previous instruction to complete.
+	// Emitting this mode requires Program.Back.
+	TeraInterlock
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case NOPPadding:
+		return "nop-padding"
+	case ExplicitInterlock:
+		return "explicit-interlock"
+	case ImplicitInterlock:
+		return "implicit-interlock"
+	case TeraInterlock:
+		return "tera-interlock"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Program bundles everything codegen needs: the block in final scheduled
+// order, the per-position NOP requirements from the scheduler, and the
+// register assignment.
+type Program struct {
+	Block *ir.Block            // tuples in scheduled order
+	Eta   []int                // NOPs required before each position
+	Regs  *regalloc.Assignment // value tuple -> register
+	Back  []int                // Tera lookback counts (TeraInterlock mode only)
+	Notes []string             // optional per-position comments (e.g. delay causes)
+}
+
+// Emit renders the program as assembly text under the given mode.
+func Emit(p Program, mode Mode) (string, error) {
+	if len(p.Eta) != p.Block.Len() {
+		return "", fmt.Errorf("codegen: eta length %d != block length %d", len(p.Eta), p.Block.Len())
+	}
+	if mode == TeraInterlock && len(p.Back) != p.Block.Len() {
+		return "", fmt.Errorf("codegen: tera mode needs %d lookback counts, have %d",
+			p.Block.Len(), len(p.Back))
+	}
+	var sb strings.Builder
+	if p.Block.Label != "" {
+		fmt.Fprintf(&sb, "%s:\n", p.Block.Label)
+	}
+	for i, t := range p.Block.Tuples {
+		if i < len(p.Notes) && p.Notes[i] != "" {
+			fmt.Fprintf(&sb, "\t; %s\n", p.Notes[i])
+		}
+		switch mode {
+		case NOPPadding:
+			for k := 0; k < p.Eta[i]; k++ {
+				sb.WriteString("\tNOP\n")
+			}
+			line, err := instruction(p, t)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "\t%s\n", line)
+		case ExplicitInterlock:
+			line, err := instruction(p, t)
+			if err != nil {
+				return "", err
+			}
+			if p.Eta[i] > 0 {
+				fmt.Fprintf(&sb, "\t[wait=%d] %s\n", p.Eta[i], line)
+			} else {
+				fmt.Fprintf(&sb, "\t%s\n", line)
+			}
+		case ImplicitInterlock:
+			line, err := instruction(p, t)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "\t%s\n", line)
+		case TeraInterlock:
+			line, err := instruction(p, t)
+			if err != nil {
+				return "", err
+			}
+			if p.Back[i] > 0 {
+				fmt.Fprintf(&sb, "\t[back=%d] %s\n", p.Back[i], line)
+			} else {
+				fmt.Fprintf(&sb, "\t%s\n", line)
+			}
+		default:
+			return "", fmt.Errorf("codegen: unknown mode %d", mode)
+		}
+	}
+	return sb.String(), nil
+}
+
+// instruction renders one tuple as a target instruction.
+func instruction(p Program, t ir.Tuple) (string, error) {
+	reg := func(id int) (string, error) {
+		r, ok := p.Regs.RegOf[id]
+		if !ok {
+			return "", fmt.Errorf("codegen: tuple @%d has no register", id)
+		}
+		return fmt.Sprintf("R%d", r), nil
+	}
+	src := func(o ir.Operand) (string, error) {
+		switch o.Kind {
+		case ir.RefOperand:
+			return reg(o.Ref)
+		case ir.ImmOperand:
+			return fmt.Sprintf("#%d", o.Imm), nil
+		}
+		return "", fmt.Errorf("codegen: operand %v cannot be a source", o)
+	}
+	switch t.Op {
+	case ir.Nop:
+		return "NOP", nil
+	case ir.Const:
+		d, err := reg(t.ID)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("LI %s, #%d", d, t.A.Imm), nil
+	case ir.Load:
+		d, err := reg(t.ID)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("LOAD %s, %s", d, t.A.Var), nil
+	case ir.Store:
+		s, err := src(t.B)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("STORE %s, %s", t.A.Var, s), nil
+	case ir.Neg:
+		d, err := reg(t.ID)
+		if err != nil {
+			return "", err
+		}
+		s, err := src(t.A)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("NEG %s, %s", d, s), nil
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod:
+		d, err := reg(t.ID)
+		if err != nil {
+			return "", err
+		}
+		a, err := src(t.A)
+		if err != nil {
+			return "", err
+		}
+		b, err := src(t.B)
+		if err != nil {
+			return "", err
+		}
+		mnem := map[ir.Op]string{
+			ir.Add: "ADD", ir.Sub: "SUB", ir.Mul: "MUL", ir.Div: "DIV", ir.Mod: "MOD",
+		}[t.Op]
+		return fmt.Sprintf("%s %s, %s, %s", mnem, d, a, b), nil
+	}
+	return "", fmt.Errorf("codegen: unsupported op %v", t.Op)
+}
+
+// CountLines returns instruction and NOP counts of emitted assembly —
+// convenient for tests and reports.
+func CountLines(asm string) (instructions, nops int) {
+	for _, line := range strings.Split(asm, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasSuffix(line, ":") {
+			continue
+		}
+		if line == "NOP" {
+			nops++
+		} else {
+			instructions++
+		}
+	}
+	return instructions, nops
+}

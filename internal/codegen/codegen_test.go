@@ -1,0 +1,159 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"pipesched/internal/ir"
+	"pipesched/internal/regalloc"
+)
+
+func program(t *testing.T) Program {
+	t.Helper()
+	b, err := ir.ParseBlock(`demo:
+  1: Const 15
+  2: Load #a
+  3: Mul @1, @2
+  4: Store #a, @3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := regalloc.Allocate(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Program{Block: b, Eta: []int{0, 0, 1, 3}, Regs: asg}
+}
+
+func TestEmitNOPPadding(t *testing.T) {
+	asm, err := Emit(program(t), NOPPadding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, nops := CountLines(asm)
+	if instr != 4 || nops != 4 {
+		t.Errorf("got %d instructions, %d NOPs, want 4 and 4:\n%s", instr, nops, asm)
+	}
+	for _, want := range []string{"LI R", "LOAD R", "MUL R", "STORE a, R", "demo:"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("assembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestEmitExplicitInterlock(t *testing.T) {
+	asm, err := Emit(program(t), ExplicitInterlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(asm, "NOP") {
+		t.Error("explicit interlock emitted NOPs")
+	}
+	if !strings.Contains(asm, "[wait=1]") || !strings.Contains(asm, "[wait=3]") {
+		t.Errorf("wait tags missing:\n%s", asm)
+	}
+	instr, _ := CountLines(asm)
+	if instr != 4 {
+		t.Errorf("instruction count %d, want 4", instr)
+	}
+}
+
+func TestEmitImplicitInterlock(t *testing.T) {
+	asm, err := Emit(program(t), ImplicitInterlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(asm, "NOP") || strings.Contains(asm, "wait=") {
+		t.Errorf("implicit interlock leaked delay info:\n%s", asm)
+	}
+}
+
+func TestEmitLengthMismatch(t *testing.T) {
+	p := program(t)
+	p.Eta = []int{0}
+	if _, err := Emit(p, NOPPadding); err == nil {
+		t.Error("eta length mismatch accepted")
+	}
+}
+
+func TestEmitAllOps(t *testing.T) {
+	b, err := ir.ParseBlock(`all:
+  1: Const 3
+  2: Load #v
+  3: Add @1, @2
+  4: Sub @3, 1
+  5: Mul @4, @4
+  6: Div @5, 2
+  7: Mod @6, 3
+  8: Neg @7
+  9: Store #v, @8
+  10: Nop`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := regalloc.Allocate(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := Emit(Program{Block: b, Eta: make([]int, b.Len()), Regs: asg}, NOPPadding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mnem := range []string{"LI", "LOAD", "ADD", "SUB", "MUL", "DIV", "MOD", "NEG", "STORE", "NOP"} {
+		if !strings.Contains(asm, mnem) {
+			t.Errorf("missing mnemonic %s:\n%s", mnem, asm)
+		}
+	}
+	// Immediate operands render with '#'.
+	if !strings.Contains(asm, "#1") || !strings.Contains(asm, "#2") {
+		t.Errorf("immediates not rendered:\n%s", asm)
+	}
+}
+
+func TestEmitMissingRegister(t *testing.T) {
+	p := program(t)
+	p.Regs = &regalloc.Assignment{RegOf: map[int]int{}}
+	if _, err := Emit(p, NOPPadding); err == nil {
+		t.Error("missing register mapping accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if NOPPadding.String() != "nop-padding" ||
+		ExplicitInterlock.String() != "explicit-interlock" ||
+		ImplicitInterlock.String() != "implicit-interlock" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestCountLinesIgnoresLabelsAndBlanks(t *testing.T) {
+	instr, nops := CountLines("lbl:\n\n\tNOP\n\tADD R0, R1, R2\n")
+	if instr != 1 || nops != 1 {
+		t.Errorf("CountLines = %d,%d want 1,1", instr, nops)
+	}
+}
+
+func TestEmitTeraInterlock(t *testing.T) {
+	p := program(t)
+	p.Back = []int{0, 0, 1, 1}
+	asm, err := Emit(p, TeraInterlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(asm, "NOP") || strings.Contains(asm, "wait=") {
+		t.Errorf("tera mode leaked other delay encodings:\n%s", asm)
+	}
+	if strings.Count(asm, "[back=1]") != 2 {
+		t.Errorf("expected two lookback tags:\n%s", asm)
+	}
+	if TeraInterlock.String() != "tera-interlock" {
+		t.Error("mode name wrong")
+	}
+}
+
+func TestEmitTeraRequiresCounts(t *testing.T) {
+	p := program(t)
+	if _, err := Emit(p, TeraInterlock); err == nil {
+		t.Error("tera mode without counts accepted")
+	}
+}

@@ -1,0 +1,581 @@
+// Package core implements the paper's optimal pipeline scheduling search
+// (section 4.2.3): a heavily-pruned depth-first branch-and-bound over
+// instruction orderings that finds the minimum-NOP schedule of a basic
+// block for a machine with multiple pipelines, each with its own latency
+// and enqueue time.
+//
+// The search maintains the paper's Π as a mutable permutation. At depth i
+// the prefix Φ = Π[0:i] is committed; candidates for position i are drawn
+// from the suffix Ψ by swapping. A candidate survives:
+//
+//	[5a] the quick approximate legality check — earliest(ξ) ≤ i and, for a
+//	     genuine swap, latest(κ) ≥ the position κ would move to;
+//	[5b] the real legality check — every immediate predecessor of ξ is
+//	     already in Φ;
+//	[5c] the equivalence filter — a swap of two instructions that both
+//	     use no pipeline and have no predecessors can only produce a
+//	     schedule provably equivalent to one already considered, so it
+//	     is skipped.
+//
+// After a candidate is placed, the NOP-insertion procedure Ω
+// (internal/nopins) prices the new position and α–β pruning abandons the
+// branch unless μ(Φ) < μ(π), the best complete schedule found so far.
+// Every Ω invocation counts toward the curtail point λ; if λ is reached
+// the search stops with the best schedule found, which may then be
+// suboptimal (the paper's rule [2]).
+//
+// None of the pruning rules can remove all optimal schedules: [5b] removes
+// only illegal orders, [5a] removes only orders that [5b] would reject at
+// a deeper level, [5c] removes only cost-equal duplicates, and α–β removes
+// only prefixes already at least as expensive as a known complete
+// schedule (η is non-negative, so a prefix's cost never decreases).
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pipesched/internal/dag"
+	"pipesched/internal/gross"
+	"pipesched/internal/listsched"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+)
+
+// Options configures the search.
+type Options struct {
+	// Lambda is the curtail point λ: the maximum number of Ω invocations
+	// (search steps) before the search gives up optimality and returns
+	// the best schedule found. Zero or negative means unlimited.
+	Lambda int64
+
+	// Assign selects pipeline binding when op→pipeline sets are not
+	// singletons: nopins.AssignFixed reproduces the paper's core model,
+	// nopins.AssignGreedy the greedy extension.
+	Assign nopins.AssignMode
+
+	// AssignSearch additionally branches the search over every allowed
+	// pipeline for each placement (exact assignment extension). It
+	// implies per-placement exploration beyond the paper's algorithm and
+	// is off by default.
+	AssignSearch bool
+
+	// DisableEquivalence turns off the paper's [5c] filter (ablation).
+	DisableEquivalence bool
+
+	// DisableBoundsCheck turns off the paper's [5a] quick check
+	// (ablation; [5b] still guarantees correctness).
+	DisableBoundsCheck bool
+
+	// StrongEquivalence enables the extension filter: among unscheduled
+	// instructions that are provably interchangeable (same pipeline set,
+	// identical predecessor and successor dependence structure), only the
+	// lowest-numbered may be placed first. Off by default for fidelity.
+	StrongEquivalence bool
+
+	// SeedPriority picks the list-scheduling discipline for the initial
+	// schedule when InitialOrder is nil.
+	SeedPriority listsched.Priority
+
+	// DisableLowerBound turns off the critical-path lower bound used to
+	// strengthen α–β pruning (an optimality-preserving extension: the
+	// bound is admissible, so only branches provably unable to beat the
+	// incumbent are cut). Disable for a paper-faithful search (ablation).
+	DisableLowerBound bool
+
+	// DisableGreedySeed stops the search from also pricing the
+	// Gross-style greedy schedule and seeding with the cheaper of the two
+	// candidates. The paper notes any scheduling technique may provide
+	// the initial schedule (section 3.2); taking the better of both makes
+	// the curtailed search never lose to the greedy baseline and
+	// tightens α–β from the first node. Disable for a paper-faithful
+	// list-schedule-only seed (ablation).
+	DisableGreedySeed bool
+
+	// InitialOrder, when non-nil, seeds the search with this order
+	// instead of running the list scheduler. It must be a legal
+	// topological order of the block's DAG.
+	InitialOrder []int
+
+	// Trace, when non-nil, records the first Trace.Limit search events
+	// for inspection (debugging/teaching); it does not affect the search.
+	Trace *SearchTrace
+
+	// Entry, when non-nil, supplies cross-block initial conditions
+	// (pipeline reservations and in-flight values from preceding code) —
+	// the paper's footnote 1 extension, also used by the block splitter.
+	Entry *nopins.EntryState
+}
+
+// Stats records how hard the search worked.
+type Stats struct {
+	OmegaCalls        int64 // Ω invocations during the search (Λ)
+	SeedOmegaCalls    int64 // Ω invocations pricing the initial schedule
+	SchedulesExamined int64 // complete schedules reached (incl. the seed)
+	Improvements      int64 // times the incumbent best was replaced
+	PrunedBounds      int64 // candidates removed by [5a]
+	PrunedIllegal     int64 // candidates removed by [5b]
+	PrunedEquivalence int64 // candidates removed by [5c]
+	PrunedStrongEquiv int64 // candidates removed by the extension filter
+	PrunedAlphaBeta   int64 // placements abandoned by α–β
+	PrunedLowerBound  int64 // placements abandoned by the critical-path bound
+	Curtailed         bool  // search stopped by λ (rule [2])
+	Elapsed           time.Duration
+}
+
+// Schedule is the search result.
+type Schedule struct {
+	Order       []int // execution order, as nodes of the DAG
+	Eta         []int // NOPs inserted immediately before each position
+	Pipes       []int // pipeline assignment per position
+	TotalNOPs   int   // μ(π): the schedule's cost
+	Ticks       int   // total issue ticks (instructions + NOPs)
+	InitialNOPs int   // μ of the seed schedule, before searching
+	Optimal     bool  // true iff the search ran to completion (rule [1])
+	Stats       Stats
+}
+
+// searcher carries the mutable state of one search.
+type searcher struct {
+	g    *dag.Graph
+	m    *machine.Machine
+	opts Options
+	eval *nopins.Evaluator
+
+	perm      []int // the paper's Π: current complete ordering
+	bestTotal int
+	best      nopins.Result
+	stats     Stats
+	curtail   bool
+
+	equivClass []int // StrongEquivalence: canonical representative per node
+	tails      []int // admissible latency-weighted height per node
+	startTick  int   // entry-state clock offset (0 for cold starts)
+
+	shared *sharedBound // non-nil when part of a parallel search
+}
+
+// sharedBound is the cross-worker state of a parallel search: the best
+// complete-schedule cost seen anywhere (for α–β) and the global Ω-call
+// budget.
+type sharedBound struct {
+	best   atomic.Int64
+	omega  atomic.Int64
+	lambda int64
+}
+
+// bound returns the α–β cutoff: the cheapest complete schedule known to
+// this searcher or, in a parallel search, to any worker.
+func (s *searcher) bound() int {
+	b := s.bestTotal
+	if s.shared != nil {
+		if g := int(s.shared.best.Load()); g < b {
+			b = g
+		}
+	}
+	return b
+}
+
+// publish makes a new incumbent cost visible to sibling workers.
+func (s *searcher) publish(total int) {
+	if s.shared == nil {
+		return
+	}
+	for {
+		cur := s.shared.best.Load()
+		if int64(total) >= cur || s.shared.best.CompareAndSwap(cur, int64(total)) {
+			return
+		}
+	}
+}
+
+// chargeOmega counts one Ω invocation against the (possibly shared)
+// curtail budget, reporting whether the budget is now exhausted.
+func (s *searcher) chargeOmega() bool {
+	s.stats.OmegaCalls++
+	if s.shared != nil {
+		n := s.shared.omega.Add(1)
+		return s.shared.lambda > 0 && n >= s.shared.lambda
+	}
+	return s.opts.Lambda > 0 && s.stats.OmegaCalls >= s.opts.Lambda
+}
+
+// errIllegalSeed reports an InitialOrder that breaks dependences.
+var errIllegalSeed = fmt.Errorf("core: initial order violates dependences")
+
+// Find runs the search and returns the best schedule discovered.
+func Find(g *dag.Graph, m *machine.Machine, opts Options) (*Schedule, error) {
+	if g.N == 0 {
+		return &Schedule{Optimal: true, Order: []int{}, Eta: []int{}, Pipes: []int{}}, nil
+	}
+	seed := opts.InitialOrder
+	if seed == nil {
+		seed = listsched.Schedule(g, opts.SeedPriority)
+	}
+	if !g.IsLegalOrder(seed) {
+		return nil, errIllegalSeed
+	}
+
+	s := &searcher{
+		g:    g,
+		m:    m,
+		opts: opts,
+		eval: nopins.NewEvaluator(g, m, opts.Assign),
+		perm: append([]int(nil), seed...),
+	}
+	if opts.Entry != nil {
+		s.eval.SetEntryState(opts.Entry)
+	}
+	if opts.StrongEquivalence {
+		s.equivClass = equivalenceClasses(g, m)
+	}
+	if !opts.DisableLowerBound {
+		s.tails = latencyTails(g, m)
+	}
+	if opts.Entry != nil {
+		s.startTick = opts.Entry.StartTick
+	}
+
+	start := time.Now()
+
+	// Step [1]: price the initial schedule; it becomes π, the incumbent.
+	seedRes, err := s.eval.EvaluateOrder(seed)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.SeedOmegaCalls = int64(g.N)
+	s.stats.SchedulesExamined = 1
+	s.best = seedRes
+	s.bestTotal = seedRes.TotalNOPs
+
+	// Optionally also price the greedy baseline's order and keep the
+	// cheaper incumbent (the search explores the same space either way;
+	// a tighter incumbent only prunes more).
+	if opts.InitialOrder == nil && !opts.DisableGreedySeed && s.bestTotal > 0 {
+		greedyOrder := gross.Schedule(g, m, opts.Assign).Order
+		if greedyRes, err := s.eval.EvaluateOrder(greedyOrder); err == nil {
+			s.stats.SeedOmegaCalls += int64(g.N)
+			s.stats.SchedulesExamined++
+			if greedyRes.TotalNOPs < s.bestTotal {
+				s.best = greedyRes
+				s.bestTotal = greedyRes.TotalNOPs
+				seedRes = greedyRes
+			}
+		}
+	}
+
+	// Steps [2]–[8]: depth-first search over swaps, unless the seed is
+	// already provably optimal (zero NOPs cannot be beaten).
+	if s.bestTotal > 0 {
+		s.eval.Reset()
+		s.dfs(0)
+	}
+	s.stats.Elapsed = time.Since(start)
+	s.stats.Curtailed = s.curtail
+
+	return &Schedule{
+		Order:       s.best.Order,
+		Eta:         s.best.Eta,
+		Pipes:       s.best.Pipes,
+		TotalNOPs:   s.best.TotalNOPs,
+		Ticks:       s.best.Ticks,
+		InitialNOPs: seedRes.TotalNOPs,
+		Optimal:     !s.curtail,
+		Stats:       s.stats,
+	}, nil
+}
+
+// trace records a search event when tracing is attached.
+func (s *searcher) trace(a TraceAction, depth, node, eta, mu int) {
+	if s.opts.Trace != nil {
+		s.opts.Trace.add(TraceEvent{Action: a, Depth: depth, Node: node, Eta: eta, Mu: mu})
+	}
+}
+
+// dfs fills position i of the schedule. It returns false when the search
+// has been curtailed and must unwind.
+func (s *searcher) dfs(i int) bool {
+	n := s.g.N
+	for k := i; k < n; k++ {
+		xi := s.perm[k]
+		if k > i {
+			kappa := s.perm[i]
+			if !s.opts.DisableBoundsCheck {
+				// [5a] quick approximate legality: ξ needs at most i
+				// ancestors to sit at position i, and κ must still have a
+				// legal position after i. (The paper writes the second
+				// clause as latest(κ) ≥ Π⁻¹(ξ); requiring κ to be legal at
+				// ξ's old slot specifically would prune real schedules in
+				// this DFS realization — κ may move again at deeper
+				// levels — so we use the necessary condition instead.)
+				if s.g.Earliest(xi) > i || s.g.Latest(kappa) <= i {
+					s.stats.PrunedBounds++
+					s.trace(TraceBounds, i, xi, 0, s.eval.TotalNOPs())
+					continue
+				}
+			}
+			if !s.opts.DisableEquivalence && s.equivalentSwap(kappa, xi) {
+				s.stats.PrunedEquivalence++
+				s.trace(TraceEquiv, i, xi, 0, s.eval.TotalNOPs())
+				continue
+			}
+		}
+		if !s.eval.Ready(xi) { // [5b]
+			s.stats.PrunedIllegal++
+			s.trace(TraceIllegal, i, xi, 0, s.eval.TotalNOPs())
+			continue
+		}
+		if s.opts.StrongEquivalence && s.strongEquivBlocked(xi) {
+			s.stats.PrunedStrongEquiv++
+			s.trace(TraceStrong, i, xi, 0, s.eval.TotalNOPs())
+			continue
+		}
+
+		s.perm[i], s.perm[k] = s.perm[k], s.perm[i]
+		ok := s.place(i, xi)
+		s.perm[i], s.perm[k] = s.perm[k], s.perm[i]
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// place prices ξ at position i (over one or all allowed pipelines,
+// depending on AssignSearch), applies α–β, and recurses. It returns false
+// on curtailment.
+func (s *searcher) place(i, xi int) bool {
+	if s.opts.AssignSearch {
+		for _, pipe := range s.eval.PipeChoices(xi) {
+			if !s.placeOnPipe(i, xi, pipe, true) {
+				return false
+			}
+		}
+		return true
+	}
+	return s.placeOnPipe(i, xi, 0, false)
+}
+
+func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
+	// Step [4]: the curtail point counts Ω invocations.
+	if s.chargeOmega() {
+		s.curtail = true
+		s.trace(TraceCurtail, i, xi, 0, s.eval.TotalNOPs())
+	}
+	var eta int
+	if explicit {
+		eta = s.eval.PushWithPipe(xi, pipe)
+	} else {
+		eta = s.eval.Push(xi)
+	}
+	defer s.eval.Pop()
+	s.trace(TracePlace, i, xi, eta, s.eval.TotalNOPs())
+
+	// Critical-path lower bound: from the just-issued tick, the schedule
+	// cannot finish before every remaining instruction has issued, nor
+	// before the placed instruction's longest dependent chain has drained.
+	// Final NOPs = final issue tick − instructions − entry offset, so a
+	// bound on the final tick bounds the final cost; if even the bound
+	// cannot beat the incumbent, the branch is hopeless.
+	if s.tails != nil && s.eval.TotalNOPs() < s.bound() {
+		last := s.eval.IssueAt(s.eval.Len() - 1)
+		lbFinal := last + (s.g.N - s.eval.Len())
+		if t := last + s.tails[xi]; t > lbFinal {
+			lbFinal = t
+		}
+		if lbFinal-s.g.N-s.startTick >= s.bound() {
+			s.stats.PrunedLowerBound++
+			s.trace(TraceLowerBound, i, xi, 0, s.eval.TotalNOPs())
+			return !s.curtail
+		}
+	}
+
+	// Step [6]: α–β — descend only while strictly cheaper than the best
+	// complete schedule (η never decreases along a branch).
+	if s.eval.TotalNOPs() < s.bound() {
+		if s.eval.Len() == s.g.N {
+			// Step [3]: complete and strictly better.
+			s.stats.SchedulesExamined++
+			s.stats.Improvements++
+			s.best = s.eval.Snapshot()
+			s.bestTotal = s.best.TotalNOPs
+			s.publish(s.bestTotal)
+			s.trace(TraceImprove, i, xi, eta, s.bestTotal)
+		} else {
+			if s.curtail {
+				return false
+			}
+			if !s.dfs(i + 1) {
+				return false
+			}
+		}
+	} else {
+		s.stats.PrunedAlphaBeta++
+		s.trace(TraceAlphaBeta, i, xi, eta, s.eval.TotalNOPs())
+	}
+	return !s.curtail
+}
+
+// equivalentSwap implements the paper's [5c]: the swap is skipped when
+// σ(ξ) = ∅ ∧ ρ(ξ) = ∅ ∧ σ(κ) = ∅ ∧ ρ(κ) = ∅ — both instructions use no
+// pipeline and depend on nothing, so exchanging them cannot change any
+// NOP count.
+func (s *searcher) equivalentSwap(kappa, xi int) bool {
+	return s.noPipe(xi) && len(s.g.Preds[xi]) == 0 &&
+		s.noPipe(kappa) && len(s.g.Preds[kappa]) == 0
+}
+
+func (s *searcher) noPipe(u int) bool {
+	set := s.m.PipelinesFor(s.g.Block.Tuples[u].Op)
+	return len(set) == 0
+}
+
+// strongEquivBlocked reports whether an unscheduled interchangeable twin
+// with a smaller node number exists; if so, placing xi now would duplicate
+// a schedule reachable by placing the twin first.
+func (s *searcher) strongEquivBlocked(xi int) bool {
+	rep := s.equivClass[xi]
+	for u := rep; u < xi; u++ {
+		if s.equivClass[u] == rep && !s.eval.Scheduled(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// equivalenceClasses groups nodes that are provably interchangeable in
+// any schedule: identical pipeline sets and identical immediate
+// predecessor and successor dependence structure (nodes and edge kinds).
+// Each node maps to the smallest node number in its class.
+func equivalenceClasses(g *dag.Graph, m *machine.Machine) []int {
+	key := func(u int) string {
+		t := g.Block.Tuples[u]
+		k := fmt.Sprintf("p%v|", m.PipelinesFor(t.Op))
+		for _, d := range g.Preds[u] {
+			k += fmt.Sprintf("P%d.%d|", d.Node, d.Kind)
+		}
+		for _, d := range g.Succs[u] {
+			k += fmt.Sprintf("S%d.%d|", d.Node, d.Kind)
+		}
+		return k
+	}
+	rep := map[string]int{}
+	class := make([]int, g.N)
+	for u := 0; u < g.N; u++ {
+		k := key(u)
+		if r, ok := rep[k]; ok {
+			class[u] = r
+		} else {
+			rep[k] = u
+			class[u] = u
+		}
+	}
+	return class
+}
+
+// latencyTails returns, per node, an admissible lower bound on the ticks
+// between the node's issue and the final issue of any schedule: the
+// longest path to a sink where a flow edge from u costs the MINIMUM
+// latency of u's allowed pipelines (admissible under every assignment
+// mode) and an ordering edge costs one tick.
+func latencyTails(g *dag.Graph, m *machine.Machine) []int {
+	minLat := make([]int, g.N)
+	for u := 0; u < g.N; u++ {
+		set := m.PipelinesFor(g.Block.Tuples[u].Op)
+		if len(set) == 0 {
+			minLat[u] = 0
+			continue
+		}
+		min := m.Latency(set[0])
+		for _, p := range set[1:] {
+			if l := m.Latency(p); l < min {
+				min = l
+			}
+		}
+		minLat[u] = min
+	}
+	tails := make([]int, g.N)
+	for u := g.N - 1; u >= 0; u-- {
+		for _, d := range g.Succs[u] {
+			w := 1
+			if d.Kind.CarriesLatency() && minLat[u] > 1 {
+				w = minLat[u]
+			}
+			if t := w + tails[d.Node]; t > tails[u] {
+				tails[u] = t
+			}
+		}
+	}
+	return tails
+}
+
+// TraceAction labels one search event.
+type TraceAction string
+
+// Search event kinds recorded by SearchTrace.
+const (
+	TracePlace      TraceAction = "place"             // node priced at a position
+	TraceImprove    TraceAction = "improve"           // new incumbent best schedule
+	TraceBounds     TraceAction = "prune-bounds"      // [5a] rejected a candidate
+	TraceIllegal    TraceAction = "prune-illegal"     // [5b] rejected a candidate
+	TraceEquiv      TraceAction = "prune-equivalence" // [5c] rejected a swap
+	TraceStrong     TraceAction = "prune-strong"      // extension filter rejected
+	TraceAlphaBeta  TraceAction = "prune-alphabeta"   // cost cutoff after placement
+	TraceLowerBound TraceAction = "prune-lowerbound"  // critical-path cutoff
+	TraceCurtail    TraceAction = "curtail"           // λ reached
+)
+
+// TraceEvent is one recorded search step.
+type TraceEvent struct {
+	Action TraceAction
+	Depth  int // schedule position being filled
+	Node   int // candidate node (DAG numbering)
+	Eta    int // NOPs priced for the placement (TracePlace/TraceImprove)
+	Mu     int // μ(Φ) after the event, where meaningful
+}
+
+// String renders the event on one line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("d=%-3d n=%-3d %-18s eta=%d mu=%d", e.Depth, e.Node, e.Action, e.Eta, e.Mu)
+}
+
+// SearchTrace records the first Limit events of a search when attached
+// to Options.Trace. It exists for debugging and teaching: the recorded
+// prefix shows exactly how the pruning rules interact on a block.
+type SearchTrace struct {
+	Limit  int // maximum events kept (0 = 1000)
+	Events []TraceEvent
+}
+
+func (t *SearchTrace) add(e TraceEvent) {
+	limit := t.Limit
+	if limit <= 0 {
+		limit = 1000
+	}
+	if len(t.Events) < limit {
+		t.Events = append(t.Events, e)
+	}
+}
+
+// String renders the recorded prefix, one event per line.
+func (t *SearchTrace) String() string {
+	var sb strings.Builder
+	for _, e := range t.Events {
+		sb.WriteString(e.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Count returns how many recorded events have the given action.
+func (t *SearchTrace) Count(a TraceAction) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Action == a {
+			n++
+		}
+	}
+	return n
+}

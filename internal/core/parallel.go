@@ -1,0 +1,189 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"pipesched/internal/dag"
+	"pipesched/internal/gross"
+	"pipesched/internal/listsched"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+)
+
+// FindParallel runs the branch-and-bound search with the first-level
+// subtrees fanned out across workers. Every worker prunes against a
+// shared atomic incumbent, so a cheap schedule found in one subtree
+// immediately tightens α–β everywhere — parallel branch-and-bound in the
+// classic style.
+//
+// The returned cost and the optimality verdict are deterministic (the
+// search space is fixed; only its traversal interleaves), but WHICH
+// optimal schedule is returned may differ between runs and from Find
+// when several optima exist, and the Ω-call total varies with timing.
+// Options.Trace is ignored (per-worker traces would interleave).
+// workers <= 0 selects GOMAXPROCS.
+func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (*Schedule, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if g.N == 0 {
+		return &Schedule{Optimal: true, Order: []int{}, Eta: []int{}, Pipes: []int{}}, nil
+	}
+	opts.Trace = nil
+
+	seed := opts.InitialOrder
+	if seed == nil {
+		seed = listsched.Schedule(g, opts.SeedPriority)
+	}
+	if !g.IsLegalOrder(seed) {
+		return nil, errIllegalSeed
+	}
+
+	start := time.Now()
+
+	// Price the incumbent exactly as Find does (list seed, optionally
+	// improved by the greedy baseline).
+	incumbentEval := nopins.NewEvaluator(g, m, opts.Assign)
+	if opts.Entry != nil {
+		incumbentEval.SetEntryState(opts.Entry)
+	}
+	seedRes, err := incumbentEval.EvaluateOrder(seed)
+	if err != nil {
+		return nil, err
+	}
+	best := seedRes
+	if opts.InitialOrder == nil && !opts.DisableGreedySeed && best.TotalNOPs > 0 {
+		greedyOrder := gross.Schedule(g, m, opts.Assign).Order
+		if greedyRes, err := incumbentEval.EvaluateOrder(greedyOrder); err == nil &&
+			greedyRes.TotalNOPs < best.TotalNOPs {
+			best = greedyRes
+		}
+	}
+	agg := Stats{
+		SeedOmegaCalls:    2 * int64(g.N),
+		SchedulesExamined: 2,
+	}
+	if best.TotalNOPs == 0 {
+		agg.Elapsed = time.Since(start)
+		return &Schedule{
+			Order: best.Order, Eta: best.Eta, Pipes: best.Pipes,
+			TotalNOPs: 0, Ticks: best.Ticks,
+			InitialNOPs: seedRes.TotalNOPs, Optimal: true, Stats: agg,
+		}, nil
+	}
+
+	// Depth-0 candidates: source nodes, in seed order, with the paper's
+	// [5c] filter applied among themselves (two no-pipe no-pred
+	// candidates are interchangeable — keep the first).
+	var candidates []int
+	noPipeSeen := false
+	for _, u := range seed {
+		if len(g.Preds[u]) > 0 {
+			continue
+		}
+		if len(m.PipelinesFor(g.Block.Tuples[u].Op)) == 0 && !opts.DisableEquivalence {
+			if noPipeSeen {
+				continue
+			}
+			noPipeSeen = true
+		}
+		candidates = append(candidates, u)
+	}
+
+	shared := &sharedBound{lambda: opts.Lambda}
+	shared.best.Store(int64(best.TotalNOPs))
+
+	type result struct {
+		idx     int
+		best    nopins.Result
+		found   bool
+		curtail bool
+		stats   Stats
+	}
+	results := make([]result, len(candidates))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				cand := candidates[idx]
+				s := &searcher{
+					g:    g,
+					m:    m,
+					opts: opts,
+					eval: nopins.NewEvaluator(g, m, opts.Assign),
+					perm: append([]int(nil), seed...),
+					// Local incumbent cost only; the schedule itself
+					// stays empty until this subtree improves on it.
+					bestTotal: 1 << 30,
+					shared:    shared,
+				}
+				if opts.Entry != nil {
+					s.eval.SetEntryState(opts.Entry)
+					s.startTick = opts.Entry.StartTick
+				}
+				if opts.StrongEquivalence {
+					s.equivClass = equivalenceClasses(g, m)
+				}
+				if !opts.DisableLowerBound {
+					s.tails = latencyTails(g, m)
+				}
+				// Move the candidate to the front of Π and search its
+				// subtree.
+				for k, u := range s.perm {
+					if u == cand {
+						s.perm[0], s.perm[k] = s.perm[k], s.perm[0]
+						break
+					}
+				}
+				s.place(0, cand)
+				results[idx] = result{
+					idx:     idx,
+					best:    s.best,
+					found:   len(s.best.Order) == g.N,
+					curtail: s.curtail,
+					stats:   s.stats,
+				}
+			}
+		}()
+	}
+	for idx := range candidates {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	curtailed := false
+	for _, r := range results {
+		agg.OmegaCalls += r.stats.OmegaCalls
+		agg.SchedulesExamined += r.stats.SchedulesExamined
+		agg.Improvements += r.stats.Improvements
+		agg.PrunedBounds += r.stats.PrunedBounds
+		agg.PrunedIllegal += r.stats.PrunedIllegal
+		agg.PrunedEquivalence += r.stats.PrunedEquivalence
+		agg.PrunedStrongEquiv += r.stats.PrunedStrongEquiv
+		agg.PrunedAlphaBeta += r.stats.PrunedAlphaBeta
+		agg.PrunedLowerBound += r.stats.PrunedLowerBound
+		curtailed = curtailed || r.curtail
+		if r.found && r.best.TotalNOPs < best.TotalNOPs {
+			best = r.best
+		}
+	}
+	agg.Curtailed = curtailed
+	agg.Elapsed = time.Since(start)
+
+	return &Schedule{
+		Order:       best.Order,
+		Eta:         best.Eta,
+		Pipes:       best.Pipes,
+		TotalNOPs:   best.TotalNOPs,
+		Ticks:       best.Ticks,
+		InitialNOPs: seedRes.TotalNOPs,
+		Optimal:     !curtailed,
+		Stats:       agg,
+	}, nil
+}

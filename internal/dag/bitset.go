@@ -1,0 +1,54 @@
+package dag
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit vector used for transitive-closure rows.
+// The zero value of a slice obtained from NewBitset is ready to use.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits, all clear.
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set.
+func (b Bitset) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Or merges other into b (b |= other). The two must have equal capacity.
+func (b Bitset) Or(other Bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy of b.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (b Bitset) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

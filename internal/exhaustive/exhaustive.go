@@ -1,0 +1,126 @@
+// Package exhaustive implements the two baseline searches the paper
+// compares against in Table 1 and section 2.3:
+//
+//   - the naive exhaustive search over all n! orderings, evaluating the
+//     NOP-insertion procedure Q on every permutation (legal or not — an
+//     illegal permutation is detected and discarded, but still costs a
+//     call, exactly as the paper's complexity accounting assumes), and
+//   - the "pruning illegal" search that enumerates only legal schedules
+//     (topological orders of the dependence DAG) and evaluates Q on each.
+//
+// Both searches accept a call budget so that the hopeless factorial cases
+// can be reported as "> budget" the way the paper's Table 1 reports
+// ">9,999,000".
+package exhaustive
+
+import (
+	"math/big"
+
+	"pipesched/internal/dag"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+)
+
+// Result summarizes one baseline search.
+type Result struct {
+	Best      nopins.Result // best legal schedule found (zero if none)
+	Found     bool          // whether any legal schedule was evaluated
+	Calls     int64         // evaluations performed (Q invocations)
+	Exhausted bool          // true if the call budget stopped the search
+}
+
+// Factorial returns n! exactly.
+func Factorial(n int) *big.Int {
+	f := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return f
+}
+
+// SearchExhaustive enumerates every permutation of the block (n! of
+// them), counting one call per permutation visited; illegal permutations
+// are discarded after the legality test, as in the paper's accounting.
+// The search stops early once calls reaches budget (budget <= 0 means
+// unlimited — only sane for very small blocks).
+func SearchExhaustive(g *dag.Graph, m *machine.Machine, budget int64) Result {
+	e := nopins.NewEvaluator(g, m, nopins.AssignFixed)
+	res := Result{}
+	perm := make([]int, g.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := -1
+	var rec func(k int) bool // returns false when budget exhausted
+	rec = func(k int) bool {
+		if k == g.N {
+			res.Calls++
+			if r, err := e.EvaluateOrder(perm); err == nil {
+				if !res.Found || r.TotalNOPs < best {
+					res.Best = r
+					res.Found = true
+					best = r.TotalNOPs
+				}
+			}
+			return budget <= 0 || res.Calls < budget
+		}
+		for i := k; i < g.N; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			ok := rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if g.N > 0 {
+		res.Exhausted = !rec(0)
+	}
+	return res
+}
+
+// SearchLegal enumerates only the legal schedules (topological orders),
+// evaluating Q on each — the paper's "pruning illegal" baseline. One call
+// is counted per complete legal schedule. The search stops early once
+// calls reaches budget (budget <= 0 means unlimited).
+func SearchLegal(g *dag.Graph, m *machine.Machine, budget int64) Result {
+	e := nopins.NewEvaluator(g, m, nopins.AssignFixed)
+	res := Result{}
+	best := -1
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == g.N {
+			res.Calls++
+			if !res.Found || e.TotalNOPs() < best {
+				res.Best = e.Snapshot()
+				res.Found = true
+				best = e.TotalNOPs()
+			}
+			return budget <= 0 || res.Calls < budget
+		}
+		for u := 0; u < g.N; u++ {
+			if e.Scheduled(u) || !e.Ready(u) {
+				continue
+			}
+			e.Push(u)
+			ok := rec(depth + 1)
+			e.Pop()
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if g.N > 0 {
+		res.Exhausted = !rec(0)
+	}
+	return res
+}
+
+// CountLegal counts the legal schedules of g up to limit (0 = unlimited),
+// without evaluating them. It is a convenience wrapper over the DAG's
+// topological-order counter.
+func CountLegal(g *dag.Graph, limit int64) int64 {
+	return g.CountTopologicalOrders(limit)
+}

@@ -1,0 +1,163 @@
+package exhaustive
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/ir"
+	"pipesched/internal/machine"
+)
+
+func mustGraph(t *testing.T, src string) *dag.Graph {
+	t.Helper()
+	b, err := ir.ParseBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFactorial(t *testing.T) {
+	cases := map[int]string{
+		0:  "1",
+		1:  "1",
+		5:  "120",
+		13: "6227020800",
+		20: "2432902008176640000",
+	}
+	for n, want := range cases {
+		if got := Factorial(n).String(); got != want {
+			t.Errorf("%d! = %s, want %s", n, got, want)
+		}
+	}
+}
+
+func TestExhaustiveCountsAllPermutations(t *testing.T) {
+	g := mustGraph(t, `f:
+  1: Const 15
+  2: Store #b, @1
+  3: Load #a
+  4: Mul @1, @3
+  5: Store #a, @4`)
+	m := machine.SimulationMachine()
+	r := SearchExhaustive(g, m, 0)
+	if r.Calls != 120 {
+		t.Errorf("exhaustive Calls = %d, want 5! = 120", r.Calls)
+	}
+	if !r.Found || r.Exhausted {
+		t.Errorf("exhaustive: found=%v exhausted=%v", r.Found, r.Exhausted)
+	}
+	if r.Best.TotalNOPs != 2 {
+		t.Errorf("exhaustive best = %d NOPs, want 2", r.Best.TotalNOPs)
+	}
+}
+
+func TestLegalCountsOnlyTopologicalOrders(t *testing.T) {
+	g := mustGraph(t, `f:
+  1: Const 15
+  2: Store #b, @1
+  3: Load #a
+  4: Mul @1, @3
+  5: Store #a, @4`)
+	m := machine.SimulationMachine()
+	r := SearchLegal(g, m, 0)
+	if want := CountLegal(g, 0); r.Calls != want {
+		t.Errorf("legal Calls = %d, want %d", r.Calls, want)
+	}
+	if r.Best.TotalNOPs != 2 {
+		t.Errorf("legal best = %d NOPs, want 2", r.Best.TotalNOPs)
+	}
+}
+
+func TestBudgetTruncation(t *testing.T) {
+	g := mustGraph(t, `six:
+  1: Load #a
+  2: Load #b
+  3: Load #c
+  4: Load #d
+  5: Load #e
+  6: Load #f`)
+	m := machine.SimulationMachine()
+	r := SearchExhaustive(g, m, 10)
+	if !r.Exhausted || r.Calls != 10 {
+		t.Errorf("budgeted exhaustive: calls=%d exhausted=%v", r.Calls, r.Exhausted)
+	}
+	rl := SearchLegal(g, m, 10)
+	if !rl.Exhausted || rl.Calls != 10 {
+		t.Errorf("budgeted legal: calls=%d exhausted=%v", rl.Calls, rl.Exhausted)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	b := ir.NewBlock("empty")
+	g, err := dag.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.SimulationMachine()
+	if r := SearchExhaustive(g, m, 0); r.Found || r.Calls != 0 || r.Exhausted {
+		t.Errorf("empty exhaustive: %+v", r)
+	}
+	if r := SearchLegal(g, m, 0); r.Found || r.Calls != 0 || r.Exhausted {
+		t.Errorf("empty legal: %+v", r)
+	}
+}
+
+func randomBlock(rng *rand.Rand, n int) *ir.Block {
+	b := ir.NewBlock("rand")
+	vars := []string{"a", "b", "c"}
+	var ids []int
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(6); {
+		case k == 0 || len(ids) == 0:
+			ids = append(ids, b.Append(ir.Load, ir.Var(vars[rng.Intn(len(vars))]), ir.None()))
+		case k == 1:
+			ids = append(ids, b.Append(ir.Const, ir.Imm(int64(rng.Intn(50))), ir.None()))
+		case k == 2:
+			b.Append(ir.Store, ir.Var(vars[rng.Intn(len(vars))]), ir.Ref(ids[rng.Intn(len(ids))]))
+		default:
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div}
+			ids = append(ids, b.Append(ops[rng.Intn(len(ops))],
+				ir.Ref(ids[rng.Intn(len(ids))]), ir.Ref(ids[rng.Intn(len(ids))])))
+		}
+	}
+	return b
+}
+
+// TestThreeSearchesAgreeProperty: exhaustive, legal-only and the pruned
+// optimal search must all find the same minimum NOP count, and the pruned
+// search must do no more work than the legal-only search, which must do
+// no more than the exhaustive one.
+func TestThreeSearchesAgreeProperty(t *testing.T) {
+	m := machine.SimulationMachine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.Build(randomBlock(rng, 3+rng.Intn(5))) // <= 7 tuples: 7! is fine
+		if err != nil {
+			return false
+		}
+		ex := SearchExhaustive(g, m, 0)
+		lg := SearchLegal(g, m, 0)
+		opt, err := core.Find(g, m, core.Options{})
+		if err != nil || !opt.Optimal {
+			return false
+		}
+		if !ex.Found || !lg.Found {
+			return false
+		}
+		if ex.Best.TotalNOPs != lg.Best.TotalNOPs || lg.Best.TotalNOPs != opt.TotalNOPs {
+			return false
+		}
+		return lg.Calls <= ex.Calls
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipesched/internal/core"
+	"pipesched/internal/listsched"
+	"pipesched/internal/machine"
+)
+
+// AblationRow measures one search configuration over a shared block pool.
+type AblationRow struct {
+	Name       string
+	MeanOmega  float64 // mean search placements per block
+	MeanNOPs   float64
+	PctOptimal float64
+}
+
+// ablationConfigs lists the studied configurations: the full pruning
+// stack, each rule removed in turn, the extensions added, and the seed
+// degraded. Every configuration is still exact when it completes (only
+// search EFFORT differs), which the MeanNOPs column confirms.
+func ablationConfigs() []struct {
+	Name string
+	Opts core.Options
+} {
+	return []struct {
+		Name string
+		Opts core.Options
+	}{
+		{"full (default)", core.Options{}},
+		{"no [5c] equivalence", core.Options{DisableEquivalence: true}},
+		{"no [5a] bounds check", core.Options{DisableBoundsCheck: true}},
+		{"no lower bound", core.Options{DisableLowerBound: true}},
+		{"no greedy seed", core.Options{DisableGreedySeed: true}},
+		{"program-order seed", core.Options{SeedPriority: listsched.ProgramOrder}},
+		{"+ strong equivalence", core.Options{StrongEquivalence: true}},
+	}
+}
+
+// RunAblation schedules a shared pool of synthetic blocks under every
+// configuration, quantifying what each pruning rule buys. Lambda caps
+// each search.
+func RunAblation(seed int64, blocks, statements int, m *machine.Machine, lambda int64) ([]AblationRow, error) {
+	if m == nil {
+		m = machine.SimulationMachine()
+	}
+	if lambda == 0 {
+		lambda = 200000
+	}
+	pool, err := blockPool(seed, blocks, statements)
+	if err != nil {
+		return nil, err
+	}
+	configs := ablationConfigs()
+	rows := make([]AblationRow, 0, len(configs))
+	for _, cfg := range configs {
+		opts := cfg.Opts
+		opts.Lambda = lambda
+		var omega, nops, optimal float64
+		for _, g := range pool {
+			sched, err := core.Find(g, m, opts)
+			if err != nil {
+				return nil, err
+			}
+			omega += float64(sched.Stats.OmegaCalls)
+			nops += float64(sched.TotalNOPs)
+			if sched.Optimal {
+				optimal++
+			}
+		}
+		n := float64(len(pool))
+		rows = append(rows, AblationRow{
+			Name:       cfg.Name,
+			MeanOmega:  omega / n,
+			MeanNOPs:   nops / n,
+			PctOptimal: 100 * optimal / n,
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the study as a table, with effort relative to
+// the full configuration.
+func FormatAblation(rows []AblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: search effort per pruning rule (shared block pool)\n")
+	sb.WriteString("configuration          mean-omega  rel-effort  mean-NOPs  pct-optimal\n")
+	base := 1.0
+	if len(rows) > 0 && rows[0].MeanOmega > 0 {
+		base = rows[0].MeanOmega
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %10.1f  %9.2fx  %9.2f  %10.1f%%\n",
+			r.Name, r.MeanOmega, r.MeanOmega/base, r.MeanNOPs, r.PctOptimal)
+	}
+	return sb.String()
+}

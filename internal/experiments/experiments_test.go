@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pipesched/internal/machine"
+)
+
+// smallCampaign runs a reduced but statistically meaningful campaign
+// shared by several tests.
+func smallCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	c, err := RunCampaign(CampaignConfig{Runs: 300, Seed: 1, Lambda: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+var cached *Campaign
+
+func campaign(t *testing.T) *Campaign {
+	t.Helper()
+	if cached == nil {
+		cached = smallCampaign(t)
+	}
+	return cached
+}
+
+func TestCampaignBasics(t *testing.T) {
+	c := campaign(t)
+	if len(c.Records) != 300 {
+		t.Fatalf("got %d records", len(c.Records))
+	}
+	completed, truncated := c.Split()
+	if len(completed)+len(truncated) != 300 {
+		t.Error("split loses records")
+	}
+	// The paper's headline: the overwhelming majority of blocks complete.
+	if pct := float64(len(completed)) / 3.0; pct < 90 {
+		t.Errorf("only %.1f%% of searches completed; paper reports ~98.8%%", pct)
+	}
+	for _, r := range c.Records {
+		if r.Tuples <= 0 {
+			t.Error("record with no tuples")
+		}
+		if r.FinalNOPs > r.ListNOPs {
+			t.Errorf("search worsened the seed: %d -> %d NOPs", r.ListNOPs, r.FinalNOPs)
+		}
+		if r.FinalNOPs > r.InitialNOPs {
+			t.Errorf("final NOPs exceed naive program order: %d -> %d", r.InitialNOPs, r.FinalNOPs)
+		}
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	one, err := RunCampaign(CampaignConfig{Runs: 60, Seed: 5, Lambda: 5000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunCampaign(CampaignConfig{Runs: 60, Seed: 5, Lambda: 5000, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range one.Records {
+		a, b := one.Records[i], many.Records[i]
+		// Elapsed differs; everything deterministic must match.
+		if a.Tuples != b.Tuples || a.InitialNOPs != b.InitialNOPs || a.ListNOPs != b.ListNOPs ||
+			a.FinalNOPs != b.FinalNOPs || a.OmegaCalls != b.OmegaCalls || a.Completed != b.Completed {
+			t.Fatalf("record %d differs across worker counts: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestFinalNOPsNearlyConstantWhileInitialGrows(t *testing.T) {
+	// The paper's Figure 4 claim: initial NOPs grow with block size,
+	// final NOPs stay nearly constant. Compare small vs large blocks.
+	c := campaign(t)
+	var smallInit, smallFin, largeInit, largeFin, nSmall, nLarge float64
+	for _, r := range c.Records {
+		if r.Tuples <= 12 {
+			smallInit += float64(r.InitialNOPs)
+			smallFin += float64(r.FinalNOPs)
+			nSmall++
+		} else if r.Tuples >= 25 {
+			largeInit += float64(r.InitialNOPs)
+			largeFin += float64(r.FinalNOPs)
+			nLarge++
+		}
+	}
+	if nSmall == 0 || nLarge == 0 {
+		t.Skip("size distribution missing a bucket in this reduced run")
+	}
+	initGrowth := largeInit/nLarge - smallInit/nSmall
+	finGrowth := largeFin/nLarge - smallFin/nSmall
+	if initGrowth <= 0 {
+		t.Errorf("initial NOPs did not grow with size (Δ=%.2f)", initGrowth)
+	}
+	if finGrowth >= initGrowth {
+		t.Errorf("final NOPs grew as fast as initial (Δfinal=%.2f, Δinitial=%.2f)", finGrowth, initGrowth)
+	}
+}
+
+func TestTable7Rendering(t *testing.T) {
+	out := campaign(t).Table7()
+	for _, want := range []string{
+		"Table 7", "Number of Runs", "Percentage of Runs",
+		"Avg. Instructions/Block", "Avg. Initial NOPs", "Avg. Seed NOPs", "Avg. Final NOPs",
+		"Avg. Ω Calls", "Avg. Search Time",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	c := campaign(t)
+	figs := map[string]string{
+		"Figure 1": c.Figure1(),
+		"Figure 4": c.Figure4(),
+		"Figure 5": c.Figure5(),
+		"Figure 6": c.Figure6(),
+		"Figure 7": c.Figure7(),
+	}
+	for name, out := range figs {
+		if !strings.Contains(out, name) {
+			t.Errorf("%s output missing its caption:\n%s", name, out)
+		}
+		if len(out) < 100 {
+			t.Errorf("%s suspiciously short: %q", name, out)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	c := campaign(t)
+	csv := c.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(c.Records)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(c.Records)+1)
+	}
+	if !strings.HasPrefix(lines[0], "tuples,") {
+		t.Errorf("CSV header wrong: %q", lines[0])
+	}
+}
+
+func TestPerSizeAggregates(t *testing.T) {
+	c := campaign(t)
+	data := c.PerSize()
+	if len(data) == 0 {
+		t.Fatal("no per-size data")
+	}
+	totalRuns := 0
+	lastSize := -1
+	for _, d := range data {
+		if d.Size <= lastSize {
+			t.Error("per-size data not sorted ascending")
+		}
+		lastSize = d.Size
+		totalRuns += d.Runs
+		if d.PctOptimal < 0 || d.PctOptimal > 100 {
+			t.Errorf("size %d: %%optimal out of range: %v", d.Size, d.PctOptimal)
+		}
+	}
+	if totalRuns != len(c.Records) {
+		t.Errorf("per-size runs %d != records %d", totalRuns, len(c.Records))
+	}
+	if !strings.Contains(c.PerSizeTable(), "size") {
+		t.Error("PerSizeTable missing header")
+	}
+}
+
+func TestTable1SmallSizes(t *testing.T) {
+	rows, err := RunTable1(Table1Config{
+		Seed:     2,
+		Sizes:    []int{8, 10, 12},
+		LegalCap: 200000,
+		Lambda:   1000000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The ordering the paper's Table 1 demonstrates: proposed <<
+		// legal << exhaustive (all in Q-call units).
+		if !r.LegalTruncated && r.ProposedCalls > r.LegalCalls {
+			t.Errorf("size %d: proposed %d Q-equiv calls vs legal %d — pruning not effective",
+				r.Tuples, r.ProposedCalls, r.LegalCalls)
+		}
+		if r.ExhaustiveCalls.Int64() > 0 && r.LegalCalls > r.ExhaustiveCalls.Int64() {
+			t.Errorf("size %d: legal exceeds n!", r.Tuples)
+		}
+		if !r.ProposedOptimal {
+			t.Errorf("size %d: proposed search curtailed at λ=10^6", r.Tuples)
+		}
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"Table 1", "Exhaustive", "Pruning Illegal", "Proposed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatBigScientific(t *testing.T) {
+	rows, err := RunTable1(Table1Config{Seed: 3, Sizes: []int{16}, LegalCap: 10000, Lambda: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable1(rows)
+	// 16! = 20922789888000 renders in scientific notation.
+	if !strings.Contains(out, "x10^13") {
+		t.Errorf("16! not rendered scientifically:\n%s", out)
+	}
+}
+
+func TestCampaignWithExampleMachine(t *testing.T) {
+	c, err := RunCampaign(CampaignConfig{
+		Runs: 40, Seed: 9, Lambda: 5000,
+		Machine: machine.ExampleMachine(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Records) != 40 {
+		t.Fatalf("got %d records", len(c.Records))
+	}
+}
+
+func TestCampaignOptimizedBlocks(t *testing.T) {
+	c, err := RunCampaign(CampaignConfig{Runs: 40, Seed: 9, Lambda: 5000, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Records) != 40 {
+		t.Fatalf("got %d records", len(c.Records))
+	}
+}
+
+func TestDetailTable(t *testing.T) {
+	out := campaign(t).DetailTable()
+	for _, want := range []string{"p50=", "p90=", "p99=", "Ω calls", "NOPs removed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("detail table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pipesched/internal/machine"
+)
+
+func TestLambdaSweepShapes(t *testing.T) {
+	rows, err := RunLambdaSweep(7, 40, 8, nil, []int64{50, 1000, 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// More budget can only help (quality monotone non-increasing, proof
+	// rate monotone non-decreasing) — this is the paper's convergence
+	// claim made checkable.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanNOPs > rows[i-1].MeanNOPs {
+			t.Errorf("quality regressed with larger λ: %v -> %v",
+				rows[i-1].MeanNOPs, rows[i].MeanNOPs)
+		}
+		if rows[i].PctOptimal < rows[i-1].PctOptimal {
+			t.Errorf("proof rate dropped with larger λ: %v -> %v",
+				rows[i-1].PctOptimal, rows[i].PctOptimal)
+		}
+	}
+	out := FormatLambdaSweep(rows)
+	if !strings.Contains(out, "lambda") || !strings.Contains(out, "mean-NOPs") {
+		t.Errorf("sweep table malformed:\n%s", out)
+	}
+}
+
+func TestLambdaSweepDefaults(t *testing.T) {
+	rows, err := RunLambdaSweep(3, 5, 5, machine.SimulationMachine(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("default lambda list should give 6 rows, got %d", len(rows))
+	}
+}
+
+func TestWindowSweepShapes(t *testing.T) {
+	rows, err := RunWindowSweep(11, 10, 40, nil, []int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PctWindows < 0 || r.PctWindows > 100 {
+			t.Errorf("window %d: pct out of range: %v", r.Window, r.PctWindows)
+		}
+		if r.MeanNOPs < 0 {
+			t.Errorf("window %d: negative NOPs", r.Window)
+		}
+	}
+	out := FormatWindowSweep(rows)
+	if !strings.Contains(out, "window") {
+		t.Errorf("sweep table malformed:\n%s", out)
+	}
+}
+
+func TestSweepsDeterministic(t *testing.T) {
+	a, err := RunLambdaSweep(5, 10, 6, machine.SimulationMachine(), []int64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLambdaSweep(5, 10, 6, machine.SimulationMachine(), []int64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Errorf("lambda sweep nondeterministic: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestAblationStudy(t *testing.T) {
+	rows, err := RunAblation(13, 40, 7, nil, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("got %d configurations", len(rows))
+	}
+	if rows[0].Name != "full (default)" {
+		t.Errorf("first row should be the baseline, got %q", rows[0].Name)
+	}
+	// Every configuration that completes is exact, so quality can only
+	// differ through curtailment; at this λ on small blocks all complete
+	// with identical NOPs.
+	for _, r := range rows {
+		if r.PctOptimal > 99.9 && r.MeanNOPs != rows[0].MeanNOPs {
+			t.Errorf("%s: completed searches disagree on optimum: %v vs %v",
+				r.Name, r.MeanNOPs, rows[0].MeanNOPs)
+		}
+	}
+	// The degraded seed must cost more effort than the full stack.
+	var progOrder *AblationRow
+	for i := range rows {
+		if rows[i].Name == "program-order seed" {
+			progOrder = &rows[i]
+		}
+	}
+	if progOrder == nil {
+		t.Fatal("program-order row missing")
+	}
+	if progOrder.MeanOmega <= rows[0].MeanOmega {
+		t.Errorf("program-order seed should cost more effort: %v vs %v",
+			progOrder.MeanOmega, rows[0].MeanOmega)
+	}
+	out := FormatAblation(rows)
+	if !strings.Contains(out, "rel-effort") || !strings.Contains(out, "full (default)") {
+		t.Errorf("ablation table malformed:\n%s", out)
+	}
+}
+
+func TestPostpassStudy(t *testing.T) {
+	rows, err := RunPostpass(17, 30, 6, nil, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Register constraints can only restrict the schedule: postpass
+		// NOPs are never below prepass NOPs.
+		if r.PostpassNOPs < r.PrepassNOPs-1e-9 {
+			t.Errorf("registers=%d: postpass (%.2f) beat prepass (%.2f)",
+				r.Registers, r.PostpassNOPs, r.PrepassNOPs)
+		}
+		if r.MeanExtra < 0 {
+			t.Errorf("registers=%d: negative extra NOPs", r.Registers)
+		}
+	}
+	// (No cross-row comparison: each register count skips the blocks
+	// whose pressure exceeds it, so the populations differ.)
+	out := FormatPostpass(rows)
+	if !strings.Contains(out, "MAXLIVE") || !strings.Contains(out, "postpass-NOPs") {
+		t.Errorf("postpass table malformed:\n%s", out)
+	}
+}
+
+func TestGreedyGapStudy(t *testing.T) {
+	rows, err := RunGreedyGap(21, 40, 7, nil, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanGreedy < r.MeanOptimal-1e-9 {
+			t.Errorf("%s: greedy (%.2f) below the proven optimum (%.2f)",
+				r.Machine, r.MeanGreedy, r.MeanOptimal)
+		}
+		if r.MeanTickRatio < 1-1e-9 {
+			t.Errorf("%s: greedy tick ratio below 1: %v", r.Machine, r.MeanTickRatio)
+		}
+		if r.PctSuboptimal < 0 || r.PctSuboptimal > 100 {
+			t.Errorf("%s: pct out of range", r.Machine)
+		}
+	}
+	out := FormatGreedyGap(rows)
+	if !strings.Contains(out, "pct-suboptimal") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}
+
+func TestJitterStudy(t *testing.T) {
+	rows, err := RunJitterStudy(25, 20, 6, 3, nil, []float64{1.0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// With no variability (fraction 1.0) the mechanisms tie; with real
+	// variability the interlock pulls ahead.
+	if rows[0].Speedup < 0.999 || rows[0].Speedup > 1.001 {
+		t.Errorf("fraction 1.0 should tie: speedup %v", rows[0].Speedup)
+	}
+	if rows[1].Speedup <= 1.0 {
+		t.Errorf("variable latency should favor the interlock: speedup %v", rows[1].Speedup)
+	}
+	if rows[1].InterlockTicks > rows[1].NOPTicks {
+		t.Error("interlock slower than worst-case padding under jitter")
+	}
+	out := FormatJitter(rows)
+	if !strings.Contains(out, "il-speedup") {
+		t.Errorf("jitter table malformed:\n%s", out)
+	}
+}
+
+func TestJitterStudyRejectsBadFraction(t *testing.T) {
+	if _, err := RunJitterStudy(1, 2, 3, 1, nil, []float64{1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := RunJitterStudy(1, 2, 3, 1, nil, []float64{0}); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+}
+
+func TestReassocStudy(t *testing.T) {
+	rows, err := RunReassocStudy(machine.DeepMachine(), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 18 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	improved := 0
+	for _, r := range rows {
+		if r.ReassocPath > r.PlainPath {
+			t.Errorf("%s: rebalancing raised the critical path %d -> %d",
+				r.Kernel, r.PlainPath, r.ReassocPath)
+		}
+		if r.ReassocTicks < r.PlainTicks {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("rebalancing improved no kernel on the deep machine")
+	}
+	out := FormatReassoc(rows)
+	if !strings.Contains(out, "suite total") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipesched/internal/plot"
+	"pipesched/internal/stats"
+)
+
+// Figure1 reproduces "Schedules Searched Vs. Block Size" for runs whose
+// search completed: a scatter of Ω calls (log scale) against block size.
+func (c *Campaign) Figure1() string {
+	completed, _ := c.Split()
+	pts := make([]plot.Point, 0, len(completed))
+	for _, r := range completed {
+		pts = append(pts, plot.Point{X: float64(r.Tuples), Y: float64(r.OmegaCalls) + 1})
+	}
+	return plot.Chart(plot.Config{
+		Title:  fmt.Sprintf("Figure 1: Schedules Searched vs Block Size (%d complete runs)", len(completed)),
+		XLabel: "instructions per block",
+		YLabel: "Ω calls",
+		LogY:   true,
+	}, plot.Series{Name: "completed run", Mark: '*', Points: pts})
+}
+
+// Figure4 reproduces "Initial and Final NOPs Vs. Block Size": per-size
+// mean initial NOPs (growing linearly) against mean final NOPs (staying
+// nearly flat).
+func (c *Campaign) Figure4() string {
+	keys := make([]int, len(c.Records))
+	initial := make([]float64, len(c.Records))
+	list := make([]float64, len(c.Records))
+	final := make([]float64, len(c.Records))
+	for i, r := range c.Records {
+		keys[i] = r.Tuples
+		initial[i] = float64(r.InitialNOPs)
+		list[i] = float64(r.ListNOPs)
+		final[i] = float64(r.FinalNOPs)
+	}
+	group := func(ys []float64) []plot.Point {
+		var pts []plot.Point
+		for _, g := range stats.GroupBy(keys, ys) {
+			pts = append(pts, plot.Point{X: float64(g.Key), Y: stats.Mean(g.Ys)})
+		}
+		return pts
+	}
+	initPts, listPts, finPts := group(initial), group(list), group(final)
+	chart := plot.Chart(plot.Config{
+		Title:  "Figure 4: Initial and Final NOPs vs Block Size",
+		XLabel: "instructions per block",
+		YLabel: "mean NOPs",
+	},
+		plot.Series{Name: "initial NOPs (program order)", Mark: 'i', Points: initPts},
+		plot.Series{Name: "seed NOPs (list/greedy)", Mark: 'l', Points: listPts},
+		plot.Series{Name: "final NOPs (after search)", Mark: 'f', Points: finPts},
+	)
+	islope, _ := stats.LinearFit(flatten(initPts))
+	fslope, _ := stats.LinearFit(flatten(finPts))
+	return chart + fmt.Sprintf("slopes: initial %.3f NOPs/instr, final %.3f NOPs/instr\n", islope, fslope)
+}
+
+func flatten(pts []plot.Point) (xs, ys []float64) {
+	for _, p := range pts {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	return xs, ys
+}
+
+// Figure5 reproduces "Distribution of Sample Block Sizes".
+func (c *Campaign) Figure5() string {
+	sizes := make([]float64, len(c.Records))
+	for i, r := range c.Records {
+		sizes[i] = float64(r.Tuples)
+	}
+	h := stats.NewHistogram(sizes, 12)
+	out := plot.HistogramChart("Figure 5: Distribution of Sample Block Sizes", h, 50)
+	return out + fmt.Sprintf("mean block size: %.2f instructions\n", stats.Mean(sizes))
+}
+
+// Figure6 reproduces "Runtime Vs. Block Size": mean wall-clock search
+// time per block size.
+func (c *Campaign) Figure6() string {
+	keys := make([]int, len(c.Records))
+	ms := make([]float64, len(c.Records))
+	for i, r := range c.Records {
+		keys[i] = r.Tuples
+		ms[i] = float64(r.Elapsed.Nanoseconds()) / 1e6
+	}
+	var pts []plot.Point
+	for _, g := range stats.GroupBy(keys, ms) {
+		pts = append(pts, plot.Point{X: float64(g.Key), Y: stats.Mean(g.Ys)})
+	}
+	return plot.Chart(plot.Config{
+		Title:  "Figure 6: Runtime vs Block Size",
+		XLabel: "instructions per block",
+		YLabel: "mean search ms",
+	}, plot.Series{Name: "mean runtime", Mark: '*', Points: pts})
+}
+
+// Figure7 reproduces "Percentage of Runs Finding Optimal Schedules":
+// the fraction of runs per block size that completed (were not curtailed
+// by λ).
+func (c *Campaign) Figure7() string {
+	keys := make([]int, len(c.Records))
+	ok := make([]float64, len(c.Records))
+	for i, r := range c.Records {
+		keys[i] = r.Tuples
+		if r.Completed {
+			ok[i] = 100
+		}
+	}
+	var pts []plot.Point
+	for _, g := range stats.GroupBy(keys, ok) {
+		pts = append(pts, plot.Point{X: float64(g.Key), Y: stats.Mean(g.Ys)})
+	}
+	return plot.Chart(plot.Config{
+		Title:  "Figure 7: Percent of Runs Provably Optimal vs Block Size",
+		XLabel: "instructions per block",
+		YLabel: "% optimal",
+	}, plot.Series{Name: "% completed", Mark: '*', Points: pts})
+}
+
+// FigureData exposes the per-size aggregates backing Figures 4, 6 and 7
+// for tests and machine consumption.
+type FigureData struct {
+	Size        int
+	Runs        int
+	MeanInitial float64 // naive program-order NOPs
+	MeanList    float64 // search-seed NOPs (better of list and greedy)
+	MeanFinal   float64
+	MeanOmega   float64
+	MeanMillis  float64
+	PctOptimal  float64
+}
+
+// PerSize aggregates the campaign per block size.
+func (c *Campaign) PerSize() []FigureData {
+	bySize := map[int]*FigureData{}
+	counts := map[int]int{}
+	for _, r := range c.Records {
+		d, ok := bySize[r.Tuples]
+		if !ok {
+			d = &FigureData{Size: r.Tuples}
+			bySize[r.Tuples] = d
+		}
+		counts[r.Tuples]++
+		d.MeanInitial += float64(r.InitialNOPs)
+		d.MeanList += float64(r.ListNOPs)
+		d.MeanFinal += float64(r.FinalNOPs)
+		d.MeanOmega += float64(r.OmegaCalls)
+		d.MeanMillis += float64(r.Elapsed.Nanoseconds()) / 1e6
+		if r.Completed {
+			d.PctOptimal += 100
+		}
+	}
+	out := make([]FigureData, 0, len(bySize))
+	for size, d := range bySize {
+		n := float64(counts[size])
+		d.Runs = counts[size]
+		d.MeanInitial /= n
+		d.MeanList /= n
+		d.MeanFinal /= n
+		d.MeanOmega /= n
+		d.MeanMillis /= n
+		d.PctOptimal /= n
+		out = append(out, *d)
+	}
+	sortFigureData(out)
+	return out
+}
+
+func sortFigureData(ds []FigureData) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Size < ds[j-1].Size; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// PerSizeTable renders PerSize as a readable table.
+func (c *Campaign) PerSizeTable() string {
+	var sb strings.Builder
+	sb.WriteString("size  runs  init-NOPs  list-NOPs  final-NOPs  Ω-calls     ms      %optimal\n")
+	for _, d := range c.PerSize() {
+		fmt.Fprintf(&sb, "%4d  %4d  %9.2f  %9.2f  %10.2f  %8.1f  %8.3f  %7.2f\n",
+			d.Size, d.Runs, d.MeanInitial, d.MeanList, d.MeanFinal, d.MeanOmega, d.MeanMillis, d.PctOptimal)
+	}
+	return sb.String()
+}

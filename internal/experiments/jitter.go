@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pipesched/internal/core"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+	"pipesched/internal/sim"
+)
+
+// JitterRow compares the delay mechanisms when operation latencies are
+// variable at run time (the CARP situation of the paper's section 2.2):
+// NOP padding must encode the worst case while interlocked hardware
+// releases each stall the moment the actual result arrives.
+type JitterRow struct {
+	MinFraction    float64 // actual latency drawn from [ceil(f·worst), worst]
+	NOPTicks       float64 // mean ticks, optimal schedule, worst-case NOPs
+	InterlockTicks float64 // mean ticks, optimal schedule, interlock w/ actual
+	Speedup        float64 // NOPTicks / InterlockTicks
+	NaiveNOPTicks  float64 // mean ticks, naive order, worst-case NOPs
+	NaiveILTicks   float64 // mean ticks, naive order, interlock w/ actual
+	NaiveSpeedup   float64 // NaiveNOPTicks / NaiveILTicks
+}
+
+// RunJitterStudy schedules a block pool optimally for the worst case,
+// then simulates `trials` random draws of actual latencies per block at
+// each variability level. Latency draws derive deterministically from
+// the seed.
+func RunJitterStudy(seed int64, blocks, statements, trials int,
+	m *machine.Machine, fractions []float64) ([]JitterRow, error) {
+	if m == nil {
+		m = machine.CARPLike() // long variable memory is the motivating case
+	}
+	if len(fractions) == 0 {
+		fractions = []float64{1.0, 0.75, 0.5, 0.25}
+	}
+	if trials <= 0 {
+		trials = 5
+	}
+	pool, err := blockPool(seed, blocks, statements)
+	if err != nil {
+		return nil, err
+	}
+	type scheduled struct {
+		in    sim.Input // optimal schedule
+		naive sim.Input // naive program order with its minimal NOPs
+	}
+	var scheds []scheduled
+	for _, g := range pool {
+		s, err := core.Find(g, m, core.Options{Lambda: 100000})
+		if err != nil {
+			return nil, err
+		}
+		order := make([]int, g.N)
+		for i := range order {
+			order[i] = i
+		}
+		nv, err := nopins.NewEvaluator(g, m, nopins.AssignFixed).EvaluateOrder(order)
+		if err != nil {
+			return nil, err
+		}
+		scheds = append(scheds, scheduled{
+			in: sim.Input{
+				Graph: g, M: m, Order: s.Order, Eta: s.Eta, Pipes: s.Pipes,
+			},
+			naive: sim.Input{
+				Graph: g, M: m, Order: nv.Order, Eta: nv.Eta, Pipes: nv.Pipes,
+			},
+		})
+	}
+
+	rows := make([]JitterRow, 0, len(fractions))
+	for _, f := range fractions {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("experiments: jitter fraction %v outside (0,1]", f)
+		}
+		rng := rand.New(rand.NewSource(seed ^ int64(f*1000)))
+		row := JitterRow{MinFraction: f}
+		samples := 0
+		draw := func(in sim.Input) []int {
+			actual := make([]int, len(in.Order))
+			for i := range actual {
+				worst := m.Latency(in.Pipes[i])
+				if worst == 0 {
+					continue
+				}
+				lo := int(f * float64(worst))
+				if lo < 1 {
+					lo = 1
+				}
+				actual[i] = lo + rng.Intn(worst-lo+1)
+			}
+			return actual
+		}
+		for _, sc := range scheds {
+			nop, err := sim.Run(sc.in, sim.NOPPadding)
+			if err != nil {
+				return nil, err
+			}
+			naiveNop, err := sim.Run(sc.naive, sim.NOPPadding)
+			if err != nil {
+				return nil, err
+			}
+			for trial := 0; trial < trials; trial++ {
+				il, err := sim.RunActual(sc.in, sim.ImplicitInterlock, draw(sc.in))
+				if err != nil {
+					return nil, err
+				}
+				nil2, err := sim.RunActual(sc.naive, sim.ImplicitInterlock, draw(sc.naive))
+				if err != nil {
+					return nil, err
+				}
+				row.NOPTicks += float64(nop.TotalTicks)
+				row.InterlockTicks += float64(il.TotalTicks)
+				row.NaiveNOPTicks += float64(naiveNop.TotalTicks)
+				row.NaiveILTicks += float64(nil2.TotalTicks)
+				samples++
+			}
+		}
+		row.NOPTicks /= float64(samples)
+		row.InterlockTicks /= float64(samples)
+		row.NaiveNOPTicks /= float64(samples)
+		row.NaiveILTicks /= float64(samples)
+		row.Speedup = row.NOPTicks / row.InterlockTicks
+		row.NaiveSpeedup = row.NaiveNOPTicks / row.NaiveILTicks
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatJitter renders the study as a table.
+func FormatJitter(rows []JitterRow) string {
+	var sb strings.Builder
+	sb.WriteString("Variable-latency study: worst-case NOP padding vs interlock (CARP scenario)\n")
+	sb.WriteString("                      --- optimal schedule ---   ----- naive order -----\n")
+	sb.WriteString("min-latency-fraction  nop-tk  il-tk  il-speedup  nop-tk  il-tk  il-speedup\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%19.2f  %6.1f  %5.1f  %9.3fx  %6.1f  %5.1f  %9.3fx\n",
+			r.MinFraction, r.NOPTicks, r.InterlockTicks, r.Speedup,
+			r.NaiveNOPTicks, r.NaiveILTicks, r.NaiveSpeedup)
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/kernels"
+	"pipesched/internal/machine"
+	"pipesched/internal/opt"
+	"pipesched/internal/tuplegen"
+)
+
+// ReassocRow compares one kernel scheduled with and without the
+// associative-chain rebalancing extension.
+type ReassocRow struct {
+	Kernel       string
+	PlainTicks   int // optimal ticks after the standard optimizer
+	ReassocTicks int // optimal ticks after rebalancing
+	PlainPath    int // critical path length (tuples) before
+	ReassocPath  int // critical path length after
+}
+
+// RunReassocStudy schedules every kernel twice on m (default: the deep
+// machine, where dependence height dominates) — once after the standard
+// optimizer and once with reassociation folded in — quantifying how much
+// ILP the rebalancing exposes that even an optimal scheduler cannot
+// create by reordering alone.
+func RunReassocStudy(m *machine.Machine, lambda int64) ([]ReassocRow, error) {
+	if m == nil {
+		m = machine.DeepMachine()
+	}
+	if lambda == 0 {
+		lambda = 100000
+	}
+	var rows []ReassocRow
+	for _, k := range kernels.All() {
+		base, err := tuplegen.Compile(k.Source, k.Name)
+		if err != nil {
+			return nil, err
+		}
+		plain := opt.Optimize(base)
+		reass := opt.OptimizeReassoc(base)
+
+		gPlain, err := dag.Build(plain)
+		if err != nil {
+			return nil, err
+		}
+		gReass, err := dag.Build(reass)
+		if err != nil {
+			return nil, err
+		}
+		sPlain, err := core.Find(gPlain, m, core.Options{Lambda: lambda})
+		if err != nil {
+			return nil, err
+		}
+		sReass, err := core.Find(gReass, m, core.Options{Lambda: lambda})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ReassocRow{
+			Kernel:       k.Name,
+			PlainTicks:   sPlain.Ticks,
+			ReassocTicks: sReass.Ticks,
+			PlainPath:    gPlain.CriticalPathLen(),
+			ReassocPath:  gReass.CriticalPathLen(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatReassoc renders the study as a table.
+func FormatReassoc(rows []ReassocRow) string {
+	var sb strings.Builder
+	sb.WriteString("Reassociation study: optimal ticks with and without chain rebalancing\n")
+	sb.WriteString("kernel      path-before  path-after  ticks-plain  ticks-reassoc  speedup\n")
+	var tp, tr float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s  %11d  %10d  %11d  %13d  %6.2fx\n",
+			r.Kernel, r.PlainPath, r.ReassocPath, r.PlainTicks, r.ReassocTicks,
+			float64(r.PlainTicks)/float64(r.ReassocTicks))
+		tp += float64(r.PlainTicks)
+		tr += float64(r.ReassocTicks)
+	}
+	if tr > 0 {
+		fmt.Fprintf(&sb, "suite total: %.0f -> %.0f ticks (%.2fx)\n", tp, tr, tp/tr)
+	}
+	return sb.String()
+}

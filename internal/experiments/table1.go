@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/exhaustive"
+	"pipesched/internal/machine"
+	"pipesched/internal/synth"
+)
+
+// Table1Sizes lists the representative block sizes of the paper's
+// Table 1 (instructions per block).
+var Table1Sizes = []int{8, 11, 13, 13, 14, 16, 16, 16, 20, 21, 22}
+
+// Table1Row compares the three search strategies on one block. All three
+// "calls" columns are in the paper's unit — one call of the O(n)
+// full-schedule procedure Q. The pruned search works in per-instruction
+// placements (Ω invocations), so its column is the placement count
+// normalized by the block size (rounded up); the raw placement count is
+// also kept.
+type Table1Row struct {
+	Tuples             int
+	ExhaustiveCalls    *big.Int // n!: every permutation is a Q call
+	LegalCalls         int64    // legal schedules only (topological orders)
+	LegalTruncated     bool     // legal count hit the cap
+	ProposedCalls      int64    // pruned search, in Q-call equivalents
+	ProposedPlacements int64    // pruned search, raw Ω invocations
+	ProposedOptimal    bool     // proposed search completed
+	FinalNOPs          int
+}
+
+// Table1Config configures the representative-example comparison.
+type Table1Config struct {
+	Seed      int64
+	Sizes     []int            // default Table1Sizes
+	LegalCap  int64            // cap on the legal-schedule count (paper: 9,999,000)
+	Lambda    int64            // curtail for the proposed search
+	Machine   *machine.Machine // default simulation machine
+	Variables int
+	Constants int
+}
+
+func (c *Table1Config) defaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = Table1Sizes
+	}
+	if c.LegalCap == 0 {
+		c.LegalCap = 9999000
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 10000000
+	}
+	if c.Machine == nil {
+		c.Machine = machine.SimulationMachine()
+	}
+	if c.Variables <= 0 {
+		c.Variables = 8
+	}
+	if c.Constants <= 0 {
+		c.Constants = 6
+	}
+}
+
+// RunTable1 builds one representative block per requested size and runs
+// the three-way comparison. The exhaustive column is computed analytically
+// (n!), the legal column by capped enumeration, the proposed column by
+// the actual pruned search.
+func RunTable1(cfg Table1Config) ([]Table1Row, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := make([]Table1Row, 0, len(cfg.Sizes))
+	for _, size := range cfg.Sizes {
+		blk, err := synth.GenerateWithTuples(rng, size, synth.Params{
+			Variables: cfg.Variables,
+			Constants: cfg.Constants,
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		g, err := dag.Build(blk.IR)
+		if err != nil {
+			return nil, err
+		}
+		legal := exhaustive.CountLegal(g, cfg.LegalCap)
+		sched, err := core.Find(g, cfg.Machine, core.Options{Lambda: cfg.Lambda})
+		if err != nil {
+			return nil, err
+		}
+		placements := sched.Stats.OmegaCalls
+		qEquivalents := (placements + int64(size) - 1) / int64(size)
+		if qEquivalents == 0 {
+			qEquivalents = 1 // the seed evaluation itself
+		}
+		rows = append(rows, Table1Row{
+			Tuples:             size,
+			ExhaustiveCalls:    exhaustive.Factorial(size),
+			LegalCalls:         legal,
+			LegalTruncated:     legal >= cfg.LegalCap,
+			ProposedCalls:      qEquivalents,
+			ProposedPlacements: placements,
+			ProposedOptimal:    sched.Optimal,
+			FinalNOPs:          sched.TotalNOPs,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows like the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: Search Space for Representative Examples\n")
+	fmt.Fprintf(&sb, "%-14s %-22s %-22s %-22s\n",
+		"Instructions", "Exhaustive Search", "Pruning Illegal", "Proposed Pruning")
+	fmt.Fprintf(&sb, "%-14s %-22s %-22s %-22s\n", "In Block", "Calls (n!)", "Calls", "Calls (Q-equiv)")
+	for _, r := range rows {
+		legal := fmt.Sprintf("%d", r.LegalCalls)
+		if r.LegalTruncated {
+			legal = fmt.Sprintf(">%d", r.LegalCalls-1)
+		}
+		proposed := fmt.Sprintf("%d", r.ProposedCalls)
+		if !r.ProposedOptimal {
+			proposed += " (curtailed)"
+		}
+		fmt.Fprintf(&sb, "%-14d %-22s %-22s %-22s\n",
+			r.Tuples, formatBig(r.ExhaustiveCalls), legal, proposed)
+	}
+	return sb.String()
+}
+
+// formatBig prints exactly for small factorials and in scientific
+// notation (as the paper does, e.g. "2.1x10^13") for large ones.
+func formatBig(v *big.Int) string {
+	s := v.String()
+	if len(s) <= 9 {
+		return s
+	}
+	f := new(big.Float).SetInt(v)
+	mant := new(big.Float)
+	exp := f.MantExp(mant) // v = mant * 2^exp, mant in [0.5, 1)
+	_ = exp
+	// Decimal exponent = digits-1.
+	digits := len(s)
+	lead, _ := new(big.Float).Quo(f, pow10(digits-1)).Float64()
+	return fmt.Sprintf("%.1fx10^%d", lead, digits-1)
+}
+
+func pow10(n int) *big.Float {
+	x := big.NewFloat(1)
+	ten := big.NewFloat(10)
+	for i := 0; i < n; i++ {
+		x.Mul(x, ten)
+	}
+	return x
+}

@@ -1,0 +1,181 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed source block: an ordered list of assignments.
+type Program struct {
+	Stmts []Assign
+}
+
+// Assign is one statement: Name = Expr.
+type Assign struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// Expr is an expression tree node.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// Num is an integer literal.
+type Num struct{ Value int64 }
+
+// VarRef reads a variable.
+type VarRef struct{ Name string }
+
+// Unary is unary minus.
+type Unary struct{ X Expr }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators of the mini language.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String returns the operator's source spelling.
+func (o BinOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	}
+	return "?"
+}
+
+// Binary is a binary operation X op Y.
+type Binary struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+func (Num) expr()    {}
+func (VarRef) expr() {}
+func (Unary) expr()  {}
+func (Binary) expr() {}
+
+// String renders the literal.
+func (n Num) String() string { return fmt.Sprintf("%d", n.Value) }
+
+// String renders the variable name.
+func (v VarRef) String() string { return v.Name }
+
+// String renders the negation with explicit parentheses.
+func (u Unary) String() string { return "-(" + u.X.String() + ")" }
+
+// String renders the operation with explicit parentheses.
+func (b Binary) String() string {
+	return "(" + b.X.String() + " " + b.Op.String() + " " + b.Y.String() + ")"
+}
+
+// String renders the program as re-parseable source.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, s := range p.Stmts {
+		fmt.Fprintf(&sb, "%s = %s;\n", s.Name, s.Expr.String())
+	}
+	return sb.String()
+}
+
+// Vars returns the set of variable names read or written by the program,
+// in first-appearance order.
+func (p *Program) Vars() []string {
+	var order []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		}
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case VarRef:
+			add(x.Name)
+		case Unary:
+			walk(x.X)
+		case Binary:
+			walk(x.X)
+			walk(x.Y)
+		}
+	}
+	for _, s := range p.Stmts {
+		walk(s.Expr)
+		add(s.Name)
+	}
+	return order
+}
+
+// Eval interprets the program over env (variables default to 0),
+// mutating env. It is the semantic reference for the whole compiler
+// pipeline: tuple generation, optimization and scheduling must preserve
+// Eval's final environment.
+func (p *Program) Eval(env map[string]int64) error {
+	var eval func(e Expr) (int64, error)
+	eval = func(e Expr) (int64, error) {
+		switch x := e.(type) {
+		case Num:
+			return x.Value, nil
+		case VarRef:
+			return env[x.Name], nil
+		case Unary:
+			v, err := eval(x.X)
+			return -v, err
+		case Binary:
+			a, err := eval(x.X)
+			if err != nil {
+				return 0, err
+			}
+			b, err := eval(x.Y)
+			if err != nil {
+				return 0, err
+			}
+			switch x.Op {
+			case OpAdd:
+				return a + b, nil
+			case OpSub:
+				return a - b, nil
+			case OpMul:
+				return a * b, nil
+			case OpDiv:
+				if b == 0 {
+					return 0, fmt.Errorf("frontend: eval: division by zero")
+				}
+				return a / b, nil
+			case OpMod:
+				if b == 0 {
+					return 0, fmt.Errorf("frontend: eval: remainder by zero")
+				}
+				return a % b, nil
+			}
+		}
+		return 0, fmt.Errorf("frontend: eval: unknown expression")
+	}
+	for _, s := range p.Stmts {
+		v, err := eval(s.Expr)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", s.Line, err)
+		}
+		env[s.Name] = v
+	}
+	return nil
+}

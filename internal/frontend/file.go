@@ -1,0 +1,143 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NamedProgram is one basic block of a multi-block source file.
+type NamedProgram struct {
+	Name    string
+	Program *Program
+}
+
+// ParseFile reads a source file that may contain several basic blocks in
+// the form
+//
+//	block init {
+//	    x = 1
+//	}
+//	block step {
+//	    y = x * 2
+//	}
+//
+// A file without any "block" header parses as a single unnamed block
+// (plain Parse semantics), so simple sources keep working unchanged.
+// Consecutive blocks execute in order with no control flow between them
+// — the straight-line composition the paper's footnote 1 addresses.
+func ParseFile(src string) ([]NamedProgram, error) {
+	if !hasBlockHeader(src) {
+		p, err := Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return []NamedProgram{{Name: "", Program: p}}, nil
+	}
+
+	var out []NamedProgram
+	rest := src
+	lineBase := 1
+	for {
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		if rest == "" {
+			break
+		}
+		// Comments between blocks.
+		if strings.HasPrefix(rest, "#") || strings.HasPrefix(rest, "//") {
+			nl := strings.IndexByte(rest, '\n')
+			if nl < 0 {
+				break
+			}
+			rest = rest[nl+1:]
+			continue
+		}
+		if !strings.HasPrefix(rest, "block") {
+			return nil, fmt.Errorf("frontend: expected 'block <name> {' near %q", firstLine(rest))
+		}
+		rest = strings.TrimPrefix(rest, "block")
+		rest = strings.TrimLeft(rest, " \t")
+		nameEnd := strings.IndexAny(rest, " \t{\n")
+		if nameEnd <= 0 {
+			return nil, fmt.Errorf("frontend: block header missing name near %q", firstLine(rest))
+		}
+		name := rest[:nameEnd]
+		if !validBlockName(name) {
+			return nil, fmt.Errorf("frontend: bad block name %q", name)
+		}
+		rest = strings.TrimLeft(rest[nameEnd:], " \t\n")
+		if !strings.HasPrefix(rest, "{") {
+			return nil, fmt.Errorf("frontend: block %q missing '{'", name)
+		}
+		rest = rest[1:]
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			return nil, fmt.Errorf("frontend: block %q missing '}'", name)
+		}
+		body := rest[:close]
+		rest = rest[close+1:]
+		p, err := Parse(body)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: block %q: %w", name, err)
+		}
+		for _, earlier := range out {
+			if earlier.Name == name {
+				return nil, fmt.Errorf("frontend: duplicate block name %q", name)
+			}
+		}
+		out = append(out, NamedProgram{Name: name, Program: p})
+		_ = lineBase
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("frontend: no blocks found")
+	}
+	return out, nil
+}
+
+// hasBlockHeader reports whether the source's first significant line
+// starts a block definition.
+func hasBlockHeader(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		return strings.HasPrefix(line, "block ") || strings.HasPrefix(line, "block\t")
+	}
+	return false
+}
+
+func validBlockName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 40 {
+		s = s[:40] + "…"
+	}
+	return s
+}
+
+// EvalFile runs every block of a parsed file in order over env — the
+// reference semantics of a straight-line block sequence.
+func EvalFile(blocks []NamedProgram, env map[string]int64) error {
+	for _, b := range blocks {
+		if err := b.Program.Eval(env); err != nil {
+			return fmt.Errorf("block %q: %w", b.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+)
+
+const multiSrc = `
+# a two-block program
+block init {
+    x = 5
+    y = x * 3
+}
+
+// second block
+block step {
+    y = y + x
+    z = y * y
+}
+`
+
+func TestParseFileMultiBlock(t *testing.T) {
+	blocks, err := ParseFile(multiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	if blocks[0].Name != "init" || blocks[1].Name != "step" {
+		t.Errorf("names = %q, %q", blocks[0].Name, blocks[1].Name)
+	}
+	if len(blocks[0].Program.Stmts) != 2 || len(blocks[1].Program.Stmts) != 2 {
+		t.Error("statement counts wrong")
+	}
+	env := map[string]int64{}
+	if err := EvalFile(blocks, env); err != nil {
+		t.Fatal(err)
+	}
+	// x=5, y=15; y=20, z=400.
+	if env["x"] != 5 || env["y"] != 20 || env["z"] != 400 {
+		t.Errorf("env = %v", env)
+	}
+}
+
+func TestParseFilePlainSource(t *testing.T) {
+	blocks, err := ParseFile("a = 1\nb = a + 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0].Name != "" {
+		t.Fatalf("plain source: %d blocks, name %q", len(blocks), blocks[0].Name)
+	}
+}
+
+func TestParseFileErrors(t *testing.T) {
+	bad := []string{
+		"block { x = 1 }",                      // missing name
+		"block a { x = 1 ",                     // missing }
+		"block a x = 1 }",                      // missing {
+		"block a { x = 1 }\nstray text",        // trailing garbage
+		"block a { x = 1 }\nblock a { y = 2 }", // duplicate name
+		"block 9bad { x = 1 }",                 // bad name
+		"block a { x = }",                      // bad body
+		"block a { }\nblock b { }\n# nothing else\nblock a { }", // dup later
+	}
+	for _, src := range bad {
+		if _, err := ParseFile(src); err == nil {
+			t.Errorf("ParseFile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseFileEmptyBlockAllowed(t *testing.T) {
+	blocks, err := ParseFile("block empty {\n}\nblock real {\n x = 1\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || len(blocks[0].Program.Stmts) != 0 {
+		t.Errorf("empty block handling wrong: %+v", blocks)
+	}
+}
+
+func TestHasBlockHeader(t *testing.T) {
+	if hasBlockHeader("x = block + 1") {
+		t.Error("identifier 'block' misdetected as header")
+	}
+	if !hasBlockHeader("# c\nblock a {\n}") {
+		t.Error("header after comment not detected")
+	}
+	if hasBlockHeader("") {
+		t.Error("empty source has no header")
+	}
+}
+
+func TestParseFileCommentsBetweenBlocks(t *testing.T) {
+	src := "block a {\n x = 1\n}\n# interlude\n// more\nblock b {\n y = 2\n}\n"
+	blocks, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	if !strings.Contains(blocks[1].Program.String(), "y = 2") {
+		t.Error("second block lost its body")
+	}
+}

@@ -1,0 +1,186 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseFigure3Source(t *testing.T) {
+	p := mustParse(t, "b = 15;\na = b * a;")
+	if len(p.Stmts) != 2 {
+		t.Fatalf("got %d statements, want 2", len(p.Stmts))
+	}
+	if p.Stmts[0].Name != "b" || p.Stmts[1].Name != "a" {
+		t.Errorf("targets = %s, %s", p.Stmts[0].Name, p.Stmts[1].Name)
+	}
+	if _, ok := p.Stmts[0].Expr.(Num); !ok {
+		t.Errorf("first RHS should be a literal, got %T", p.Stmts[0].Expr)
+	}
+	bin, ok := p.Stmts[1].Expr.(Binary)
+	if !ok || bin.Op != OpMul {
+		t.Fatalf("second RHS should be a Mul, got %v", p.Stmts[1].Expr)
+	}
+}
+
+func TestPrecedenceAndAssociativity(t *testing.T) {
+	cases := map[string]string{
+		"x = a + b * c":   "(a + (b * c))",
+		"x = a * b + c":   "((a * b) + c)",
+		"x = a - b - c":   "((a - b) - c)",
+		"x = a / b / c":   "((a / b) / c)",
+		"x = a + b - c":   "((a + b) - c)",
+		"x = (a + b) * c": "((a + b) * c)",
+		"x = a % b * c":   "((a % b) * c)",
+		"x = -a + b":      "(-(a) + b)",
+		"x = -(a + b)":    "-((a + b))",
+		"x = a * -b":      "(a * -(b))",
+		"x = - - a":       "-(-(a))",
+		"x = -5":          "-5",
+		"x = 2 + 3":       "(2 + 3)",
+	}
+	for src, want := range cases {
+		p := mustParse(t, src)
+		if got := p.Stmts[0].Expr.String(); got != want {
+			t.Errorf("%q parsed as %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestSemicolonsAndNewlinesBothSeparate(t *testing.T) {
+	a := mustParse(t, "x = 1; y = 2; z = x + y;")
+	b := mustParse(t, "x = 1\ny = 2\nz = x + y\n")
+	if len(a.Stmts) != 3 || len(b.Stmts) != 3 {
+		t.Fatalf("statement counts: %d and %d, want 3", len(a.Stmts), len(b.Stmts))
+	}
+	if a.String() != b.String() {
+		t.Errorf("separator styles disagree:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustParse(t, `# leading comment
+x = 1 // trailing comment
+// full-line comment
+y = x + 2 # another
+`)
+	if len(p.Stmts) != 2 {
+		t.Errorf("got %d statements, want 2", len(p.Stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"= 5",
+		"x 5",
+		"x =",
+		"x = )",
+		"x = (1 + 2",
+		"x = 1 +",
+		"x = 1 2",
+		"x = $",
+		"x = 99999999999999999999999999",
+		"1 = x",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p := mustParse(t, "\n\n  \n# nothing\n")
+	if len(p.Stmts) != 0 {
+		t.Errorf("empty source parsed to %d statements", len(p.Stmts))
+	}
+}
+
+func TestVars(t *testing.T) {
+	p := mustParse(t, "x = a + b\ny = x * a\nb = 3")
+	vars := p.Vars()
+	want := []string{"a", "b", "x", "y"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Errorf("Vars = %v, want %v", vars, want)
+			break
+		}
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	p := mustParse(t, `b = 15
+a = b * a
+c = -(a + 1) / 2
+d = c % 5`)
+	env := map[string]int64{"a": 3}
+	if err := p.Eval(env); err != nil {
+		t.Fatal(err)
+	}
+	if env["b"] != 15 || env["a"] != 45 || env["c"] != -23 || env["d"] != -3 {
+		t.Errorf("env = %v", env)
+	}
+}
+
+func TestEvalDivisionByZero(t *testing.T) {
+	p := mustParse(t, "x = 1 / y")
+	if err := p.Eval(map[string]int64{}); err == nil {
+		t.Error("division by zero unreported")
+	}
+	p2 := mustParse(t, "x = 1 % y")
+	if err := p2.Eval(map[string]int64{}); err == nil {
+		t.Error("remainder by zero unreported")
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	// Program.String must re-parse to a program with identical semantics.
+	f := func(a, b, c int8) bool {
+		src := "x = 3 * (a - b) + -c % 7\ny = x / (a * a + 1)\nz = x - y * y"
+		p, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		env1 := map[string]int64{"a": int64(a), "b": int64(b), "c": int64(c)}
+		env2 := map[string]int64{"a": int64(a), "b": int64(b), "c": int64(c)}
+		if err := p.Eval(env1); err != nil {
+			return true // fault propagates identically; skip
+		}
+		if err := p2.Eval(env2); err != nil {
+			return false
+		}
+		for k, v := range env1 {
+			if env2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	for k := tokEOF; k <= tokSemicolon; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "token(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package frontend
+
+import "testing"
+
+// FuzzParse checks the mini-language parser never panics, and that any
+// accepted program renders to source that reparses to an equivalent
+// program (String is a faithful unparser).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"b = 15;\na = b * a;",
+		"x = -(a + 3) / b % 7",
+		"x = ((((1))))",
+		"x = 1 +",
+		"= 5",
+		"x = a -- b",
+		"# only a comment\n",
+		"x = 999999999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("unparse of accepted input does not reparse: %v\n%s", err, p.String())
+		}
+		if again.String() != p.String() {
+			t.Fatalf("unparse not stable:\n%s\nvs\n%s", p.String(), again.String())
+		}
+	})
+}

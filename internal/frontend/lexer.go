@@ -1,0 +1,157 @@
+// Package frontend parses the mini assignment-statement language whose
+// compiled form is the tuple code of Figure 3 in the paper. A source
+// block is a sequence of statements like
+//
+//	b = 15;
+//	a = b * a;
+//	c = -(a + 3) / b + a % 2;
+//
+// Identifiers name integer variables; expressions use + - * / %, unary
+// minus and parentheses, with the usual precedence. Statements end with
+// ';' (a trailing newline also terminates a statement, so the semicolon
+// is optional at line ends). Comments run from '#' or '//' to the end of
+// the line.
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokAssign    // =
+	tokPlus      // +
+	tokMinus     // -
+	tokStar      // *
+	tokSlash     // /
+	tokPercent   // %
+	tokLParen    // (
+	tokRParen    // )
+	tokSemicolon // ; or newline
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokAssign:
+		return "'='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokPercent:
+		return "'%'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokSemicolon:
+		return "';'"
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexical token with its source line for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	line int
+}
+
+// lex splits src into tokens. Newlines become statement separators
+// (tokSemicolon) so that semicolons are optional at line ends.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	runes := []rune(src)
+	i := 0
+	emit := func(k tokenKind, text string) {
+		toks = append(toks, token{kind: k, text: text, line: line})
+	}
+	for i < len(runes) {
+		c := runes[i]
+		switch {
+		case c == '\n':
+			emit(tokSemicolon, "\\n")
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(runes) && runes[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(runes) && runes[i+1] == '/':
+			for i < len(runes) && runes[i] != '\n' {
+				i++
+			}
+		case c == ';':
+			emit(tokSemicolon, ";")
+			i++
+		case c == '=':
+			emit(tokAssign, "=")
+			i++
+		case c == '+':
+			emit(tokPlus, "+")
+			i++
+		case c == '-':
+			emit(tokMinus, "-")
+			i++
+		case c == '*':
+			emit(tokStar, "*")
+			i++
+		case c == '/':
+			emit(tokSlash, "/")
+			i++
+		case c == '%':
+			emit(tokPercent, "%")
+			i++
+		case c == '(':
+			emit(tokLParen, "(")
+			i++
+		case c == ')':
+			emit(tokRParen, ")")
+			i++
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(runes) && unicode.IsDigit(runes[j]) {
+				j++
+			}
+			text := string(runes[i:j])
+			n, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("frontend: line %d: number %q out of range", line, text)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: n, line: line})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_') {
+				j++
+			}
+			emit(tokIdent, string(runes[i:j]))
+			i = j
+		default:
+			return nil, fmt.Errorf("frontend: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

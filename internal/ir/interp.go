@@ -1,0 +1,94 @@
+package ir
+
+import "fmt"
+
+// Env maps variable names to integer values for tuple interpretation.
+type Env map[string]int64
+
+// Clone returns an independent copy of the environment.
+func (e Env) Clone() Env {
+	c := make(Env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// Exec interprets the block over env, mutating env with every Store and
+// returning the value of each tuple by ID. Variables read before any
+// Store default to 0 unless present in env. Division or remainder by
+// zero is an error (the optimizer must never introduce one).
+//
+// The interpreter is the semantic oracle of the repository: the
+// optimizer and the scheduler are both required to preserve Exec's
+// observable result (the final env).
+func Exec(b *Block, env Env) (map[int]int64, error) {
+	vals := make(map[int]int64, len(b.Tuples))
+	get := func(o Operand) (int64, error) {
+		switch o.Kind {
+		case ImmOperand:
+			return o.Imm, nil
+		case RefOperand:
+			v, ok := vals[o.Ref]
+			if !ok {
+				return 0, fmt.Errorf("ir: exec: tuple @%d referenced before execution", o.Ref)
+			}
+			return v, nil
+		case VarOperand:
+			return env[o.Var], nil
+		}
+		return 0, fmt.Errorf("ir: exec: empty operand read")
+	}
+	for _, t := range b.Tuples {
+		switch t.Op {
+		case Nop:
+			// nothing
+		case Const:
+			vals[t.ID] = t.A.Imm
+		case Load:
+			vals[t.ID] = env[t.A.Var]
+		case Store:
+			v, err := get(t.B)
+			if err != nil {
+				return nil, err
+			}
+			env[t.A.Var] = v
+		case Neg:
+			v, err := get(t.A)
+			if err != nil {
+				return nil, err
+			}
+			vals[t.ID] = -v
+		case Add, Sub, Mul, Div, Mod:
+			x, err := get(t.A)
+			if err != nil {
+				return nil, err
+			}
+			y, err := get(t.B)
+			if err != nil {
+				return nil, err
+			}
+			switch t.Op {
+			case Add:
+				vals[t.ID] = x + y
+			case Sub:
+				vals[t.ID] = x - y
+			case Mul:
+				vals[t.ID] = x * y
+			case Div:
+				if y == 0 {
+					return nil, fmt.Errorf("ir: exec: tuple %d divides by zero", t.ID)
+				}
+				vals[t.ID] = x / y
+			case Mod:
+				if y == 0 {
+					return nil, fmt.Errorf("ir: exec: tuple %d takes remainder by zero", t.ID)
+				}
+				vals[t.ID] = x % y
+			}
+		default:
+			return nil, fmt.Errorf("ir: exec: tuple %d has unsupported op %v", t.ID, t.Op)
+		}
+	}
+	return vals, nil
+}

@@ -1,0 +1,381 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OperandKind discriminates the four operand forms of a tuple.
+type OperandKind uint8
+
+const (
+	// NoOperand marks an absent operand (∅ in the paper's notation).
+	NoOperand OperandKind = iota
+	// VarOperand names a program variable ("#x" in the textual form).
+	VarOperand
+	// RefOperand names the result of another tuple by reference number
+	// ("@n" in the textual form).
+	RefOperand
+	// ImmOperand is an immediate integer constant.
+	ImmOperand
+)
+
+// String returns a short name for the operand kind.
+func (k OperandKind) String() string {
+	switch k {
+	case NoOperand:
+		return "none"
+	case VarOperand:
+		return "var"
+	case RefOperand:
+		return "ref"
+	case ImmOperand:
+		return "imm"
+	}
+	return fmt.Sprintf("OperandKind(%d)", uint8(k))
+}
+
+// Operand is one operand slot of a tuple.
+type Operand struct {
+	Kind OperandKind
+	Var  string // variable name, when Kind == VarOperand
+	Ref  int    // tuple reference number, when Kind == RefOperand
+	Imm  int64  // immediate value, when Kind == ImmOperand
+}
+
+// None returns the absent operand.
+func None() Operand { return Operand{} }
+
+// Var returns a variable operand naming v.
+func Var(v string) Operand { return Operand{Kind: VarOperand, Var: v} }
+
+// Ref returns an operand referencing the result of tuple id.
+func Ref(id int) Operand { return Operand{Kind: RefOperand, Ref: id} }
+
+// Imm returns an immediate-constant operand.
+func Imm(v int64) Operand { return Operand{Kind: ImmOperand, Imm: v} }
+
+// IsNone reports whether the operand slot is empty.
+func (o Operand) IsNone() bool { return o.Kind == NoOperand }
+
+// String renders the operand in the textual tuple syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case NoOperand:
+		return "_"
+	case VarOperand:
+		return "#" + o.Var
+	case RefOperand:
+		return fmt.Sprintf("@%d", o.Ref)
+	case ImmOperand:
+		return fmt.Sprintf("%d", o.Imm)
+	}
+	return "?"
+}
+
+// Equal reports structural equality of two operands.
+func (o Operand) Equal(p Operand) bool { return o == p }
+
+// Tuple is one instruction of the intermediate form: ⟨ID, Op, A, B⟩.
+type Tuple struct {
+	ID int // reference number; unique and stable within a Block
+	Op Op
+	A  Operand
+	B  Operand
+}
+
+// String renders the tuple in the textual form, e.g. "4: Mul @1, @3".
+func (t Tuple) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d: %s", t.ID, t.Op)
+	n := t.Op.NumOperands()
+	if n >= 1 {
+		sb.WriteString(" ")
+		sb.WriteString(t.A.String())
+	}
+	if n >= 2 {
+		sb.WriteString(", ")
+		sb.WriteString(t.B.String())
+	}
+	return sb.String()
+}
+
+// Operands returns the tuple's used operand slots (0, 1 or 2 entries).
+func (t Tuple) Operands() []Operand {
+	switch t.Op.NumOperands() {
+	case 1:
+		return []Operand{t.A}
+	case 2:
+		return []Operand{t.A, t.B}
+	}
+	return nil
+}
+
+// Refs returns the tuple reference numbers this tuple's operands read,
+// in operand order.
+func (t Tuple) Refs() []int {
+	var refs []int
+	for _, op := range t.Operands() {
+		if op.Kind == RefOperand {
+			refs = append(refs, op.Ref)
+		}
+	}
+	return refs
+}
+
+// ReadsVar reports whether the tuple reads the value of variable v from
+// memory (only Load does).
+func (t Tuple) ReadsVar(v string) bool {
+	return t.Op == Load && t.A.Kind == VarOperand && t.A.Var == v
+}
+
+// WritesVar reports whether the tuple writes variable v (only Store does).
+func (t Tuple) WritesVar(v string) bool {
+	return t.Op == Store && t.A.Kind == VarOperand && t.A.Var == v
+}
+
+// MemVar returns the variable a Load or Store touches, or "" for other ops.
+func (t Tuple) MemVar() string {
+	if t.Op.TouchesMemory() && t.A.Kind == VarOperand {
+		return t.A.Var
+	}
+	return ""
+}
+
+// Block is a basic block: a label plus an ordered sequence of tuples.
+// Tuple order in the slice is program order; tuple IDs are stable names
+// that survive reordering by the scheduler.
+type Block struct {
+	Label  string
+	Tuples []Tuple
+
+	index map[int]int // tuple ID -> slice position (lazily built)
+}
+
+// NewBlock returns an empty block with the given label.
+func NewBlock(label string) *Block { return &Block{Label: label} }
+
+// Len returns the number of tuples in the block.
+func (b *Block) Len() int { return len(b.Tuples) }
+
+// Append adds a tuple with the next free reference number and the given
+// operation and operands, returning its ID.
+func (b *Block) Append(op Op, a, bo Operand) int {
+	id := b.NextID()
+	b.Tuples = append(b.Tuples, Tuple{ID: id, Op: op, A: a, B: bo})
+	b.index = nil
+	return id
+}
+
+// NextID returns the smallest reference number strictly greater than any
+// tuple ID already in the block (IDs start at 1).
+func (b *Block) NextID() int {
+	max := 0
+	for _, t := range b.Tuples {
+		if t.ID > max {
+			max = t.ID
+		}
+	}
+	return max + 1
+}
+
+// buildIndex (re)builds the ID→position map.
+func (b *Block) buildIndex() {
+	b.index = make(map[int]int, len(b.Tuples))
+	for i, t := range b.Tuples {
+		b.index[t.ID] = i
+	}
+}
+
+// Pos returns the current position of tuple id within the block, or -1 if
+// no tuple has that ID. Positions are 0-based.
+func (b *Block) Pos(id int) int {
+	if b.index == nil || len(b.index) != len(b.Tuples) {
+		b.buildIndex()
+	}
+	if i, ok := b.index[id]; ok && i < len(b.Tuples) && b.Tuples[i].ID == id {
+		return i
+	}
+	// Index may be stale after external reordering; rebuild once.
+	b.buildIndex()
+	if i, ok := b.index[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// ByID returns the tuple with the given reference number.
+// It panics if the ID is absent; use Pos to test for presence.
+func (b *Block) ByID(id int) Tuple {
+	i := b.Pos(id)
+	if i < 0 {
+		panic(fmt.Sprintf("ir: block %q has no tuple %d", b.Label, id))
+	}
+	return b.Tuples[i]
+}
+
+// InvalidateIndex must be called after external code permutes b.Tuples in
+// place, so that Pos/ByID rebuild their lookup table.
+func (b *Block) InvalidateIndex() { b.index = nil }
+
+// Clone returns a deep copy of the block.
+func (b *Block) Clone() *Block {
+	nb := &Block{Label: b.Label, Tuples: make([]Tuple, len(b.Tuples))}
+	copy(nb.Tuples, b.Tuples)
+	return nb
+}
+
+// Vars returns the sorted set of variable names referenced by the block.
+func (b *Block) Vars() []string {
+	set := map[string]bool{}
+	for _, t := range b.Tuples {
+		for _, op := range t.Operands() {
+			if op.Kind == VarOperand {
+				set[op.Var] = true
+			}
+		}
+	}
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// String renders the block in the textual tuple form, one tuple per line.
+func (b *Block) String() string {
+	var sb strings.Builder
+	if b.Label != "" {
+		fmt.Fprintf(&sb, "%s:\n", b.Label)
+	}
+	for _, t := range b.Tuples {
+		sb.WriteString("  ")
+		sb.WriteString(t.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Validate checks structural well-formedness:
+//   - every operation is defined and has operands of a legal shape,
+//   - tuple IDs are positive and unique,
+//   - every reference operand names a tuple that (a) exists, (b) appears
+//     earlier in program order, and (c) produces a value.
+//
+// It returns the first violation found, or nil.
+func (b *Block) Validate() error {
+	seen := make(map[int]int, len(b.Tuples)) // ID -> position
+	for i, t := range b.Tuples {
+		if !t.Op.Valid() {
+			return fmt.Errorf("ir: tuple at position %d has invalid op", i)
+		}
+		if t.ID <= 0 {
+			return fmt.Errorf("ir: tuple at position %d has non-positive ID %d", i, t.ID)
+		}
+		if prev, dup := seen[t.ID]; dup {
+			return fmt.Errorf("ir: duplicate tuple ID %d at positions %d and %d", t.ID, prev, i)
+		}
+		seen[t.ID] = i
+		if err := validateShape(t); err != nil {
+			return err
+		}
+		for _, ref := range t.Refs() {
+			j, ok := seen[ref]
+			if !ok {
+				return fmt.Errorf("ir: tuple %d references %d which does not precede it", t.ID, ref)
+			}
+			if !b.Tuples[j].Op.ProducesValue() {
+				return fmt.Errorf("ir: tuple %d references %d (%s) which produces no value",
+					t.ID, ref, b.Tuples[j].Op)
+			}
+		}
+	}
+	return nil
+}
+
+func validateShape(t Tuple) error {
+	switch t.Op {
+	case Nop:
+		if !t.A.IsNone() || !t.B.IsNone() {
+			return fmt.Errorf("ir: tuple %d: Nop takes no operands", t.ID)
+		}
+	case Const:
+		if t.A.Kind != ImmOperand || !t.B.IsNone() {
+			return fmt.Errorf("ir: tuple %d: Const takes one immediate operand", t.ID)
+		}
+	case Load:
+		if t.A.Kind != VarOperand || !t.B.IsNone() {
+			return fmt.Errorf("ir: tuple %d: Load takes one variable operand", t.ID)
+		}
+	case Store:
+		if t.A.Kind != VarOperand {
+			return fmt.Errorf("ir: tuple %d: Store's first operand must be a variable", t.ID)
+		}
+		if t.B.Kind != RefOperand && t.B.Kind != ImmOperand {
+			return fmt.Errorf("ir: tuple %d: Store's second operand must be a ref or immediate", t.ID)
+		}
+	case Neg:
+		if t.A.Kind != RefOperand || !t.B.IsNone() {
+			return fmt.Errorf("ir: tuple %d: Neg takes one ref operand", t.ID)
+		}
+	case Add, Sub, Mul, Div, Mod:
+		for _, op := range []Operand{t.A, t.B} {
+			if op.Kind != RefOperand && op.Kind != ImmOperand {
+				return fmt.Errorf("ir: tuple %d: %s operands must be refs or immediates", t.ID, t.Op)
+			}
+		}
+	default:
+		return fmt.Errorf("ir: tuple %d: unknown op %v", t.ID, t.Op)
+	}
+	return nil
+}
+
+// Permute returns a copy of the block with tuples rearranged according to
+// order, a permutation of current positions: result position k holds
+// b.Tuples[order[k]]. It returns an error if order is not a permutation
+// of 0..len-1.
+func (b *Block) Permute(order []int) (*Block, error) {
+	if len(order) != len(b.Tuples) {
+		return nil, fmt.Errorf("ir: permutation length %d != block length %d", len(order), len(b.Tuples))
+	}
+	used := make([]bool, len(order))
+	nb := &Block{Label: b.Label, Tuples: make([]Tuple, len(order))}
+	for k, src := range order {
+		if src < 0 || src >= len(order) || used[src] {
+			return nil, fmt.Errorf("ir: order is not a permutation (entry %d = %d)", k, src)
+		}
+		used[src] = true
+		nb.Tuples[k] = b.Tuples[src]
+	}
+	return nb, nil
+}
+
+// Concat joins blocks into one straight-line block, renumbering tuple
+// IDs (and the references to them) so they stay unique. It models the
+// "no branches between them" composition used when scheduling a
+// sequence of adjacent blocks.
+func Concat(label string, blocks ...*Block) (*Block, error) {
+	out := NewBlock(label)
+	for _, b := range blocks {
+		remap := make(map[int]int, len(b.Tuples))
+		for _, t := range b.Tuples {
+			nt := t
+			nt.ID = out.NextID()
+			remap[t.ID] = nt.ID
+			if nt.A.Kind == RefOperand {
+				nt.A.Ref = remap[nt.A.Ref]
+			}
+			if nt.B.Kind == RefOperand {
+				nt.B.Ref = remap[nt.B.Ref]
+			}
+			out.Tuples = append(out.Tuples, nt)
+			out.index = nil
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: Concat produced invalid block: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+// Package kernels is a library of small, realistic straight-line
+// computation kernels — the kind of code the paper's introduction
+// motivates scheduling for (numeric inner loops whose bodies are single
+// basic blocks). Each kernel is source text for the mini language, with
+// a reference semantic function used by tests to verify the whole
+// compiler pipeline, and by examples and benchmarks as domain-specific
+// workloads beyond the synthetic generator.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kernel is one named workload.
+type Kernel struct {
+	Name        string
+	Description string
+	Source      string
+	// Inputs lists the variables the kernel reads (everything else is
+	// computed). Reference implementations below define the semantics.
+	Inputs []string
+}
+
+// registry holds all kernels, keyed by name.
+var registry = map[string]Kernel{}
+
+func register(k Kernel) {
+	if _, dup := registry[k.Name]; dup {
+		panic("kernels: duplicate " + k.Name)
+	}
+	registry[k.Name] = k
+}
+
+// All returns every kernel, sorted by name.
+func All() []Kernel {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Kernel, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// ByName looks a kernel up.
+func ByName(name string) (Kernel, error) {
+	k, ok := registry[name]
+	if !ok {
+		return Kernel{}, fmt.Errorf("kernels: unknown kernel %q", name)
+	}
+	return k, nil
+}
+
+func init() {
+	register(Kernel{
+		Name:        "dot4",
+		Description: "4-element integer dot product",
+		Inputs:      []string{"a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3"},
+		Source: `
+p0 = a0 * b0
+p1 = a1 * b1
+p2 = a2 * b2
+p3 = a3 * b3
+dot = p0 + p1 + p2 + p3
+`,
+	})
+	register(Kernel{
+		Name:        "horner4",
+		Description: "degree-4 polynomial by Horner's rule (serial chain)",
+		Inputs:      []string{"x", "c0", "c1", "c2", "c3", "c4"},
+		Source: `
+h = c4 * x + c3
+h = h * x + c2
+h = h * x + c1
+h = h * x + c0
+`,
+	})
+	register(Kernel{
+		Name:        "fir3",
+		Description: "3-tap FIR filter step",
+		Inputs:      []string{"x0", "x1", "x2", "k0", "k1", "k2"},
+		Source: `
+y = x0 * k0 + x1 * k1 + x2 * k2
+x2 = x1
+x1 = x0
+`,
+	})
+	register(Kernel{
+		Name:        "cmul",
+		Description: "complex multiply (ar+i*ai)*(br+i*bi)",
+		Inputs:      []string{"ar", "ai", "br", "bi"},
+		Source: `
+cr = ar * br - ai * bi
+ci = ar * bi + ai * br
+`,
+	})
+	register(Kernel{
+		Name:        "mat2",
+		Description: "2x2 integer matrix multiply",
+		Inputs:      []string{"a11", "a12", "a21", "a22", "b11", "b12", "b21", "b22"},
+		Source: `
+c11 = a11 * b11 + a12 * b21
+c12 = a11 * b12 + a12 * b22
+c21 = a21 * b11 + a22 * b21
+c22 = a21 * b12 + a22 * b22
+`,
+	})
+	register(Kernel{
+		Name:        "det3",
+		Description: "3x3 determinant by cofactor expansion",
+		Inputs:      []string{"m11", "m12", "m13", "m21", "m22", "m23", "m31", "m32", "m33"},
+		Source: `
+d1 = m22 * m33 - m23 * m32
+d2 = m21 * m33 - m23 * m31
+d3 = m21 * m32 - m22 * m31
+det = m11 * d1 - m12 * d2 + m13 * d3
+`,
+	})
+	register(Kernel{
+		Name:        "norm2",
+		Description: "squared L2 norm of a 4-vector",
+		Inputs:      []string{"v0", "v1", "v2", "v3"},
+		Source: `
+n = v0 * v0 + v1 * v1 + v2 * v2 + v3 * v3
+`,
+	})
+	register(Kernel{
+		Name:        "lerp",
+		Description: "fixed-point linear interpolation (t in 0..256)",
+		Inputs:      []string{"a", "b", "t"},
+		Source: `
+l = (a * (256 - t) + b * t) / 256
+`,
+	})
+	register(Kernel{
+		Name:        "quadratic",
+		Description: "quadratic evaluation plus discriminant",
+		Inputs:      []string{"a", "b", "c", "x"},
+		Source: `
+y = a * x * x + b * x + c
+disc = b * b - 4 * a * c
+`,
+	})
+	register(Kernel{
+		Name:        "hash",
+		Description: "integer mixing function (multiply/add/mod chain)",
+		Inputs:      []string{"k"},
+		Source: `
+h = k * 31 + 7
+h = h * 31 + 11
+h = h * 31 + 13
+h = h % 65521
+`,
+	})
+	register(Kernel{
+		Name:        "avgvar",
+		Description: "mean and scaled variance proxy of four samples",
+		Inputs:      []string{"s0", "s1", "s2", "s3"},
+		Source: `
+sum = s0 + s1 + s2 + s3
+mean = sum / 4
+d0 = s0 - mean
+d1 = s1 - mean
+d2 = s2 - mean
+d3 = s3 - mean
+varp = d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3
+`,
+	})
+	register(Kernel{
+		Name:        "bilinear",
+		Description: "bilinear blend of four corner samples (fixed point)",
+		Inputs:      []string{"p00", "p01", "p10", "p11", "fx", "fy"},
+		Source: `
+gx = 256 - fx
+gy = 256 - fy
+top = p00 * gx + p01 * fx
+bot = p10 * gx + p11 * fx
+out = (top * gy + bot * fy) / 65536
+`,
+	})
+	register(Kernel{
+		Name:        "saxpy4",
+		Description: "4-element a*x+y update",
+		Inputs:      []string{"a", "x0", "x1", "x2", "x3", "y0", "y1", "y2", "y3"},
+		Source: `
+y0 = a * x0 + y0
+y1 = a * x1 + y1
+y2 = a * x2 + y2
+y3 = a * x3 + y3
+`,
+	})
+	register(Kernel{
+		Name:        "chebyshev",
+		Description: "Chebyshev recurrence step T[n+1] = 2x*T[n] - T[n-1]",
+		Inputs:      []string{"x", "t0", "t1"},
+		Source: `
+t2 = 2 * x * t1 - t0
+t3 = 2 * x * t2 - t1
+t0 = t2
+t1 = t3
+`,
+	})
+	register(Kernel{
+		Name:        "gray",
+		Description: "RGB to luma, integer BT.601 weights",
+		Inputs:      []string{"r", "g", "b"},
+		Source: `
+y = (r * 299 + g * 587 + b * 114) / 1000
+`,
+	})
+	register(Kernel{
+		Name:        "blend",
+		Description: "alpha blend of two pixels (fixed point, a in 0..256)",
+		Inputs:      []string{"src", "dst", "a"},
+		Source: `
+out = (src * a + dst * (256 - a)) / 256
+`,
+	})
+	register(Kernel{
+		Name:        "dist2",
+		Description: "squared distance between two 3-points",
+		Inputs:      []string{"x1", "y1", "z1", "x2", "y2", "z2"},
+		Source: `
+dx = x1 - x2
+dy = y1 - y2
+dz = z1 - z2
+d2 = dx * dx + dy * dy + dz * dz
+`,
+	})
+	register(Kernel{
+		Name:        "poly3x2",
+		Description: "two independent cubic evaluations (ILP across chains)",
+		Inputs:      []string{"x", "y", "a0", "a1", "a2", "a3"},
+		Source: `
+px = a3 * x * x * x + a2 * x * x + a1 * x + a0
+py = a3 * y * y * y + a2 * y * y + a1 * y + a0
+`,
+	})
+	register(Kernel{
+		Name:        "checksum",
+		Description: "Fletcher-style running checksum over four words",
+		Inputs:      []string{"w0", "w1", "w2", "w3"},
+		Source: `
+s1 = w0 % 255
+s2 = s1
+s1 = (s1 + w1) % 255
+s2 = (s2 + s1) % 255
+s1 = (s1 + w2) % 255
+s2 = (s2 + s1) % 255
+s1 = (s1 + w3) % 255
+s2 = (s2 + s1) % 255
+sum = s2 * 256 + s1
+`,
+	})
+	register(Kernel{
+		Name:        "cross",
+		Description: "3-vector cross product",
+		Inputs:      []string{"u1", "u2", "u3", "w1", "w2", "w3"},
+		Source: `
+x1 = u2 * w3 - u3 * w2
+x2 = u3 * w1 - u1 * w3
+x3 = u1 * w2 - u2 * w1
+`,
+	})
+}

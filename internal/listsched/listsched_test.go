@@ -1,0 +1,151 @@
+package listsched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/dag"
+	"pipesched/internal/ir"
+)
+
+func mustGraph(t *testing.T, src string) *dag.Graph {
+	t.Helper()
+	b, err := ir.ParseBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestScheduleIsLegalAllPriorities(t *testing.T) {
+	g := mustGraph(t, `fig3:
+  1: Const 15
+  2: Store #b, @1
+  3: Load #a
+  4: Mul @1, @3
+  5: Store #a, @4`)
+	for _, p := range []Priority{ByHeight, ByDescendants, ProgramOrder} {
+		order := Schedule(g, p)
+		if !g.IsLegalOrder(order) {
+			t.Errorf("%s: order %v is illegal", p, order)
+		}
+	}
+}
+
+func TestByHeightSchedulesLongChainFirst(t *testing.T) {
+	// Node 0 starts a 3-deep chain; node 4 is an isolated store feeder.
+	g := mustGraph(t, `chain:
+  1: Load #a
+  2: Neg @1
+  3: Neg @2
+  4: Store #r, @3
+  5: Load #z
+  6: Store #s, @5`)
+	order := Schedule(g, ByHeight)
+	if order[0] != 0 {
+		t.Errorf("ByHeight should start the long chain first, got %v", order)
+	}
+	// The independent Load #z should be interleaved before the chain's
+	// end, giving the chain's dependents distance.
+	dist := MeanDefUseDistance(g, order)
+	prog := []int{0, 1, 2, 3, 4, 5}
+	if dist < MeanDefUseDistance(g, prog) {
+		t.Errorf("ByHeight def-use distance %.2f worse than program order %.2f", dist,
+			MeanDefUseDistance(g, prog))
+	}
+}
+
+func TestProgramOrderPriorityKeepsOriginalWhenLegal(t *testing.T) {
+	g := mustGraph(t, `po:
+  1: Load #a
+  2: Load #b
+  3: Add @1, @2
+  4: Store #c, @3`)
+	order := Schedule(g, ProgramOrder)
+	for i, u := range order {
+		if u != i {
+			t.Errorf("ProgramOrder gave %v, want identity", order)
+			break
+		}
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	if ByHeight.String() != "height" || ByDescendants.String() != "descendants" ||
+		ProgramOrder.String() != "program" {
+		t.Error("Priority.String names wrong")
+	}
+	if Priority(9).String() == "" {
+		t.Error("unknown priority must still render")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := mustGraph(t, `det:
+  1: Load #a
+  2: Load #b
+  3: Load #c
+  4: Add @1, @2
+  5: Mul @4, @3
+  6: Store #r, @5`)
+	first := Schedule(g, ByHeight)
+	for i := 0; i < 5; i++ {
+		again := Schedule(g, ByHeight)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d differs: %v vs %v", i, first, again)
+			}
+		}
+	}
+}
+
+func randomBlock(rng *rand.Rand, n int) *ir.Block {
+	b := ir.NewBlock("rand")
+	vars := []string{"a", "b", "c", "d"}
+	var ids []int
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(6); {
+		case k <= 1 || len(ids) == 0:
+			ids = append(ids, b.Append(ir.Load, ir.Var(vars[rng.Intn(len(vars))]), ir.None()))
+		case k == 2:
+			b.Append(ir.Store, ir.Var(vars[rng.Intn(len(vars))]), ir.Ref(ids[rng.Intn(len(ids))]))
+		default:
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Mul}
+			ids = append(ids, b.Append(ops[rng.Intn(len(ops))],
+				ir.Ref(ids[rng.Intn(len(ids))]), ir.Ref(ids[rng.Intn(len(ids))])))
+		}
+	}
+	return b
+}
+
+func TestAlwaysLegalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.Build(randomBlock(rng, 3+rng.Intn(15)))
+		if err != nil {
+			return false
+		}
+		for _, p := range []Priority{ByHeight, ByDescendants, ProgramOrder} {
+			if !g.IsLegalOrder(Schedule(g, p)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanDefUseDistanceEmptyAndSingle(t *testing.T) {
+	g := mustGraph(t, `one:
+  1: Load #a`)
+	if d := MeanDefUseDistance(g, []int{0}); d != 0 {
+		t.Errorf("distance of edgeless graph = %f, want 0", d)
+	}
+}

@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pipesched/internal/ir"
+)
+
+// Parse reads a machine description in the textual format emitted by
+// Machine.String:
+//
+//	machine paper-simulation
+//	pipe 1 loader latency=2 enqueue=1
+//	pipe 3 multiplier latency=4 enqueue=2
+//	op Load -> {1}
+//	op Mul -> {3}
+//
+// Blank lines and lines starting with ';' or '//' are ignored.
+func Parse(r io.Reader) (*Machine, error) {
+	var (
+		name   string
+		pipes  []Pipeline
+		opMap  = map[ir.Op][]int{}
+		lineNo int
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "machine":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("machine: line %d: want 'machine <name>'", lineNo)
+			}
+			name = fields[1]
+		case "pipe":
+			p, err := parsePipe(fields)
+			if err != nil {
+				return nil, fmt.Errorf("machine: line %d: %w", lineNo, err)
+			}
+			pipes = append(pipes, p)
+		case "op":
+			op, ids, err := parseOpLine(fields)
+			if err != nil {
+				return nil, fmt.Errorf("machine: line %d: %w", lineNo, err)
+			}
+			opMap[op] = ids
+		default:
+			return nil, fmt.Errorf("machine: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(name, pipes, opMap)
+}
+
+func parsePipe(fields []string) (Pipeline, error) {
+	// pipe <id> <function> latency=<n> enqueue=<n>
+	if len(fields) != 5 {
+		return Pipeline{}, fmt.Errorf("want 'pipe <id> <function> latency=<n> enqueue=<n>'")
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Pipeline{}, fmt.Errorf("bad pipeline ID %q", fields[1])
+	}
+	p := Pipeline{ID: id, Function: fields[2]}
+	for _, kv := range fields[3:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return Pipeline{}, fmt.Errorf("bad attribute %q", kv)
+		}
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return Pipeline{}, fmt.Errorf("bad value in %q", kv)
+		}
+		switch parts[0] {
+		case "latency":
+			p.Latency = v
+		case "enqueue":
+			p.Enqueue = v
+		default:
+			return Pipeline{}, fmt.Errorf("unknown attribute %q", parts[0])
+		}
+	}
+	return p, nil
+}
+
+func parseOpLine(fields []string) (ir.Op, []int, error) {
+	// op <Op> -> {1,2}
+	if len(fields) != 4 || fields[2] != "->" {
+		return ir.Invalid, nil, fmt.Errorf("want 'op <Op> -> {ids}'")
+	}
+	op, err := ir.ParseOp(fields[1])
+	if err != nil {
+		return ir.Invalid, nil, err
+	}
+	set := strings.Trim(fields[3], "{}")
+	var ids []int
+	if set != "" {
+		for _, s := range strings.Split(set, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return ir.Invalid, nil, fmt.Errorf("bad pipeline ID %q", s)
+			}
+			ids = append(ids, id)
+		}
+	}
+	return op, ids, nil
+}
+
+// ParseString is Parse over an in-memory description.
+func ParseString(s string) (*Machine, error) { return Parse(strings.NewReader(s)) }

@@ -1,0 +1,62 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"pipesched/internal/ir"
+)
+
+// jsonMachine is the wire form of a Machine: the op map keys become
+// mnemonic strings so the JSON is human-editable.
+type jsonMachine struct {
+	Name      string           `json:"name"`
+	Pipelines []Pipeline       `json:"pipelines"`
+	Ops       map[string][]int `json:"ops"`
+}
+
+// MarshalJSON encodes the machine description as JSON.
+func (m *Machine) MarshalJSON() ([]byte, error) {
+	jm := jsonMachine{Name: m.Name, Pipelines: m.Pipelines, Ops: map[string][]int{}}
+	for op, ids := range m.OpMap {
+		jm.Ops[op.String()] = ids
+	}
+	return json.Marshal(jm)
+}
+
+// UnmarshalJSON decodes and validates a machine description.
+func (m *Machine) UnmarshalJSON(data []byte) error {
+	var jm jsonMachine
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return err
+	}
+	opMap := map[ir.Op][]int{}
+	names := make([]string, 0, len(jm.Ops))
+	for name := range jm.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		op, err := ir.ParseOp(name)
+		if err != nil {
+			return fmt.Errorf("machine: json op map: %w", err)
+		}
+		opMap[op] = jm.Ops[name]
+	}
+	built, err := New(jm.Name, jm.Pipelines, opMap)
+	if err != nil {
+		return err
+	}
+	*m = *built
+	return nil
+}
+
+// ParseJSON reads a machine description from JSON bytes.
+func ParseJSON(data []byte) (*Machine, error) {
+	m := &Machine{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

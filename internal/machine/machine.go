@@ -1,0 +1,302 @@
+// Package machine models the target processor's pipelined resources.
+//
+// A machine is described by exactly the two tables of the paper's
+// section 4.1: a pipeline description table (one row per hardware
+// pipeline, giving its function name, identifier, latency and enqueue
+// time) and an operation-to-pipeline mapping table (the set of pipelines
+// each operation type may execute on).
+//
+//   - Latency is the number of clock ticks between enqueuing an operation
+//     and its result becoming available — the minimum issue distance
+//     between a producer and a dependent consumer.
+//   - Enqueue time is the minimum number of clock ticks between enqueuing
+//     two operations in the same pipeline — the structural-conflict
+//     spacing. A non-pipelined functional unit is modeled by setting
+//     enqueue time equal to latency.
+//
+// Operations mapped to no pipeline (σ(ζ) = ∅, e.g. Store and Const in the
+// paper's simulations) issue in one tick and never conflict or impose
+// latency.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pipesched/internal/ir"
+)
+
+// NoPipeline is the identifier meaning σ(ζ) = ∅: the operation uses no
+// pipelined resource.
+const NoPipeline = 0
+
+// Pipeline is one row of the pipeline description table.
+type Pipeline struct {
+	Function string // human-readable function name, e.g. "loader"
+	ID       int    // unique identifier, > 0
+	Latency  int    // ticks from enqueue until the result is available
+	Enqueue  int    // minimum ticks between enqueues into this pipeline
+}
+
+// String renders the row like "loader(#1 lat=2 enq=1)".
+func (p Pipeline) String() string {
+	return fmt.Sprintf("%s(#%d lat=%d enq=%d)", p.Function, p.ID, p.Latency, p.Enqueue)
+}
+
+// Machine is a complete processor description: the pipeline table plus
+// the operation-to-pipeline mapping.
+type Machine struct {
+	Name      string
+	Pipelines []Pipeline      // the pipeline description table
+	OpMap     map[ir.Op][]int // operation -> set of usable pipeline IDs
+
+	byID map[int]*Pipeline
+}
+
+// New assembles a Machine and validates it.
+func New(name string, pipes []Pipeline, opMap map[ir.Op][]int) (*Machine, error) {
+	m := &Machine{Name: name, Pipelines: pipes, OpMap: opMap}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	m.buildIndex()
+	return m, nil
+}
+
+func (m *Machine) buildIndex() {
+	m.byID = make(map[int]*Pipeline, len(m.Pipelines))
+	for i := range m.Pipelines {
+		m.byID[m.Pipelines[i].ID] = &m.Pipelines[i]
+	}
+}
+
+// Validate checks the machine description for structural errors.
+func (m *Machine) Validate() error {
+	seen := map[int]bool{}
+	for _, p := range m.Pipelines {
+		if p.ID <= 0 {
+			return fmt.Errorf("machine: pipeline %q has non-positive ID %d", p.Function, p.ID)
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("machine: duplicate pipeline ID %d", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Latency < 1 {
+			return fmt.Errorf("machine: pipeline %d latency %d < 1", p.ID, p.Latency)
+		}
+		if p.Enqueue < 1 {
+			return fmt.Errorf("machine: pipeline %d enqueue time %d < 1", p.ID, p.Enqueue)
+		}
+		if p.Enqueue > p.Latency {
+			return fmt.Errorf("machine: pipeline %d enqueue time %d exceeds latency %d",
+				p.ID, p.Enqueue, p.Latency)
+		}
+	}
+	for op, ids := range m.OpMap {
+		if !op.Valid() {
+			return fmt.Errorf("machine: op map contains invalid operation")
+		}
+		for _, id := range ids {
+			if id != NoPipeline && !seen[id] {
+				return fmt.Errorf("machine: op %s mapped to unknown pipeline %d", op, id)
+			}
+		}
+	}
+	return nil
+}
+
+// Pipeline returns the pipeline with the given identifier, or nil for
+// NoPipeline or an unknown ID.
+func (m *Machine) Pipeline(id int) *Pipeline {
+	if id == NoPipeline {
+		return nil
+	}
+	if m.byID == nil {
+		m.buildIndex()
+	}
+	return m.byID[id]
+}
+
+// PipelinesFor returns the set of pipeline IDs that may execute op.
+// A nil/empty result means σ = ∅ for this operation.
+func (m *Machine) PipelinesFor(op ir.Op) []int { return m.OpMap[op] }
+
+// PipelineFor returns the single pipeline assigned to op under the
+// paper's core model (singleton sets; their footnote 3). When the op maps
+// to several pipelines it returns the first — callers wanting assignment
+// search use PipelinesFor.
+func (m *Machine) PipelineFor(op ir.Op) int {
+	ids := m.OpMap[op]
+	if len(ids) == 0 {
+		return NoPipeline
+	}
+	return ids[0]
+}
+
+// Latency returns the latency of pipeline id, or 0 for NoPipeline.
+func (m *Machine) Latency(id int) int {
+	if p := m.Pipeline(id); p != nil {
+		return p.Latency
+	}
+	return 0
+}
+
+// EnqueueTime returns the enqueue time of pipeline id, or 0 for NoPipeline.
+func (m *Machine) EnqueueTime(id int) int {
+	if p := m.Pipeline(id); p != nil {
+		return p.Enqueue
+	}
+	return 0
+}
+
+// MaxLatency returns the largest latency over all pipelines.
+func (m *Machine) MaxLatency() int {
+	max := 0
+	for _, p := range m.Pipelines {
+		if p.Latency > max {
+			max = p.Latency
+		}
+	}
+	return max
+}
+
+// HasAssignmentChoice reports whether any operation maps to more than one
+// pipeline (the Tables 2/3 model, which needs the assignment extension).
+func (m *Machine) HasAssignmentChoice() bool {
+	for _, ids := range m.OpMap {
+		if len(ids) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders both description tables in a compact textual form.
+func (m *Machine) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "machine %s\n", m.Name)
+	for _, p := range m.Pipelines {
+		fmt.Fprintf(&sb, "pipe %d %s latency=%d enqueue=%d\n", p.ID, p.Function, p.Latency, p.Enqueue)
+	}
+	ops := make([]ir.Op, 0, len(m.OpMap))
+	for op := range m.OpMap {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		ids := make([]string, len(m.OpMap[op]))
+		for i, id := range m.OpMap[op] {
+			ids[i] = fmt.Sprintf("%d", id)
+		}
+		fmt.Fprintf(&sb, "op %s -> {%s}\n", op, strings.Join(ids, ","))
+	}
+	return sb.String()
+}
+
+// SimulationMachine returns the machine used for the paper's results
+// (section 5.1, Tables 4 and 5): a conservative single-pipeline-per-
+// function design. The paper's table legibly gives loader latency 2 /
+// enqueue 1 and multiplier latency 4 / enqueue 2; the adder row (latency
+// 2, enqueue 1) is our documented reconstruction (DESIGN.md §6).
+// Const and Store use no pipeline.
+func SimulationMachine() *Machine {
+	m, err := New("paper-simulation",
+		[]Pipeline{
+			{Function: "loader", ID: 1, Latency: 2, Enqueue: 1},
+			{Function: "adder", ID: 2, Latency: 2, Enqueue: 1},
+			{Function: "multiplier", ID: 3, Latency: 4, Enqueue: 2},
+		},
+		map[ir.Op][]int{
+			ir.Load: {1},
+			ir.Add:  {2},
+			ir.Sub:  {2},
+			ir.Neg:  {2},
+			ir.Mul:  {3},
+			ir.Div:  {3},
+			ir.Mod:  {3},
+		})
+	if err != nil {
+		panic(err) // impossible: static description
+	}
+	return m
+}
+
+// ExampleMachine returns the richer example machine of the paper's
+// Tables 2 and 3: two loaders, two adders and one multiplier, with Add
+// and Sub sharing the two adder pipelines and Mul and Div sharing the
+// multiplier. Scheduling for it requires the pipeline-assignment
+// extension because the op→pipeline sets are not singletons.
+func ExampleMachine() *Machine {
+	m, err := New("paper-example",
+		[]Pipeline{
+			{Function: "loader", ID: 1, Latency: 2, Enqueue: 1},
+			{Function: "loader", ID: 2, Latency: 2, Enqueue: 1},
+			{Function: "adder", ID: 3, Latency: 4, Enqueue: 3},
+			{Function: "adder", ID: 4, Latency: 4, Enqueue: 3},
+			{Function: "multiplier", ID: 5, Latency: 4, Enqueue: 2},
+		},
+		map[ir.Op][]int{
+			ir.Load: {1, 2},
+			ir.Add:  {3, 4},
+			ir.Sub:  {3, 4},
+			ir.Neg:  {3, 4},
+			ir.Mul:  {5},
+			ir.Div:  {5},
+			ir.Mod:  {5},
+		})
+	if err != nil {
+		panic(err) // impossible: static description
+	}
+	return m
+}
+
+// UnpipelinedMachine models a processor whose functional units are not
+// internally pipelined (enqueue time = latency), useful for studying the
+// conflict-delay behaviour the enqueue-time parameter was introduced for.
+func UnpipelinedMachine() *Machine {
+	m, err := New("unpipelined",
+		[]Pipeline{
+			{Function: "loader", ID: 1, Latency: 2, Enqueue: 2},
+			{Function: "adder", ID: 2, Latency: 2, Enqueue: 2},
+			{Function: "multiplier", ID: 3, Latency: 4, Enqueue: 4},
+		},
+		map[ir.Op][]int{
+			ir.Load: {1},
+			ir.Add:  {2},
+			ir.Sub:  {2},
+			ir.Neg:  {2},
+			ir.Mul:  {3},
+			ir.Div:  {3},
+			ir.Mod:  {3},
+		})
+	if err != nil {
+		panic(err) // impossible: static description
+	}
+	return m
+}
+
+// DeepMachine is a configuration with long, deeply pipelined units,
+// exaggerating latency so that scheduling quality differences are easy
+// to observe in examples and ablation benchmarks.
+func DeepMachine() *Machine {
+	m, err := New("deep",
+		[]Pipeline{
+			{Function: "loader", ID: 1, Latency: 4, Enqueue: 1},
+			{Function: "adder", ID: 2, Latency: 3, Enqueue: 1},
+			{Function: "multiplier", ID: 3, Latency: 8, Enqueue: 2},
+		},
+		map[ir.Op][]int{
+			ir.Load: {1},
+			ir.Add:  {2},
+			ir.Sub:  {2},
+			ir.Neg:  {2},
+			ir.Mul:  {3},
+			ir.Div:  {3},
+			ir.Mod:  {3},
+		})
+	if err != nil {
+		panic(err) // impossible: static description
+	}
+	return m
+}

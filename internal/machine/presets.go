@@ -1,0 +1,99 @@
+package machine
+
+import "pipesched/internal/ir"
+
+// The presets below model processors the paper names in sections 1 and
+// 2.2 — at the granularity the scheduling model cares about (per-pipeline
+// latency and enqueue time for the tuple operation classes), not as
+// full microarchitectural models. They broaden the test/benchmark
+// surface beyond the paper's own two configurations.
+
+// R3000Like models a MIPS R3000-flavored machine [Rio88]: single-cycle
+// ALU, a 2-cycle load delay pipeline, and a long multicycle
+// multiply/divide unit that is only partially pipelined.
+func R3000Like() *Machine {
+	m, err := New("r3000-like",
+		[]Pipeline{
+			{Function: "loader", ID: 1, Latency: 2, Enqueue: 1},
+			{Function: "alu", ID: 2, Latency: 1, Enqueue: 1},
+			{Function: "muldiv", ID: 3, Latency: 12, Enqueue: 10},
+		},
+		map[ir.Op][]int{
+			ir.Load: {1},
+			ir.Add:  {2},
+			ir.Sub:  {2},
+			ir.Neg:  {2},
+			ir.Mul:  {3},
+			ir.Div:  {3},
+			ir.Mod:  {3},
+		})
+	if err != nil {
+		panic(err) // impossible: static description
+	}
+	return m
+}
+
+// M88KLike models a Motorola 88000-flavored machine [Mel88]: separate
+// fully-pipelined integer and memory units plus a 3-stage pipelined
+// multiplier and an iterative (non-pipelined) divider.
+func M88KLike() *Machine {
+	m, err := New("m88k-like",
+		[]Pipeline{
+			{Function: "loader", ID: 1, Latency: 3, Enqueue: 1},
+			{Function: "alu", ID: 2, Latency: 1, Enqueue: 1},
+			{Function: "multiplier", ID: 3, Latency: 3, Enqueue: 1},
+			{Function: "divider", ID: 4, Latency: 15, Enqueue: 15},
+		},
+		map[ir.Op][]int{
+			ir.Load: {1},
+			ir.Add:  {2},
+			ir.Sub:  {2},
+			ir.Neg:  {2},
+			ir.Mul:  {3},
+			ir.Div:  {4},
+			ir.Mod:  {4},
+		})
+	if err != nil {
+		panic(err) // impossible: static description
+	}
+	return m
+}
+
+// CARPLike models the CARP proposal's [DiS89] defining property: very
+// long, variable-feeling global memory accesses (an interconnection
+// network) next to fast fully-pipelined function units — the
+// configuration where scheduling loads early matters most.
+func CARPLike() *Machine {
+	m, err := New("carp-like",
+		[]Pipeline{
+			{Function: "netload", ID: 1, Latency: 8, Enqueue: 1},
+			{Function: "adder", ID: 2, Latency: 2, Enqueue: 1},
+			{Function: "multiplier", ID: 3, Latency: 5, Enqueue: 1},
+		},
+		map[ir.Op][]int{
+			ir.Load: {1},
+			ir.Add:  {2},
+			ir.Sub:  {2},
+			ir.Neg:  {2},
+			ir.Mul:  {3},
+			ir.Div:  {3},
+			ir.Mod:  {3},
+		})
+	if err != nil {
+		panic(err) // impossible: static description
+	}
+	return m
+}
+
+// Presets returns every built-in machine by name.
+func Presets() map[string]func() *Machine {
+	return map[string]func() *Machine{
+		"simulation":  SimulationMachine,
+		"example":     ExampleMachine,
+		"unpipelined": UnpipelinedMachine,
+		"deep":        DeepMachine,
+		"r3000":       R3000Like,
+		"m88k":        M88KLike,
+		"carp":        CARPLike,
+	}
+}

@@ -1,0 +1,67 @@
+package machine
+
+import (
+	"testing"
+
+	"pipesched/internal/ir"
+)
+
+func TestAllPresetsValidate(t *testing.T) {
+	for name, mk := range Presets() {
+		m := mk()
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+		// Every arithmetic op and Load must be mapped; Const/Store never.
+		for _, op := range []ir.Op{ir.Load, ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod, ir.Neg} {
+			if len(m.PipelinesFor(op)) == 0 {
+				t.Errorf("preset %s: op %v unmapped", name, op)
+			}
+		}
+		for _, op := range []ir.Op{ir.Const, ir.Store, ir.Nop} {
+			if len(m.PipelinesFor(op)) != 0 {
+				t.Errorf("preset %s: op %v should use no pipeline", name, op)
+			}
+		}
+		// Round-trip through the textual codec.
+		back, err := ParseString(m.String())
+		if err != nil {
+			t.Errorf("preset %s: codec round trip: %v", name, err)
+		} else if back.String() != m.String() {
+			t.Errorf("preset %s: codec round trip changed description", name)
+		}
+	}
+}
+
+func TestR3000LikeShape(t *testing.T) {
+	m := R3000Like()
+	if m.Latency(m.PipelineFor(ir.Add)) != 1 {
+		t.Error("r3000-like ALU should be single-cycle")
+	}
+	md := m.Pipeline(m.PipelineFor(ir.Mul))
+	if md.Latency < 10 || md.Enqueue < 2 {
+		t.Errorf("r3000-like muldiv should be long and mostly serial: %v", md)
+	}
+}
+
+func TestM88KLikeDividerSerial(t *testing.T) {
+	m := M88KLike()
+	div := m.Pipeline(m.PipelineFor(ir.Div))
+	if div.Enqueue != div.Latency {
+		t.Errorf("m88k-like divider should be non-pipelined: %v", div)
+	}
+	if m.PipelineFor(ir.Mul) == m.PipelineFor(ir.Div) {
+		t.Error("m88k-like separates multiplier and divider")
+	}
+}
+
+func TestCARPLikeMemoryDominates(t *testing.T) {
+	m := CARPLike()
+	ld := m.Pipeline(m.PipelineFor(ir.Load))
+	if ld.Latency < 2*m.Latency(m.PipelineFor(ir.Add)) {
+		t.Errorf("carp-like loads should dwarf ALU latency: %v", ld)
+	}
+	if ld.Enqueue != 1 {
+		t.Errorf("carp-like network loads are fully pipelined: %v", ld)
+	}
+}

@@ -1,0 +1,377 @@
+// Package nopins implements the paper's NOP insertion algorithm
+// (section 4.2.2) — the procedure the paper calls Ω (or Q): given a
+// schedule prefix, compute the minimum number of NOPs that must precede
+// the next instruction so that no pipeline conflict or dependence is
+// violated.
+//
+// The Evaluator keeps the state of a partial schedule and supports O(1)
+// undo (Pop), which is what makes the branch-and-bound search in
+// internal/core cheap: each search step is one Push/Pop pair rather than
+// an O(n) re-evaluation of the whole prefix.
+//
+// Timing model: instruction at (0-based) position i issues at tick
+// t(i) = Σ_{k≤i} (η(k)+1) where η(k) is the number of NOPs inserted
+// immediately before position k. The gap τ between two issued
+// instructions is the difference of their issue ticks.
+//
+//   - Conflict (enqueue) rule: if positions j < i use the same pipeline,
+//     then t(i) − t(j) ≥ enqueue time of that pipeline.
+//   - Dependence (latency) rule: if the instruction at position i has a
+//     flow dependence on the one at position j, then t(i) − t(j) ≥
+//     latency of the producer's pipeline. Memory-ordering edges
+//     (anti/output) carry no latency; issue order alone satisfies them.
+package nopins
+
+import (
+	"fmt"
+
+	"pipesched/internal/dag"
+	"pipesched/internal/machine"
+)
+
+// AssignMode selects how operations are bound to pipelines when the
+// machine's op→pipeline sets are not singletons.
+type AssignMode uint8
+
+const (
+	// AssignFixed always uses the first pipeline in the op's set. This is
+	// the paper's core model (footnote 3: the presented algorithm does not
+	// choose between multiple viable pipelines).
+	AssignFixed AssignMode = iota
+	// AssignGreedy picks, at each placement, the allowed pipeline that
+	// yields the fewest NOPs for that instruction (ties to the lowest ID).
+	// This is the pipeline-assignment extension described in DESIGN.md.
+	AssignGreedy
+)
+
+// Evaluator computes NOP counts for incrementally built schedules of one
+// block on one machine.
+type Evaluator struct {
+	G    *dag.Graph
+	M    *machine.Machine
+	Mode AssignMode
+
+	pipeSets [][]int // node -> allowed pipeline IDs (singleton under AssignFixed)
+
+	// Per-position state of the current partial schedule.
+	nodeAt []int // position -> node
+	pipeAt []int // position -> assigned pipeline ID
+	etaAt  []int // position -> NOPs inserted immediately before it
+	issue  []int // position -> issue tick t(i)
+	posOf  []int // node -> position, or -1 if unscheduled
+	n      int   // number of placed positions
+	total  int   // μ of the current partial schedule
+
+	entry EntryState // cross-block initial conditions (zero = cold start)
+}
+
+// NewEvaluator prepares an evaluator for graph g on machine m.
+func NewEvaluator(g *dag.Graph, m *machine.Machine, mode AssignMode) *Evaluator {
+	e := &Evaluator{
+		G:        g,
+		M:        m,
+		Mode:     mode,
+		pipeSets: make([][]int, g.N),
+		nodeAt:   make([]int, g.N),
+		pipeAt:   make([]int, g.N),
+		etaAt:    make([]int, g.N),
+		issue:    make([]int, g.N),
+		posOf:    make([]int, g.N),
+	}
+	for u := 0; u < g.N; u++ {
+		op := g.Block.Tuples[u].Op
+		set := m.PipelinesFor(op)
+		if mode == AssignFixed && len(set) > 1 {
+			set = set[:1]
+		}
+		if len(set) == 0 {
+			set = []int{machine.NoPipeline}
+		}
+		e.pipeSets[u] = set
+		e.posOf[u] = -1
+	}
+	return e
+}
+
+// Reset empties the partial schedule.
+func (e *Evaluator) Reset() {
+	for i := 0; i < e.n; i++ {
+		e.posOf[e.nodeAt[i]] = -1
+	}
+	e.n = 0
+	e.total = 0
+}
+
+// Len returns the number of instructions placed so far.
+func (e *Evaluator) Len() int { return e.n }
+
+// TotalNOPs returns μ(Φ), the NOPs required by the current partial
+// schedule.
+func (e *Evaluator) TotalNOPs() int { return e.total }
+
+// Scheduled reports whether node u is in the current partial schedule.
+func (e *Evaluator) Scheduled(u int) bool { return e.posOf[u] >= 0 }
+
+// NodeAt returns the node placed at position i.
+func (e *Evaluator) NodeAt(i int) int { return e.nodeAt[i] }
+
+// EtaAt returns η(i), the NOPs inserted immediately before position i.
+func (e *Evaluator) EtaAt(i int) int { return e.etaAt[i] }
+
+// PipeAt returns the pipeline assigned to the instruction at position i.
+func (e *Evaluator) PipeAt(i int) int { return e.pipeAt[i] }
+
+// IssueAt returns the issue tick t(i) of position i (first tick is 1).
+func (e *Evaluator) IssueAt(i int) int { return e.issue[i] }
+
+// Ready reports whether all of u's immediate predecessors are scheduled
+// (the paper's exact legality test [5b]: ρ(ξ) ⊆ Φ).
+func (e *Evaluator) Ready(u int) bool {
+	for _, d := range e.G.Preds[u] {
+		if e.posOf[d.Node] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EtaFor computes the NOPs that placing node u on pipeline pipe at the
+// next position would require, without modifying the schedule. It panics
+// if a predecessor of u is unscheduled (callers must check Ready first).
+func (e *Evaluator) EtaFor(u, pipe int) int {
+	i := e.n
+	need := 0
+	prevIssue := e.entry.StartTick
+	if i > 0 {
+		prevIssue = e.issue[i-1]
+	}
+	// Conflict check: scan backward for the nearest instruction sharing
+	// the pipeline. base(j) is the issue gap assuming η(i) = 0; η(i) only
+	// widens the gap, so scanning can stop once base reaches the enqueue
+	// time — every earlier instruction is then transitively satisfied.
+	if pipe != machine.NoPipeline {
+		enq := e.M.EnqueueTime(pipe)
+		for j := i - 1; j >= 0; j-- {
+			base := prevIssue + 1 - e.issue[j]
+			if base >= enq {
+				break
+			}
+			if e.pipeAt[j] == pipe {
+				if d := enq - base; d > need {
+					need = d
+				}
+				break
+			}
+		}
+	}
+	// Dependence check: each flow predecessor imposes
+	// η(i) ≥ latency(producer pipe) − base(pos(producer)). Raising η(i)
+	// relaxes every other constraint equally, so the max deficit is exact.
+	for _, d := range e.G.Preds[u] {
+		if !d.Kind.CarriesLatency() {
+			continue
+		}
+		jp := e.posOf[d.Node]
+		if jp < 0 {
+			panic(fmt.Sprintf("nopins: predecessor %d of node %d not scheduled", d.Node, u))
+		}
+		lat := e.M.Latency(e.pipeAt[jp])
+		base := prevIssue + 1 - e.issue[jp]
+		if def := lat - base; def > need {
+			need = def
+		}
+	}
+	return e.entryEta(u, pipe, i, prevIssue, need)
+}
+
+// ChoosePipe returns the pipeline the evaluator would assign to node u at
+// the next position, along with the NOPs that choice costs. Under
+// AssignFixed the choice is the op's first pipeline; under AssignGreedy it
+// is the cheapest allowed pipeline.
+func (e *Evaluator) ChoosePipe(u int) (pipe, eta int) {
+	set := e.pipeSets[u]
+	pipe = set[0]
+	eta = e.EtaFor(u, pipe)
+	if e.Mode == AssignGreedy {
+		for _, p := range set[1:] {
+			if c := e.EtaFor(u, p); c < eta {
+				pipe, eta = p, c
+			}
+		}
+	}
+	return pipe, eta
+}
+
+// PipeChoices returns the allowed pipeline IDs for node u.
+func (e *Evaluator) PipeChoices(u int) []int { return e.pipeSets[u] }
+
+// Push appends node u to the schedule, assigning its pipeline per the
+// evaluator's mode, and returns η for the new position.
+func (e *Evaluator) Push(u int) int {
+	pipe, eta := e.ChoosePipe(u)
+	e.pushWith(u, pipe, eta)
+	return eta
+}
+
+// PushWithPipe appends node u bound to an explicit pipeline (which must
+// be in the node's allowed set) and returns η for the new position. It is
+// used by the assignment-search extension.
+func (e *Evaluator) PushWithPipe(u, pipe int) int {
+	ok := false
+	for _, p := range e.pipeSets[u] {
+		if p == pipe {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		panic(fmt.Sprintf("nopins: pipeline %d not allowed for node %d", pipe, u))
+	}
+	eta := e.EtaFor(u, pipe)
+	e.pushWith(u, pipe, eta)
+	return eta
+}
+
+func (e *Evaluator) pushWith(u, pipe, eta int) {
+	if e.posOf[u] >= 0 {
+		panic(fmt.Sprintf("nopins: node %d already scheduled", u))
+	}
+	i := e.n
+	e.nodeAt[i] = u
+	e.pipeAt[i] = pipe
+	e.etaAt[i] = eta
+	if i == 0 {
+		e.issue[i] = e.entry.StartTick + eta + 1
+	} else {
+		e.issue[i] = e.issue[i-1] + eta + 1
+	}
+	e.posOf[u] = i
+	e.total += eta
+	e.n++
+}
+
+// Pop removes the most recently pushed instruction.
+func (e *Evaluator) Pop() {
+	if e.n == 0 {
+		panic("nopins: Pop on empty schedule")
+	}
+	e.n--
+	e.total -= e.etaAt[e.n]
+	e.posOf[e.nodeAt[e.n]] = -1
+}
+
+// Result is a fully evaluated schedule: the execution order (as nodes of
+// the graph), per-position NOP counts and pipeline assignments, and the
+// total.
+type Result struct {
+	Order     []int // position -> node
+	Eta       []int // position -> NOPs inserted immediately before it
+	Pipes     []int // position -> pipeline assignment
+	TotalNOPs int
+	Ticks     int // total execution ticks: instructions + NOPs
+}
+
+// snapshot copies the evaluator's complete current schedule.
+func (e *Evaluator) snapshot() Result {
+	r := Result{
+		Order:     append([]int(nil), e.nodeAt[:e.n]...),
+		Eta:       append([]int(nil), e.etaAt[:e.n]...),
+		Pipes:     append([]int(nil), e.pipeAt[:e.n]...),
+		TotalNOPs: e.total,
+	}
+	if e.n > 0 {
+		r.Ticks = e.issue[e.n-1]
+	}
+	return r
+}
+
+// Snapshot returns a copy of the current (complete or partial) schedule.
+func (e *Evaluator) Snapshot() Result { return e.snapshot() }
+
+// EvaluateOrder runs the full NOP insertion algorithm over a complete
+// proposed order (the paper's procedure Q applied to one schedule). The
+// evaluator's previous state is discarded. It returns an error if order
+// is not a legal topological order of the graph.
+func (e *Evaluator) EvaluateOrder(order []int) (Result, error) {
+	if !e.G.IsLegalOrder(order) {
+		return Result{}, fmt.Errorf("nopins: order %v violates dependences", order)
+	}
+	e.Reset()
+	for _, u := range order {
+		e.Push(u)
+	}
+	return e.snapshot(), nil
+}
+
+// EntryState carries pipeline conditions into a block, supporting the
+// paper's footnote 1 ("interactions between adjacent blocks can be
+// managed ... by modifying the initial conditions in the analysis for
+// each block") and the section 5.3 block-splitting strategy. All ticks
+// are absolute: the first instruction of this block issues no earlier
+// than StartTick+1.
+type EntryState struct {
+	// StartTick is the issue tick of the last instruction already issued
+	// before this block; 0 means a cold start.
+	StartTick int
+	// ReadyTick, when non-nil, gives per node the earliest issue tick
+	// permitted by dependences on instructions OUTSIDE the block (e.g.
+	// values still in flight from the previous block or window).
+	ReadyTick []int
+	// PipeLast maps a pipeline ID to the absolute tick of its most
+	// recent enqueue before this block, for cross-boundary conflict
+	// (enqueue-time) constraints.
+	PipeLast map[int]int
+}
+
+// SetEntryState installs entry conditions and resets the schedule. A nil
+// state restores the default cold start.
+func (e *Evaluator) SetEntryState(s *EntryState) {
+	e.Reset()
+	if s == nil {
+		e.entry = EntryState{}
+		return
+	}
+	if s.ReadyTick != nil && len(s.ReadyTick) != e.G.N {
+		panic(fmt.Sprintf("nopins: ReadyTick length %d != %d nodes", len(s.ReadyTick), e.G.N))
+	}
+	e.entry = *s
+}
+
+// entryEta augments EtaFor's result with entry-state constraints for
+// placing node u on pipe at position i with the given previous issue
+// tick. It returns the extra delay demanded by external dependences and
+// cross-boundary pipeline reservations.
+func (e *Evaluator) entryEta(u, pipe, i, prevIssue, needSoFar int) int {
+	need := needSoFar
+	if e.entry.ReadyTick != nil {
+		// issue = prevIssue + η + 1 >= ReadyTick[u]
+		if d := e.entry.ReadyTick[u] - prevIssue - 1; d > need {
+			need = d
+		}
+	}
+	if pipe != machine.NoPipeline && len(e.entry.PipeLast) > 0 {
+		// Only binding if no in-window instruction of the same pipeline
+		// sits between the boundary and position i; the nearest-first
+		// conflict scan in EtaFor has already handled in-window spacing,
+		// and if any in-window instruction used this pipeline its own
+		// spacing against the boundary was enforced when it was placed.
+		if last, ok := e.entry.PipeLast[pipe]; ok && !e.pipeSeen(pipe, i) {
+			enq := e.M.EnqueueTime(pipe)
+			if d := enq - (prevIssue + 1 - last); d > need {
+				need = d
+			}
+		}
+	}
+	return need
+}
+
+// pipeSeen reports whether any of the first i scheduled positions used
+// the pipeline.
+func (e *Evaluator) pipeSeen(pipe, i int) bool {
+	for j := 0; j < i; j++ {
+		if e.pipeAt[j] == pipe {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,462 @@
+package nopins
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/dag"
+	"pipesched/internal/ir"
+	"pipesched/internal/machine"
+)
+
+func mustGraph(t *testing.T, src string) *dag.Graph {
+	t.Helper()
+	b, err := ir.ParseBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func evalOrder(t *testing.T, g *dag.Graph, m *machine.Machine, order []int) Result {
+	t.Helper()
+	e := NewEvaluator(g, m, AssignFixed)
+	r, err := e.EvaluateOrder(order)
+	if err != nil {
+		t.Fatalf("EvaluateOrder(%v): %v", order, err)
+	}
+	return r
+}
+
+// TestPaperDependenceExample reproduces section 2.1's dependence example:
+// a Load (latency-4 pipeline there; our simulation loader has latency 2)
+// immediately followed by a dependent consumer needs latency-1 NOPs.
+func TestPaperDependenceExample(t *testing.T) {
+	g := mustGraph(t, `dep:
+  1: Load #x
+  2: Load #y
+  3: Add @1, @2
+  4: Store #r, @3`)
+	m := machine.SimulationMachine()
+	r := evalOrder(t, g, m, []int{0, 1, 2, 3})
+	// Loads at t=1,2 (enqueue 1, no conflict). Add depends on Load y
+	// issued at t=2 with latency 2: must issue at t>=4, base gap is 1, so
+	// one NOP. Store depends on Add (latency 2) issued at t=4: needs t>=6,
+	// base gap 1, so one more NOP.
+	if want := []int{0, 0, 1, 1}; !equalInts(r.Eta, want) {
+		t.Errorf("Eta = %v, want %v", r.Eta, want)
+	}
+	if r.TotalNOPs != 2 {
+		t.Errorf("TotalNOPs = %d, want 2", r.TotalNOPs)
+	}
+	if r.Ticks != 6 {
+		t.Errorf("Ticks = %d, want 6", r.Ticks)
+	}
+}
+
+// TestPaperConflictExample reproduces section 2.1's conflict example: two
+// Loads on a pipeline whose enqueue time is 2 must be one tick apart
+// extra (MAR busy for 2 ticks), i.e. one NOP between them.
+func TestPaperConflictExample(t *testing.T) {
+	m, err := machine.New("mar",
+		[]machine.Pipeline{{Function: "loader", ID: 1, Latency: 4, Enqueue: 2}},
+		map[ir.Op][]int{ir.Load: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustGraph(t, `conf:
+  1: Load #x
+  2: Load #y`)
+	r := evalOrder(t, g, m, []int{0, 1})
+	if want := []int{0, 1}; !equalInts(r.Eta, want) {
+		t.Errorf("Eta = %v, want %v", r.Eta, want)
+	}
+}
+
+// TestFigure3InitialSchedule checks the hand-computed NOP count for the
+// paper's Figure 3 block in its original program order on the simulation
+// machine: Const, Store b, Load a, Mul, Store a -> 0+0+0+1+3 = 4 NOPs.
+func TestFigure3InitialSchedule(t *testing.T) {
+	g := mustGraph(t, `fig3:
+  1: Const 15
+  2: Store #b, @1
+  3: Load #a
+  4: Mul @1, @3
+  5: Store #a, @4`)
+	m := machine.SimulationMachine()
+	r := evalOrder(t, g, m, []int{0, 1, 2, 3, 4})
+	if want := []int{0, 0, 0, 1, 3}; !equalInts(r.Eta, want) {
+		t.Errorf("Eta = %v, want %v", r.Eta, want)
+	}
+	if r.TotalNOPs != 4 {
+		t.Errorf("TotalNOPs = %d, want 4", r.TotalNOPs)
+	}
+
+	// A better order hides the Load latency behind the Const and fills
+	// one Mul latency slot with the Store of b: 2 NOPs total.
+	r2 := evalOrder(t, g, m, []int{2, 0, 3, 1, 4})
+	if r2.TotalNOPs != 2 {
+		t.Errorf("improved order TotalNOPs = %d, want 2", r2.TotalNOPs)
+	}
+}
+
+func TestEnqueueConflictSameAndDifferentPipes(t *testing.T) {
+	g := mustGraph(t, `muls:
+  1: Const 2
+  2: Const 3
+  3: Mul @1, @2
+  4: Mul @1, @1
+  5: Store #p, @3
+  6: Store #q, @4`)
+	m := machine.SimulationMachine() // multiplier enqueue 2
+	r := evalOrder(t, g, m, []int{0, 1, 2, 3, 4, 5})
+	// Const t1, Const t2, Mul t3 (Const has no pipe: no latency), second
+	// Mul: same pipeline, gap 1 < enqueue 2 -> 1 NOP, t5. Store p needs
+	// Mul#1 latency 4 from t3: t>=7, base gap 6-... issue would be t6,
+	// deficit 1 -> 1 NOP, t7. Store q needs Mul#2 (t5) + 4 = t9, next
+	// issue t8, deficit 1 -> 1 NOP, t9.
+	if want := []int{0, 0, 0, 1, 1, 1}; !equalInts(r.Eta, want) {
+		t.Errorf("Eta = %v, want %v", r.Eta, want)
+	}
+}
+
+func TestConflictScanStopsAtNearestSamePipe(t *testing.T) {
+	// Three instructions on the same pipeline with enqueue 3: spacing must
+	// accumulate pairwise, and satisfying the nearest predecessor must
+	// transitively satisfy earlier ones.
+	m, err := machine.New("enq3",
+		[]machine.Pipeline{{Function: "u", ID: 1, Latency: 3, Enqueue: 3}},
+		map[ir.Op][]int{ir.Load: {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustGraph(t, `three:
+  1: Load #a
+  2: Load #b
+  3: Load #c`)
+	r := evalOrder(t, g, m, []int{0, 1, 2})
+	// t1; second needs gap 3: eta 2, t4; third likewise eta 2, t7.
+	if want := []int{0, 2, 2}; !equalInts(r.Eta, want) {
+		t.Errorf("Eta = %v, want %v", r.Eta, want)
+	}
+	if r.Ticks != 7 {
+		t.Errorf("Ticks = %d, want 7", r.Ticks)
+	}
+}
+
+func TestMemoryOrderEdgesCarryNoLatency(t *testing.T) {
+	g := mustGraph(t, `mem:
+  1: Load #a
+  2: Store #b, @1
+  3: Load #b`)
+	m := machine.SimulationMachine()
+	// Store b at position 1 waits for the Load's latency (flow edge);
+	// Load b at position 2 only needs issue order after Store (MemRAW),
+	// no latency, and the loader enqueue is 1 with the gap already 2.
+	r := evalOrder(t, g, m, []int{0, 1, 2})
+	if want := []int{0, 1, 0}; !equalInts(r.Eta, want) {
+		t.Errorf("Eta = %v, want %v", r.Eta, want)
+	}
+}
+
+func TestPushPopRestoresState(t *testing.T) {
+	g := mustGraph(t, `pp:
+  1: Load #a
+  2: Load #b
+  3: Add @1, @2
+  4: Store #c, @3`)
+	m := machine.SimulationMachine()
+	e := NewEvaluator(g, m, AssignFixed)
+	e.Push(0)
+	e.Push(1)
+	before := e.Snapshot()
+	eta := e.Push(2)
+	if eta != 1 {
+		t.Errorf("Push(Add) eta = %d, want 1", eta)
+	}
+	e.Pop()
+	after := e.Snapshot()
+	if before.TotalNOPs != after.TotalNOPs || len(after.Order) != 2 {
+		t.Errorf("Pop did not restore state: before %+v after %+v", before, after)
+	}
+	if e.Scheduled(2) {
+		t.Error("node 2 still marked scheduled after Pop")
+	}
+	// Re-push must give the same answer.
+	if eta2 := e.Push(2); eta2 != 1 {
+		t.Errorf("re-Push eta = %d, want 1", eta2)
+	}
+}
+
+func TestReady(t *testing.T) {
+	g := mustGraph(t, `rdy:
+  1: Load #a
+  2: Neg @1
+  3: Store #a, @2`)
+	e := NewEvaluator(g, machine.SimulationMachine(), AssignFixed)
+	if !e.Ready(0) || e.Ready(1) || e.Ready(2) {
+		t.Error("initial readiness wrong")
+	}
+	e.Push(0)
+	if !e.Ready(1) || e.Ready(2) {
+		t.Error("readiness after first push wrong")
+	}
+}
+
+func TestEvaluateOrderRejectsIllegal(t *testing.T) {
+	g := mustGraph(t, `ill:
+  1: Load #a
+  2: Neg @1`)
+	e := NewEvaluator(g, machine.SimulationMachine(), AssignFixed)
+	if _, err := e.EvaluateOrder([]int{1, 0}); err == nil {
+		t.Error("illegal order accepted")
+	}
+	if _, err := e.EvaluateOrder([]int{0}); err == nil {
+		t.Error("short order accepted")
+	}
+}
+
+func TestGreedyAssignmentUsesSecondPipeline(t *testing.T) {
+	// Two independent Muls on the example machine would conflict on a
+	// single multiplier; two Loads on the two loaders never conflict.
+	m := machine.ExampleMachine() // adders 3,4 enqueue 3
+	g := mustGraph(t, `adds:
+  1: Const 1
+  2: Const 2
+  3: Add @1, @2
+  4: Add @1, @1
+  5: Store #x, @3
+  6: Store #y, @4`)
+	fixed := NewEvaluator(g, m, AssignFixed)
+	rf, err := fixed.EvaluateOrder([]int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := NewEvaluator(g, m, AssignGreedy)
+	rg, err := greedy.EvaluateOrder([]int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed: both Adds on pipe 3, enqueue 3 forces 2 NOPs between them.
+	// Greedy: second Add moves to pipe 4, no conflict NOPs.
+	if rg.TotalNOPs >= rf.TotalNOPs {
+		t.Errorf("greedy (%d NOPs) should beat fixed (%d NOPs)", rg.TotalNOPs, rf.TotalNOPs)
+	}
+	if rg.Pipes[2] == rg.Pipes[3] {
+		t.Errorf("greedy assigned both Adds to pipe %d", rg.Pipes[2])
+	}
+}
+
+func TestPushWithPipeValidatesSet(t *testing.T) {
+	m := machine.ExampleMachine()
+	g := mustGraph(t, `one:
+  1: Load #a`)
+	e := NewEvaluator(g, m, AssignGreedy)
+	defer func() {
+		if recover() == nil {
+			t.Error("PushWithPipe with disallowed pipe did not panic")
+		}
+	}()
+	e.PushWithPipe(0, 5) // Load cannot run on the multiplier
+}
+
+func TestPushTwicePanics(t *testing.T) {
+	g := mustGraph(t, `two:
+  1: Load #a
+  2: Load #b`)
+	e := NewEvaluator(g, machine.SimulationMachine(), AssignFixed)
+	e.Push(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Push did not panic")
+		}
+	}()
+	e.Push(0)
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	g := mustGraph(t, `one:
+  1: Load #a`)
+	e := NewEvaluator(g, machine.SimulationMachine(), AssignFixed)
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty did not panic")
+		}
+	}()
+	e.Pop()
+}
+
+// randomLegalOrder produces a random topological order of g.
+func randomLegalOrder(rng *rand.Rand, g *dag.Graph) []int {
+	remaining := make([]int, g.N)
+	for i := range remaining {
+		remaining[i] = len(g.Preds[i])
+	}
+	var order []int
+	var ready []int
+	for u := 0; u < g.N; u++ {
+		if remaining[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	for len(ready) > 0 {
+		k := rng.Intn(len(ready))
+		u := ready[k]
+		ready = append(ready[:k], ready[k+1:]...)
+		order = append(order, u)
+		for _, d := range g.Succs[u] {
+			remaining[d.Node]--
+			if remaining[d.Node] == 0 {
+				ready = append(ready, d.Node)
+			}
+		}
+	}
+	return order
+}
+
+func randomBlock(rng *rand.Rand, n int) *ir.Block {
+	b := ir.NewBlock("rand")
+	vars := []string{"a", "b", "c"}
+	var valueIDs []int
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(6); {
+		case k == 0 || len(valueIDs) == 0:
+			valueIDs = append(valueIDs, b.Append(ir.Load, ir.Var(vars[rng.Intn(len(vars))]), ir.None()))
+		case k == 1:
+			valueIDs = append(valueIDs, b.Append(ir.Const, ir.Imm(int64(rng.Intn(50))), ir.None()))
+		case k == 2:
+			b.Append(ir.Store, ir.Var(vars[rng.Intn(len(vars))]), ir.Ref(valueIDs[rng.Intn(len(valueIDs))]))
+		default:
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div}
+			x := valueIDs[rng.Intn(len(valueIDs))]
+			y := valueIDs[rng.Intn(len(valueIDs))]
+			valueIDs = append(valueIDs, b.Append(ops[rng.Intn(len(ops))], ir.Ref(x), ir.Ref(y)))
+		}
+	}
+	return b
+}
+
+// TestScheduleSatisfiesConstraintsProperty verifies, for random blocks and
+// random legal orders, that the NOP counts the evaluator assigns actually
+// satisfy every latency and enqueue constraint, and that no single η could
+// be reduced without violating one (local minimality).
+func TestScheduleSatisfiesConstraintsProperty(t *testing.T) {
+	m := machine.SimulationMachine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBlock(rng, 3+rng.Intn(12))
+		g, err := dag.Build(b)
+		if err != nil {
+			return false
+		}
+		order := randomLegalOrder(rng, g)
+		e := NewEvaluator(g, m, AssignFixed)
+		r, err := e.EvaluateOrder(order)
+		if err != nil {
+			return false
+		}
+		return checkConstraints(g, m, r) && checkLocalMinimality(g, m, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// checkConstraints re-verifies a Result against the machine model from
+// scratch (independent implementation of the timing rules).
+func checkConstraints(g *dag.Graph, m *machine.Machine, r Result) bool {
+	n := len(r.Order)
+	issue := make([]int, n)
+	tick := 0
+	for i := 0; i < n; i++ {
+		tick += r.Eta[i] + 1
+		issue[i] = tick
+	}
+	pos := make([]int, g.N)
+	for i, u := range r.Order {
+		pos[u] = i
+	}
+	for i, u := range r.Order {
+		// enqueue constraints against every earlier same-pipe instruction
+		if r.Pipes[i] != machine.NoPipeline {
+			enq := m.EnqueueTime(r.Pipes[i])
+			for j := 0; j < i; j++ {
+				if r.Pipes[j] == r.Pipes[i] && issue[i]-issue[j] < enq {
+					return false
+				}
+			}
+		}
+		// latency constraints against every flow predecessor
+		for _, d := range g.Preds[u] {
+			if !d.Kind.CarriesLatency() {
+				continue
+			}
+			jp := pos[d.Node]
+			if issue[i]-issue[jp] < m.Latency(r.Pipes[jp]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkLocalMinimality verifies that each nonzero η(i) cannot be reduced
+// by one without breaking a constraint at position i.
+func checkLocalMinimality(g *dag.Graph, m *machine.Machine, r Result) bool {
+	for i := range r.Eta {
+		if r.Eta[i] == 0 {
+			continue
+		}
+		r2 := r
+		r2.Eta = append([]int(nil), r.Eta...)
+		r2.Eta[i]--
+		if checkConstraints(g, m, r2) {
+			return false // could have used fewer NOPs here
+		}
+	}
+	return true
+}
+
+// TestGreedyNeverWorseProperty: greedy pipeline assignment never yields
+// more NOPs than fixed assignment on the same order.
+func TestGreedyNeverWorseProperty(t *testing.T) {
+	m := machine.ExampleMachine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBlock(rng, 3+rng.Intn(10))
+		g, err := dag.Build(b)
+		if err != nil {
+			return false
+		}
+		order := randomLegalOrder(rng, g)
+		rf, err := NewEvaluator(g, m, AssignFixed).EvaluateOrder(order)
+		if err != nil {
+			return false
+		}
+		rg, err := NewEvaluator(g, m, AssignGreedy).EvaluateOrder(order)
+		if err != nil {
+			return false
+		}
+		return rg.TotalNOPs <= rf.TotalNOPs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/dag"
+	"pipesched/internal/ir"
+	"pipesched/internal/tuplegen"
+)
+
+func TestReassociateBalancesSumChain(t *testing.T) {
+	// a+b+c+d+e+f+g+h parses left-leaning: height 7 in adds.
+	b := compile(t, "s = a + b + c + d + e + f + g + h;")
+	before, err := dag.Build(Optimize(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := OptimizeReassoc(b)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("reassociated block invalid: %v\n%s", err, out)
+	}
+	after, err := dag.Build(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CriticalPathLen() >= before.CriticalPathLen() {
+		t.Errorf("critical path not reduced: %d -> %d\n%s",
+			before.CriticalPathLen(), after.CriticalPathLen(), out)
+	}
+	// 8 leaves: balanced tree height 3 (+1 for the final store level).
+	if got := after.CriticalPathLen(); got > 5 {
+		t.Errorf("critical path %d, want <= 5 for a balanced 8-leaf tree", got)
+	}
+}
+
+func TestReassociatePreservesValue(t *testing.T) {
+	srcs := []string{
+		"s = a + b + c + d + e;",
+		"p = a * b * c * d;",
+		"m = a + b + c + d + a * b * c * d;",
+		"x = a + b + c\ny = x + d + e + f + g",
+	}
+	for _, src := range srcs {
+		b := compile(t, src)
+		out := OptimizeReassoc(b)
+		env1 := ir.Env{"a": 3, "b": -7, "c": 11, "d": 5, "e": -2, "f": 13, "g": 1}
+		env2 := env1.Clone()
+		if _, err := ir.Exec(b, env1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ir.Exec(out, env2); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range env1 {
+			if env2[k] != v {
+				t.Errorf("%q: %s = %d, want %d\n%s", src, k, env2[k], v, out)
+			}
+		}
+	}
+}
+
+func TestReassociateLeavesShortChainsAlone(t *testing.T) {
+	b := Optimize(compile(t, "s = a + b + c;"))
+	before := b.String()
+	if Reassociate(b) {
+		t.Errorf("3-leaf chain rebalanced:\n%s", b)
+	}
+	if b.String() != before {
+		t.Error("block mutated without reporting change")
+	}
+}
+
+func TestReassociateRespectsMultiUseInteriors(t *testing.T) {
+	// The intermediate a+b is also stored, so it may not be absorbed.
+	b := Optimize(compile(t, "t = a + b\nu = t + c + d + e\n"))
+	out := b.Clone()
+	Reassociate(out)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, out)
+	}
+	env1 := ir.Env{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}
+	env2 := env1.Clone()
+	if _, err := ir.Exec(b, env1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Exec(out, env2); err != nil {
+		t.Fatal(err)
+	}
+	if env1["t"] != env2["t"] || env1["u"] != env2["u"] {
+		t.Errorf("multi-use chain broken: %v vs %v", env1, env2)
+	}
+}
+
+func TestReassociateDoesNotTouchNonAssociativeOps(t *testing.T) {
+	b := Optimize(compile(t, "s = a - b - c - d - e;"))
+	if Reassociate(b) {
+		t.Errorf("subtraction chain rebalanced:\n%s", b)
+	}
+	b2 := Optimize(compile(t, "s = a / b / c / d / e;"))
+	if Reassociate(b2) {
+		t.Errorf("division chain rebalanced:\n%s", b2)
+	}
+}
+
+func TestReassociateMixedChainBoundaries(t *testing.T) {
+	// Multiplication leaves inside an addition chain stay intact.
+	b := compile(t, "s = a*x + b*x + c*x + d*x;")
+	out := OptimizeReassoc(b)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, out)
+	}
+	muls := strings.Count(out.String(), "Mul")
+	if muls != 4 {
+		t.Errorf("multiplications disturbed: %d, want 4\n%s", muls, out)
+	}
+	env1 := ir.Env{"a": 2, "b": 3, "c": 4, "d": 5, "x": 7}
+	env2 := env1.Clone()
+	if _, err := ir.Exec(compile(t, "s = a*x + b*x + c*x + d*x;"), env1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Exec(out, env2); err != nil {
+		t.Fatal(err)
+	}
+	if env1["s"] != env2["s"] {
+		t.Errorf("s = %d, want %d", env2["s"], env1["s"])
+	}
+}
+
+// TestReassociatePreservesSemanticsProperty: random programs, including
+// overflow-heavy ones, compute identical memory after reassociation.
+func TestReassociatePreservesSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgram(rng, 1+rng.Intn(8))
+		b, err := tuplegen.Compile(src, "p")
+		if err != nil {
+			return false
+		}
+		out := OptimizeReassoc(b)
+		if err := out.Validate(); err != nil {
+			return false
+		}
+		env1 := ir.Env{"a": 1 << 40, "b": -7, "c": 2, "d": 0}
+		env2 := env1.Clone()
+		if _, err := ir.Exec(b, env1); err != nil {
+			return true // fault; not modeled
+		}
+		if _, err := ir.Exec(out, env2); err != nil {
+			return false
+		}
+		for k, v := range env1 {
+			if env2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReassociateNeverRaisesCriticalPathProperty: the PURE rebalancing
+// pass can only shrink or keep the dependence height (it replaces combs
+// with balanced trees over the same leaves and touches nothing else).
+// Note this is deliberately NOT asserted for OptimizeReassoc: the
+// composed pipeline re-runs CSE, whose sharing decisions differ on the
+// rebalanced shape and can legitimately lengthen some other path.
+func TestReassociateNeverRaisesCriticalPathProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := tuplegen.Compile(randomProgram(rng, 1+rng.Intn(8)), "p")
+		if err != nil {
+			return false
+		}
+		plain := Optimize(b)
+		reass := plain.Clone()
+		Reassociate(reass)
+		if err := reass.Validate(); err != nil {
+			return false
+		}
+		g1, err := dag.Build(plain)
+		if err != nil {
+			return false
+		}
+		g2, err := dag.Build(reass)
+		if err != nil {
+			return false
+		}
+		return g2.CriticalPathLen() <= g1.CriticalPathLen()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package plot renders the paper's figures as ASCII charts: scatter
+// plots (Figure 1), multi-series line charts (Figures 4, 6, 7) and
+// histograms (Figure 5). Output is deterministic and terminal-friendly.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pipesched/internal/stats"
+)
+
+// Point is one (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Series is a named sequence of points drawn with one mark rune.
+type Series struct {
+	Name   string
+	Mark   rune
+	Points []Point
+}
+
+// Config sets chart dimensions and labels.
+type Config struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	LogY   bool
+}
+
+func (c *Config) defaults() {
+	if c.Width <= 0 {
+		c.Width = 60
+	}
+	if c.Height <= 0 {
+		c.Height = 16
+	}
+}
+
+// Chart renders one or more series on shared axes.
+func Chart(cfg Config, series ...Series) string {
+	cfg.defaults()
+	var xs, ys []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs = append(xs, p.X)
+			ys = append(ys, transformY(cfg, p.Y))
+		}
+	}
+	if len(xs) == 0 {
+		return cfg.Title + "\n(no data)\n"
+	}
+	xmin, xmax := stats.MinMax(xs)
+	ymin, ymax := stats.MinMax(ys)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, cfg.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", cfg.Width))
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			cx := int(math.Round((p.X - xmin) / (xmax - xmin) * float64(cfg.Width-1)))
+			cy := int(math.Round((transformY(cfg, p.Y) - ymin) / (ymax - ymin) * float64(cfg.Height-1)))
+			row := cfg.Height - 1 - cy
+			if row >= 0 && row < cfg.Height && cx >= 0 && cx < cfg.Width {
+				grid[row][cx] = s.Mark
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", cfg.Title)
+	}
+	ylab := cfg.YLabel
+	if cfg.LogY {
+		ylab += " (log10)"
+	}
+	if ylab != "" {
+		fmt.Fprintf(&sb, "%s\n", ylab)
+	}
+	for r, row := range grid {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(cfg.Height-1)
+		fmt.Fprintf(&sb, "%10.2f |%s\n", yv, string(row))
+	}
+	sb.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", cfg.Width) + "\n")
+	fmt.Fprintf(&sb, "%11s%-*.6g%*.6g\n", "", cfg.Width/2, xmin, cfg.Width-cfg.Width/2, xmax)
+	if cfg.XLabel != "" {
+		fmt.Fprintf(&sb, "%11s%s\n", "", center(cfg.XLabel, cfg.Width))
+	}
+	var legend []string
+	for _, s := range series {
+		if s.Name != "" {
+			legend = append(legend, fmt.Sprintf("%c=%s", s.Mark, s.Name))
+		}
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&sb, "%11slegend: %s\n", "", strings.Join(legend, "  "))
+	}
+	return sb.String()
+}
+
+func transformY(cfg Config, y float64) float64 {
+	if cfg.LogY {
+		if y <= 0 {
+			return 0
+		}
+		return math.Log10(y)
+	}
+	return y
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}
+
+// HistogramChart renders a stats.Histogram as horizontal bars.
+func HistogramChart(title string, h stats.Histogram, barWidth int) string {
+	if barWidth <= 0 {
+		barWidth = 50
+	}
+	maxCount := 0
+	total := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+		total += c
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	if total == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		fmt.Fprintf(&sb, "%14s |%-*s %d\n", h.BinLabel(i), barWidth, strings.Repeat("#", bar), c)
+	}
+	fmt.Fprintf(&sb, "total: %d samples\n", total)
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"pipesched/internal/stats"
+)
+
+func TestChartRendersAllParts(t *testing.T) {
+	out := Chart(Config{
+		Title:  "demo chart",
+		XLabel: "block size",
+		YLabel: "nops",
+	},
+		Series{Name: "initial", Mark: 'i', Points: []Point{{1, 2}, {2, 4}, {3, 6}}},
+		Series{Name: "final", Mark: 'f', Points: []Point{{1, 1}, {2, 1}, {3, 1}}},
+	)
+	for _, want := range []string{"demo chart", "nops", "block size", "i=initial", "f=final", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "i") || !strings.Contains(out, "f") {
+		t.Error("marks not plotted")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart(Config{Title: "empty"})
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart rendering: %q", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out := Chart(Config{}, Series{Mark: '*', Points: []Point{{5, 5}}})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	out := Chart(Config{YLabel: "calls", LogY: true},
+		Series{Mark: '*', Points: []Point{{1, 10}, {2, 100}, {3, 1000}}})
+	if !strings.Contains(out, "(log10)") {
+		t.Errorf("log axis not labeled:\n%s", out)
+	}
+}
+
+func TestChartDimensions(t *testing.T) {
+	out := Chart(Config{Width: 20, Height: 5},
+		Series{Mark: '*', Points: []Point{{0, 0}, {1, 1}}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 5 {
+		t.Errorf("got %d plot rows, want 5:\n%s", plotLines, out)
+	}
+}
+
+func TestHistogramChart(t *testing.T) {
+	h := stats.NewHistogram([]float64{1, 1, 2, 2, 2, 3}, 3)
+	out := HistogramChart("sizes", h, 30)
+	for _, want := range []string{"sizes", "#", "total: 6 samples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramChartEmpty(t *testing.T) {
+	h := stats.NewHistogram(nil, 3)
+	out := HistogramChart("none", h, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty histogram: %q", out)
+	}
+}
+
+func TestChartDeterministic(t *testing.T) {
+	mk := func() string {
+		return Chart(Config{Title: "d"}, Series{Mark: 'x', Points: []Point{{1, 3}, {4, 2}, {9, 8}}})
+	}
+	if mk() != mk() {
+		t.Error("chart output not deterministic")
+	}
+}

@@ -1,0 +1,169 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/ir"
+	"pipesched/internal/tuplegen"
+)
+
+func mustBlock(t *testing.T, src string) *ir.Block {
+	t.Helper()
+	b, err := ir.ParseBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPressureSimpleChain(t *testing.T) {
+	// One value live at a time except during the Add (two operands live).
+	b := mustBlock(t, `c:
+  1: Load #a
+  2: Load #b
+  3: Add @1, @2
+  4: Store #r, @3`)
+	if p := Pressure(b); p != 2 {
+		t.Errorf("Pressure = %d, want 2", p)
+	}
+}
+
+func TestPressureWideBlock(t *testing.T) {
+	b := mustBlock(t, `w:
+  1: Load #a
+  2: Load #b
+  3: Load #c
+  4: Load #d
+  5: Add @1, @2
+  6: Add @3, @4
+  7: Add @5, @6
+  8: Store #r, @7`)
+	if p := Pressure(b); p != 4 {
+		t.Errorf("Pressure = %d, want 4", p)
+	}
+}
+
+func TestAllocateReusesRegisters(t *testing.T) {
+	b := mustBlock(t, `r:
+  1: Load #a
+  2: Neg @1
+  3: Neg @2
+  4: Neg @3
+  5: Store #r, @4`)
+	asg, err := Allocate(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain of unary ops: at most 2 registers ever needed.
+	if asg.NumRegs > 2 {
+		t.Errorf("chain used %d registers, want <= 2", asg.NumRegs)
+	}
+	if err := Verify(b, asg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateRespectsLimit(t *testing.T) {
+	b := mustBlock(t, `w:
+  1: Load #a
+  2: Load #b
+  3: Load #c
+  4: Add @1, @2
+  5: Add @4, @3
+  6: Store #r, @5`)
+	if _, err := Allocate(b, 2); err == nil {
+		t.Error("limit 2 accepted for pressure-3 block")
+	}
+	asg, err := Allocate(b, 3)
+	if err != nil {
+		t.Fatalf("limit 3 rejected: %v", err)
+	}
+	if asg.NumRegs > 3 {
+		t.Errorf("used %d registers with limit 3", asg.NumRegs)
+	}
+}
+
+func TestMaxLiveReported(t *testing.T) {
+	b := mustBlock(t, `w:
+  1: Load #a
+  2: Load #b
+  3: Add @1, @2
+  4: Store #r, @3`)
+	asg, err := Allocate(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.MaxLive != 2 {
+		t.Errorf("MaxLive = %d, want 2", asg.MaxLive)
+	}
+}
+
+func TestUnusedValueGetsRegister(t *testing.T) {
+	b := mustBlock(t, `u:
+  1: Load #a
+  2: Load #b
+  3: Store #r, @2`)
+	asg, err := Allocate(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := asg.RegOf[1]; !ok {
+		t.Error("unused Load has no register")
+	}
+	if err := Verify(b, asg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyDetectsConflicts(t *testing.T) {
+	b := mustBlock(t, `v:
+  1: Load #a
+  2: Load #b
+  3: Add @1, @2
+  4: Store #r, @3`)
+	bad := &Assignment{RegOf: map[int]int{1: 0, 2: 0, 3: 1}}
+	if err := Verify(b, bad); err == nil {
+		t.Error("overlapping shared register not detected")
+	}
+}
+
+func randomScheduledBlock(rng *rand.Rand) *ir.Block {
+	srcs := []string{
+		"x = a + b * c\ny = x - a\nz = y * y + b",
+		"p = (a+b)*(c+d)\nq = p/2 + a\nr = q%3",
+		"m = a*a + b*b + c*c\nn = m - a*b",
+		"t1 = a+1\nt2 = t1*2\nt3 = t2-3\nout = t3",
+	}
+	b, err := tuplegen.Compile(srcs[rng.Intn(len(srcs))], "p")
+	if err != nil {
+		panic(err)
+	}
+	// Random legal permutation to mimic a scheduler's output order: just
+	// keep program order here; regalloc only needs def-before-use, which
+	// any legal order provides.
+	return b
+}
+
+// TestAllocateVerifiesProperty: every allocation must pass Verify and
+// never exceed the measured pressure.
+func TestAllocateVerifiesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomScheduledBlock(rng)
+		asg, err := Allocate(b, 0)
+		if err != nil {
+			return false
+		}
+		if err := Verify(b, asg); err != nil {
+			return false
+		}
+		// Linear scan with die-before-def reuse is optimal for a single
+		// block: it never uses more than MAXLIVE registers.
+		return asg.NumRegs <= asg.MaxLive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package seqsched schedules a straight-line *sequence* of basic blocks,
+// implementing the paper's footnote 1: "Interactions between adjacent
+// blocks can be managed without major modification of the basic block
+// schedules, essentially by modifying the initial conditions in the
+// analysis for each block."
+//
+// Each block is scheduled independently by the optimal search, but the
+// NOP-insertion analysis of block k starts from the pipeline state block
+// k-1 left behind: the issue tick of its last instruction and the last
+// enqueue tick of every pipeline. Without that threading, naively
+// concatenating independently-scheduled blocks can violate enqueue
+// (conflict) constraints right at the boundary — the simulator catches
+// exactly that, and the tests demonstrate it.
+//
+// Cross-block value flow happens through memory in this IR (tuple
+// references never escape a block) and stores carry no pipeline latency,
+// so pipeline reservations are the only state that must cross the
+// boundary.
+package seqsched
+
+import (
+	"fmt"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/ir"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+)
+
+// BlockSchedule is the outcome for one block of the sequence.
+type BlockSchedule struct {
+	Graph     *dag.Graph
+	Sched     *core.Schedule
+	StartTick int // absolute tick before the block's first issue
+	EndTick   int // absolute tick of the block's last issue
+}
+
+// Result is a scheduled block sequence.
+type Result struct {
+	Blocks     []BlockSchedule
+	TotalNOPs  int
+	TotalTicks int  // issue tick of the final instruction
+	Optimal    bool // every block's search completed
+}
+
+// Schedule schedules each block in order on m, threading pipeline state
+// across the boundaries. opts applies to every block's search (its Entry
+// and InitialOrder fields are overridden per block).
+func Schedule(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*Result, error) {
+	res := &Result{Optimal: true}
+	startTick := 0
+	pipeLast := map[int]int{}
+	for bi, b := range blocks {
+		g, err := dag.Build(b)
+		if err != nil {
+			return nil, fmt.Errorf("seqsched: block %d: %w", bi, err)
+		}
+		entryPipes := make(map[int]int, len(pipeLast))
+		for k, v := range pipeLast {
+			entryPipes[k] = v
+		}
+		o := opts
+		o.InitialOrder = nil
+		o.Entry = &nopins.EntryState{StartTick: startTick, PipeLast: entryPipes}
+		sched, err := core.Find(g, m, o)
+		if err != nil {
+			return nil, fmt.Errorf("seqsched: block %d: %w", bi, err)
+		}
+		bs := BlockSchedule{Graph: g, Sched: sched, StartTick: startTick}
+
+		// Advance the absolute clock and pipeline reservations.
+		tick := startTick
+		for k := range sched.Order {
+			tick += sched.Eta[k] + 1
+			if p := sched.Pipes[k]; p != machine.NoPipeline {
+				pipeLast[p] = tick
+			}
+		}
+		if g.N > 0 && tick != sched.Ticks {
+			return nil, fmt.Errorf("seqsched: block %d tick mismatch: %d vs %d", bi, tick, sched.Ticks)
+		}
+		bs.EndTick = tick
+		startTick = tick
+		res.TotalNOPs += sched.TotalNOPs
+		res.Optimal = res.Optimal && sched.Optimal
+		res.Blocks = append(res.Blocks, bs)
+	}
+	res.TotalTicks = startTick
+	return res, nil
+}
+
+// Flatten concatenates the per-block schedules into one combined graph
+// plus global order/eta/pipes arrays, suitable for simulation or code
+// emission of the whole sequence. It returns the combined dependence
+// graph (built over ir.Concat of the blocks) and the arrays.
+func Flatten(r *Result) (*dag.Graph, []int, []int, []int, error) {
+	var blocks []*ir.Block
+	for _, bs := range r.Blocks {
+		blocks = append(blocks, bs.Graph.Block)
+	}
+	combined, err := ir.Concat("sequence", blocks...)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	g, err := dag.Build(combined)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	var order, eta, pipes []int
+	offset := 0
+	for _, bs := range r.Blocks {
+		for k, u := range bs.Sched.Order {
+			order = append(order, offset+u)
+			eta = append(eta, bs.Sched.Eta[k])
+			pipes = append(pipes, bs.Sched.Pipes[k])
+		}
+		offset += bs.Graph.N
+	}
+	return g, order, eta, pipes, nil
+}

@@ -1,0 +1,436 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/ir"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+)
+
+func mustGraph(t *testing.T, src string) *dag.Graph {
+	t.Helper()
+	b, err := ir.ParseBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func scheduledInput(t *testing.T, g *dag.Graph, m *machine.Machine) Input {
+	t.Helper()
+	sched, err := core.Find(g, m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{Graph: g, M: m, Order: sched.Order, Eta: sched.Eta, Pipes: sched.Pipes}
+}
+
+func TestNOPPaddingMatchesEvaluator(t *testing.T) {
+	g := mustGraph(t, `f:
+  1: Const 15
+  2: Store #b, @1
+  3: Load #a
+  4: Mul @1, @3
+  5: Store #a, @4`)
+	m := machine.SimulationMachine()
+	in := scheduledInput(t, g, m)
+	tr, err := Run(in, NOPPadding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 instructions + 2 NOPs = 7 ticks for the optimal schedule.
+	if tr.TotalTicks != 7 || tr.Delays != 2 {
+		t.Errorf("ticks=%d delays=%d, want 7 and 2", tr.TotalTicks, tr.Delays)
+	}
+}
+
+func TestAllMechanismsAgree(t *testing.T) {
+	g := mustGraph(t, `f:
+  1: Load #a
+  2: Load #b
+  3: Mul @1, @2
+  4: Add @3, @1
+  5: Store #r, @4`)
+	m := machine.SimulationMachine()
+	in := scheduledInput(t, g, m)
+	traces, err := RunAll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := traces[NOPPadding].TotalTicks
+	for mech, tr := range traces {
+		if tr.TotalTicks != ticks {
+			t.Errorf("%s: %d ticks, others %d", mech, tr.TotalTicks, ticks)
+		}
+	}
+	// Interlock stalls must equal scheduled NOPs.
+	if traces[ImplicitInterlock].Delays != traces[NOPPadding].Delays {
+		t.Errorf("stalls %d != NOPs %d",
+			traces[ImplicitInterlock].Delays, traces[NOPPadding].Delays)
+	}
+}
+
+func TestHazardDetectionDependence(t *testing.T) {
+	g := mustGraph(t, `h:
+  1: Load #a
+  2: Neg @1
+  3: Store #r, @2`)
+	m := machine.SimulationMachine()
+	in := Input{
+		Graph: g, M: m,
+		Order: []int{0, 1, 2},
+		Eta:   []int{0, 0, 0}, // too few: Neg needs the Load's latency
+		Pipes: []int{1, 2, 0},
+	}
+	_, err := Run(in, NOPPadding)
+	var hz *HazardError
+	if !errors.As(err, &hz) {
+		t.Fatalf("expected HazardError, got %v", err)
+	}
+	if hz.Kind != "dependence" {
+		t.Errorf("hazard kind = %s, want dependence", hz.Kind)
+	}
+}
+
+func TestHazardDetectionConflict(t *testing.T) {
+	g := mustGraph(t, `h:
+  1: Mul 2, 3
+  2: Mul 4, 5`)
+	m := machine.SimulationMachine() // multiplier enqueue 2
+	in := Input{
+		Graph: g, M: m,
+		Order: []int{0, 1},
+		Eta:   []int{0, 0}, // needs 1 NOP between the Muls
+		Pipes: []int{3, 3},
+	}
+	_, err := Run(in, NOPPadding)
+	var hz *HazardError
+	if !errors.As(err, &hz) {
+		t.Fatalf("expected HazardError, got %v", err)
+	}
+	if hz.Kind != "conflict" {
+		t.Errorf("hazard kind = %s, want conflict", hz.Kind)
+	}
+}
+
+func TestImplicitInterlockFixesBadEta(t *testing.T) {
+	// The interlock ignores eta entirely, so a zero-eta schedule still
+	// executes correctly, just with stalls.
+	g := mustGraph(t, `h:
+  1: Load #a
+  2: Neg @1
+  3: Store #r, @2`)
+	m := machine.SimulationMachine()
+	in := Input{
+		Graph: g, M: m,
+		Order: []int{0, 1, 2},
+		Eta:   []int{0, 0, 0},
+		Pipes: []int{1, 2, 0},
+	}
+	tr, err := Run(in, ImplicitInterlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load t1; Neg stalls to t3 (latency 2); Store stalls to t5 (adder
+	// latency 2).
+	if tr.TotalTicks != 5 || tr.Delays != 2 {
+		t.Errorf("ticks=%d delays=%d, want 5 and 2", tr.TotalTicks, tr.Delays)
+	}
+}
+
+func TestRejectsIllegalOrder(t *testing.T) {
+	g := mustGraph(t, `h:
+  1: Load #a
+  2: Neg @1`)
+	in := Input{
+		Graph: g, M: machine.SimulationMachine(),
+		Order: []int{1, 0}, Eta: []int{0, 0}, Pipes: []int{2, 1},
+	}
+	if _, err := Run(in, NOPPadding); err == nil {
+		t.Error("illegal order accepted")
+	}
+}
+
+func TestRejectsLengthMismatch(t *testing.T) {
+	g := mustGraph(t, `h:
+  1: Load #a`)
+	in := Input{Graph: g, M: machine.SimulationMachine(), Order: []int{0}, Eta: nil, Pipes: []int{1}}
+	if _, err := Run(in, NOPPadding); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func randomBlock(rng *rand.Rand, n int) *ir.Block {
+	b := ir.NewBlock("rand")
+	vars := []string{"a", "b", "c"}
+	var ids []int
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(6); {
+		case k == 0 || len(ids) == 0:
+			ids = append(ids, b.Append(ir.Load, ir.Var(vars[rng.Intn(len(vars))]), ir.None()))
+		case k == 1:
+			ids = append(ids, b.Append(ir.Const, ir.Imm(int64(rng.Intn(50))), ir.None()))
+		case k == 2:
+			b.Append(ir.Store, ir.Var(vars[rng.Intn(len(vars))]), ir.Ref(ids[rng.Intn(len(ids))]))
+		default:
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div}
+			ids = append(ids, b.Append(ops[rng.Intn(len(ops))],
+				ir.Ref(ids[rng.Intn(len(ids))]), ir.Ref(ids[rng.Intn(len(ids))])))
+		}
+	}
+	return b
+}
+
+// TestSchedulerOutputAlwaysHazardFreeProperty: every schedule produced by
+// the optimal search must simulate hazard-free under NOP padding, and all
+// three mechanisms must take identical total time.
+func TestSchedulerOutputAlwaysHazardFreeProperty(t *testing.T) {
+	m := machine.SimulationMachine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.Build(randomBlock(rng, 3+rng.Intn(9)))
+		if err != nil {
+			return false
+		}
+		sched, err := core.Find(g, m, core.Options{})
+		if err != nil {
+			return false
+		}
+		in := Input{Graph: g, M: m, Order: sched.Order, Eta: sched.Eta, Pipes: sched.Pipes}
+		traces, err := RunAll(in)
+		if err != nil {
+			return false
+		}
+		return traces[NOPPadding].TotalTicks == sched.Ticks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterlockOptimalEquivalenceProperty: for any legal order, the
+// hardware-interlocked execution time equals instructions + the minimum
+// NOP count computed by Ω — the claim that makes NOP minimization
+// equivalent to execution-time minimization.
+func TestInterlockOptimalEquivalenceProperty(t *testing.T) {
+	m := machine.SimulationMachine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.Build(randomBlock(rng, 3+rng.Intn(9)))
+		if err != nil {
+			return false
+		}
+		// Random legal order via the evaluator's ready set.
+		e := nopins.NewEvaluator(g, m, nopins.AssignFixed)
+		var order []int
+		for len(order) < g.N {
+			var ready []int
+			for u := 0; u < g.N; u++ {
+				if !e.Scheduled(u) && e.Ready(u) {
+					ready = append(ready, u)
+				}
+			}
+			u := ready[rng.Intn(len(ready))]
+			e.Push(u)
+			order = append(order, u)
+		}
+		res := e.Snapshot()
+		in := Input{Graph: g, M: m, Order: res.Order, Eta: res.Eta, Pipes: res.Pipes}
+		tr, err := Run(in, ImplicitInterlock)
+		if err != nil {
+			return false
+		}
+		return tr.TotalTicks == g.N+res.TotalNOPs && tr.Delays == res.TotalNOPs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	if NOPPadding.String() != "nop-padding" || ImplicitInterlock.String() != "implicit-interlock" ||
+		ExplicitInterlock.String() != "explicit-interlock" {
+		t.Error("mechanism names wrong")
+	}
+}
+
+func TestRunActualValidation(t *testing.T) {
+	g := mustGraph(t, `v:
+  1: Load #a
+  2: Neg @1`)
+	m := machine.SimulationMachine()
+	in := scheduledInput(t, g, m)
+	if _, err := RunActual(in, ImplicitInterlock, []int{1}); err == nil {
+		t.Error("short actualLat accepted")
+	}
+	if _, err := RunActual(in, ImplicitInterlock, []int{99, 1}); err == nil {
+		t.Error("actual latency above worst case accepted")
+	}
+}
+
+func TestRunActualSpeedsUpInterlockOnly(t *testing.T) {
+	// A load feeding a chain: worst-case latency 2, actual 1.
+	g := mustGraph(t, `j:
+  1: Load #a
+  2: Neg @1
+  3: Store #r, @2`)
+	m := machine.SimulationMachine()
+	in := scheduledInput(t, g, m)
+	actual := make([]int, len(in.Order))
+	for i := range actual {
+		if in.Pipes[i] != machine.NoPipeline {
+			actual[i] = 1 // everything completes in one tick
+		}
+	}
+	fast, err := RunActual(in, ImplicitInterlock, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := Run(in, ImplicitInterlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.TotalTicks >= worst.TotalTicks {
+		t.Errorf("early completion did not speed up interlock: %d vs %d",
+			fast.TotalTicks, worst.TotalTicks)
+	}
+	// NOP padding is compile-time fixed: same ticks regardless.
+	nopActual, err := RunActual(in, NOPPadding, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nopWorst, err := Run(in, NOPPadding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nopActual.TotalTicks != nopWorst.TotalTicks {
+		t.Errorf("NOP padding timing changed with actual latencies: %d vs %d",
+			nopActual.TotalTicks, nopWorst.TotalTicks)
+	}
+}
+
+// TestRunActualNeverSlowerProperty: actual latencies at or below worst
+// case can only shorten interlocked execution.
+func TestRunActualNeverSlowerProperty(t *testing.T) {
+	m := machine.SimulationMachine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.Build(randomBlock(rng, 3+rng.Intn(9)))
+		if err != nil {
+			return false
+		}
+		sched, err := core.Find(g, m, core.Options{Lambda: 50000})
+		if err != nil {
+			return false
+		}
+		in := Input{Graph: g, M: m, Order: sched.Order, Eta: sched.Eta, Pipes: sched.Pipes}
+		actual := make([]int, len(in.Order))
+		for i := range actual {
+			if worst := m.Latency(in.Pipes[i]); worst > 0 {
+				actual[i] = 1 + rng.Intn(worst)
+			}
+		}
+		fast, err := RunActual(in, ImplicitInterlock, actual)
+		if err != nil {
+			return false
+		}
+		worstTr, err := Run(in, ImplicitInterlock)
+		if err != nil {
+			return false
+		}
+		return fast.TotalTicks <= worstTr.TotalTicks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExplainDelays(t *testing.T) {
+	g := mustGraph(t, `e:
+  1: Load #a
+  2: Neg @1
+  3: Mul 2, 3
+  4: Mul 4, 5
+  5: Store #r, @2`)
+	m := machine.SimulationMachine()
+	// Hand order: Load, Neg (dep delay), Mul, Mul (conflict delay), Store.
+	e := nopinsEval(t, g, m, []int{0, 1, 2, 3, 4})
+	in := Input{Graph: g, M: m, Order: e.Order, Eta: e.Eta, Pipes: e.Pipes}
+	causes, err := ExplainDelays(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, c := range causes {
+		kinds[c.Kind]++
+		if c.Detail == "" || c.Producer < 0 {
+			t.Errorf("incomplete cause: %+v", c)
+		}
+	}
+	if kinds["dependence"] == 0 {
+		t.Errorf("no dependence cause found: %+v", causes)
+	}
+	if kinds["conflict"] == 0 {
+		t.Errorf("no conflict cause found: %+v", causes)
+	}
+	// Every nonzero eta is explained.
+	want := 0
+	for _, eta := range in.Eta {
+		if eta > 0 {
+			want++
+		}
+	}
+	if len(causes) != want {
+		t.Errorf("%d causes for %d delayed positions", len(causes), want)
+	}
+}
+
+// nopinsEval prices an order with the evaluator (helper for sim tests).
+func nopinsEval(t *testing.T, g *dag.Graph, m *machine.Machine, order []int) nopins.Result {
+	t.Helper()
+	r, err := nopins.NewEvaluator(g, m, nopins.AssignFixed).EvaluateOrder(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestExplainDelaysCoversAllSchedulesProperty: every optimally scheduled
+// random block has a complete, consistent explanation.
+func TestExplainDelaysCoversAllSchedulesProperty(t *testing.T) {
+	m := machine.SimulationMachine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.Build(randomBlock(rng, 3+rng.Intn(9)))
+		if err != nil {
+			return false
+		}
+		sched, err := core.Find(g, m, core.Options{Lambda: 50000})
+		if err != nil {
+			return false
+		}
+		in := Input{Graph: g, M: m, Order: sched.Order, Eta: sched.Eta, Pipes: sched.Pipes}
+		causes, err := ExplainDelays(in)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range causes {
+			total += c.Eta
+		}
+		return total == sched.TotalNOPs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/machine"
+)
+
+func TestTeraCountsDependenceChain(t *testing.T) {
+	g := mustGraph(t, `ch:
+  1: Load #a
+  2: Neg @1
+  3: Store #r, @2`)
+	m := machine.SimulationMachine()
+	in := scheduledInput(t, g, m)
+	counts, err := TeraCounts(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order is the chain itself: Neg waits on the Load (1 back), the
+	// Store waits on the Neg (1 back).
+	if counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("counts = %v, want lookback 1 at positions 1 and 2", counts)
+	}
+	tr, err := RunTera(in, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completion semantics equal the NOP schedule here: all binding
+	// constraints are dependences.
+	nop, err := Run(in, NOPPadding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalTicks != nop.TotalTicks {
+		t.Errorf("tera %d ticks, nop %d", tr.TotalTicks, nop.TotalTicks)
+	}
+}
+
+func TestTeraConflictOvershoot(t *testing.T) {
+	// Two back-to-back multiplies: the binding constraint is the
+	// multiplier's enqueue time (2), but the count mechanism waits for
+	// COMPLETION (latency 4), legitimately overshooting NOP padding.
+	g := mustGraph(t, `mm:
+  1: Mul 2, 3
+  2: Mul 4, 5`)
+	m := machine.SimulationMachine()
+	in := scheduledInput(t, g, m)
+	counts, err := TeraCounts(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != 1 {
+		t.Fatalf("counts = %v, want second Mul to look 1 back", counts)
+	}
+	tera, err := RunTera(in, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nop, err := Run(in, NOPPadding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nop.TotalTicks != 3 {
+		t.Fatalf("nop padding should take 3 ticks, got %d", nop.TotalTicks)
+	}
+	if tera.TotalTicks != 5 {
+		t.Errorf("completion-wait should take 5 ticks (issue1=1, complete=5), got %d", tera.TotalTicks)
+	}
+}
+
+func TestRunTeraValidation(t *testing.T) {
+	g := mustGraph(t, `v:
+  1: Load #a
+  2: Neg @1`)
+	m := machine.SimulationMachine()
+	in := scheduledInput(t, g, m)
+	if _, err := RunTera(in, []int{0}); err == nil {
+		t.Error("short counts accepted")
+	}
+	if _, err := RunTera(in, []int{0, 5}); err == nil {
+		t.Error("count reaching before the block accepted")
+	}
+	// Too-small counts leave the dependence hazard for the checker.
+	if _, err := RunTera(in, []int{0, 0}); err == nil {
+		t.Error("hazardous counts accepted")
+	}
+}
+
+// TestTeraAlwaysHazardFreeAndNeverFasterProperty: for any optimally
+// scheduled random block, the count encoding must simulate hazard-free
+// and take at least as many ticks as NOP padding.
+func TestTeraAlwaysHazardFreeAndNeverFasterProperty(t *testing.T) {
+	m := machine.SimulationMachine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.Build(randomBlock(rng, 3+rng.Intn(10)))
+		if err != nil {
+			return false
+		}
+		sched, err := core.Find(g, m, core.Options{Lambda: 100000})
+		if err != nil {
+			return false
+		}
+		in := Input{Graph: g, M: m, Order: sched.Order, Eta: sched.Eta, Pipes: sched.Pipes}
+		counts, err := TeraCounts(in)
+		if err != nil {
+			return false
+		}
+		tera, err := RunTera(in, counts)
+		if err != nil {
+			return false
+		}
+		nop, err := Run(in, NOPPadding)
+		if err != nil {
+			return false
+		}
+		return tera.TotalTicks >= nop.TotalTicks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

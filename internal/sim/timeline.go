@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"pipesched/internal/machine"
+)
+
+// Timeline renders a tick-by-tick occupancy chart of a simulated
+// schedule: one row per tick, showing the instruction issued (or NOP/
+// stall) and, per pipeline, how deep into its enqueue reservation and
+// latency window each in-flight operation is. It is the visual
+// counterpart of the paper's "pipeline bubble" discussion.
+//
+//	tick  issue              loader     adder      multiplier
+//	   1  Load #a            E=========
+//	   2  Load #b            E=========
+//	   3  (nop)               =========
+//	   4  Add @1, @2                    E====
+//
+// 'E' marks the enqueue reservation, '=' the remaining latency.
+func Timeline(in Input, tr *Trace) string {
+	var sb strings.Builder
+	names := make([]string, 0, len(in.M.Pipelines))
+	ids := make([]int, 0, len(in.M.Pipelines))
+	width := 0
+	for _, p := range in.M.Pipelines {
+		label := fmt.Sprintf("%s#%d", p.Function, p.ID)
+		names = append(names, label)
+		ids = append(ids, p.ID)
+		if p.Latency > width {
+			width = p.Latency
+		}
+	}
+	if width < 4 {
+		width = 4
+	}
+
+	// issuedAt[tick] = schedule position issuing at that tick (or -1).
+	issuedAt := make([]int, tr.TotalTicks+1)
+	for t := range issuedAt {
+		issuedAt[t] = -1
+	}
+	for i, t := range tr.IssueTick {
+		issuedAt[t] = i
+	}
+
+	fmt.Fprintf(&sb, "%4s  %-24s", "tick", "issue")
+	for _, n := range names {
+		fmt.Fprintf(&sb, " %-*s", width+1, n)
+	}
+	sb.WriteString("\n")
+	for tick := 1; tick <= tr.TotalTicks; tick++ {
+		label := "(nop)"
+		if tr.Mechanism == ImplicitInterlock {
+			label = "(stall)"
+		}
+		if i := issuedAt[tick]; i >= 0 {
+			label = in.Graph.Block.Tuples[in.Order[i]].String()
+		}
+		fmt.Fprintf(&sb, "%4d  %-24s", tick, truncate(label, 24))
+		for pi, id := range ids {
+			cell := pipelineCell(in, tr, id, tick, in.M.Pipelines[pi])
+			fmt.Fprintf(&sb, " %-*s", width+1, cell)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// pipelineCell draws the occupancy of one pipeline at one tick: for the
+// most recent operation enqueued at tick' <= tick, 'E' cells while the
+// enqueue reservation holds and '=' until its latency expires.
+func pipelineCell(in Input, tr *Trace, pipeID, tick int, p machine.Pipeline) string {
+	// Find the most recent issue on this pipeline at or before tick.
+	best := -1
+	for i, t := range tr.IssueTick {
+		if in.Pipes[i] == pipeID && t <= tick && t > best {
+			best = t
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	age := tick - best // 0 on the issue tick itself
+	if age >= p.Latency {
+		return ""
+	}
+	var cell strings.Builder
+	for k := age; k < p.Latency; k++ {
+		if k < p.Enqueue {
+			// Reservation still holding at this depth.
+			cell.WriteByte('E')
+		} else {
+			cell.WriteByte('=')
+		}
+	}
+	return cell.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"pipesched/internal/machine"
+)
+
+func TestTimelineRendersIssuesAndBubbles(t *testing.T) {
+	g := mustGraph(t, `tl:
+  1: Load #a
+  2: Neg @1
+  3: Store #r, @2`)
+	m := machine.SimulationMachine()
+	in := scheduledInput(t, g, m)
+	tr, err := Run(in, NOPPadding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Timeline(in, tr)
+	for _, want := range []string{"tick", "Load #a", "Neg @1", "Store #r", "(nop)", "loader#1", "E"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// One line per tick plus the header.
+	lines := strings.Count(strings.TrimRight(out, "\n"), "\n") + 1
+	if lines != tr.TotalTicks+1 {
+		t.Errorf("timeline has %d lines, want %d", lines, tr.TotalTicks+1)
+	}
+}
+
+func TestTimelineStallLabelForInterlock(t *testing.T) {
+	g := mustGraph(t, `tl:
+  1: Load #a
+  2: Neg @1`)
+	m := machine.SimulationMachine()
+	mPipe := m.PipelineFor(g.Block.Tuples[0].Op)
+	negPipe := m.PipelineFor(g.Block.Tuples[1].Op)
+	in := Input{Graph: g, M: m, Order: []int{0, 1}, Eta: []int{0, 0}, Pipes: []int{mPipe, negPipe}}
+	tr, err := Run(in, ImplicitInterlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Timeline(in, tr)
+	if !strings.Contains(out, "(stall)") {
+		t.Errorf("interlock timeline lacks stall rows:\n%s", out)
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	g := mustGraph(t, `tl:
+  1: Mul 2, 3
+  2: Mul 4, 5
+  3: Add @1, @2
+  4: Store #r, @3`)
+	m := machine.SimulationMachine()
+	in := scheduledInput(t, g, m)
+	tr, err := Run(in, NOPPadding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Timeline(in, tr) != Timeline(in, tr) {
+		t.Error("timeline not deterministic")
+	}
+}

@@ -1,0 +1,159 @@
+// Package splitter implements the strategy the paper sketches in
+// section 5.3 for very large basic blocks: "it might be useful to split
+// the basic blocks into smaller sections (containing, say, twenty
+// instructions or less each) and find solutions which are locally
+// optimal. A good heuristic for the split might be to simply partition
+// the list schedule."
+//
+// Schedule partitions the block's list schedule into windows of at most
+// Window instructions and runs the optimal branch-and-bound search on
+// each window in order, threading the pipeline state across window
+// boundaries through the nopins.EntryState mechanism (the paper's
+// footnote 1 initial-conditions idea): values still in flight from
+// earlier windows impose ready ticks, and the last enqueue per pipeline
+// imposes cross-boundary conflict spacing. The result is locally optimal
+// per window, globally heuristic — but its search cost is linear in the
+// number of windows instead of exponential in the block size.
+package splitter
+
+import (
+	"fmt"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/listsched"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+)
+
+// Config tunes the split scheduler.
+type Config struct {
+	// Window is the maximum instructions per window (default 20, the
+	// paper's suggestion).
+	Window int
+	// Lambda is the per-window curtail point (default 100000 placements).
+	Lambda int64
+	// SeedPriority picks the list schedule that is partitioned.
+	SeedPriority listsched.Priority
+	// Assign selects the pipeline-binding mode.
+	Assign nopins.AssignMode
+}
+
+func (c *Config) defaults() {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 100000
+	}
+}
+
+// Result is a complete schedule for the whole block assembled from
+// locally-optimal windows.
+type Result struct {
+	Order          []int // parent-graph nodes in execution order
+	Eta            []int // NOPs before each position
+	Pipes          []int // pipeline binding per position
+	TotalNOPs      int
+	Ticks          int   // issue tick of the last instruction
+	Windows        int   // number of windows scheduled
+	OptimalWindows int   // windows whose search completed
+	OmegaCalls     int64 // total search placements across windows
+}
+
+// Schedule partitions and schedules g on m.
+func Schedule(g *dag.Graph, m *machine.Machine, cfg Config) (*Result, error) {
+	cfg.defaults()
+	if g.N == 0 {
+		return &Result{Order: []int{}, Eta: []int{}, Pipes: []int{}}, nil
+	}
+
+	seed := listsched.Schedule(g, cfg.SeedPriority)
+	res := &Result{}
+
+	// Absolute state threaded across windows.
+	issueOf := make([]int, g.N) // absolute issue tick per parent node
+	pipeOf := make([]int, g.N)  // pipeline binding per parent node
+	inPrev := map[int]bool{}    // nodes scheduled in earlier windows
+	pipeLast := map[int]int{}   // pipeline -> absolute tick of last enqueue
+	startTick := 0
+
+	for lo := 0; lo < g.N; lo += cfg.Window {
+		hi := lo + cfg.Window
+		if hi > g.N {
+			hi = g.N
+		}
+		windowNodes := seed[lo:hi]
+		sub := dag.Induced(g, windowNodes)
+
+		// External dependences become per-node ready ticks.
+		selected := map[int]bool{}
+		for _, u := range windowNodes {
+			selected[u] = true
+		}
+		ready := make([]int, sub.N)
+		for i, u := range windowNodes {
+			for _, d := range g.ExternalPreds(u, selected) {
+				if !inPrev[d.Node] {
+					return nil, fmt.Errorf(
+						"splitter: window order broke dependences (node %d before pred %d)", u, d.Node)
+				}
+				req := issueOf[d.Node] + 1 // order edges: strictly after
+				if d.Kind.CarriesLatency() {
+					req = issueOf[d.Node] + m.Latency(pipeOf[d.Node])
+				}
+				if req > ready[i] {
+					ready[i] = req
+				}
+			}
+		}
+
+		entryPipeLast := make(map[int]int, len(pipeLast))
+		for k, v := range pipeLast {
+			entryPipeLast[k] = v
+		}
+		sched, err := core.Find(sub, m, core.Options{
+			Lambda:       cfg.Lambda,
+			Assign:       cfg.Assign,
+			SeedPriority: cfg.SeedPriority,
+			Entry: &nopins.EntryState{
+				StartTick: startTick,
+				ReadyTick: ready,
+				PipeLast:  entryPipeLast,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Splice the window into the global schedule and update state.
+		tick := startTick
+		for k, subNode := range sched.Order {
+			u := windowNodes[subNode]
+			tick += sched.Eta[k] + 1
+			issueOf[u] = tick
+			pipeOf[u] = sched.Pipes[k]
+			if sched.Pipes[k] != machine.NoPipeline {
+				if last, ok := pipeLast[sched.Pipes[k]]; !ok || tick > last {
+					pipeLast[sched.Pipes[k]] = tick
+				}
+			}
+			inPrev[u] = true
+			res.Order = append(res.Order, u)
+			res.Eta = append(res.Eta, sched.Eta[k])
+			res.Pipes = append(res.Pipes, sched.Pipes[k])
+			res.TotalNOPs += sched.Eta[k]
+		}
+		if tick != sched.Ticks {
+			return nil, fmt.Errorf("splitter: internal tick mismatch: %d vs %d", tick, sched.Ticks)
+		}
+		startTick = tick
+		res.Windows++
+		if sched.Optimal {
+			res.OptimalWindows++
+		}
+		res.OmegaCalls += sched.Stats.OmegaCalls
+	}
+	res.Ticks = startTick
+	return res, nil
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-element stddev must be 0")
+	}
+	if !almostEq(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Errorf("StdDev = %v, want 2", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2, 75: 4}
+	for p, want := range cases {
+		if got := Percentile(xs, p); !almostEq(got, want) {
+			t.Errorf("P%.0f = %v, want %v", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	if got := Percentile([]float64{1, 2}, 50); !almostEq(got, 1.5) {
+		t.Errorf("interpolated P50 = %v, want 1.5", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Error("MinMax(nil) != 0,0")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	groups := GroupBy([]int{3, 1, 3, 2, 1}, []float64{30, 10, 32, 20, 12})
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	if groups[0].Key != 1 || groups[1].Key != 2 || groups[2].Key != 3 {
+		t.Errorf("groups not sorted: %v", groups)
+	}
+	if groups[0].Count != 2 || !almostEq(Mean(groups[0].Ys), 11) {
+		t.Errorf("group 1 wrong: %+v", groups[0])
+	}
+}
+
+func TestGroupByPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	GroupBy([]int{1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram lost samples: %d", total)
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bin %d = %d, want 2", i, c)
+		}
+	}
+	if h.BinLabel(0) == "" {
+		t.Error("empty bin label")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 4)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("constant-sample histogram lost data: %d", total)
+	}
+	empty := NewHistogram(nil, 3)
+	for _, c := range empty.Counts {
+		if c != 0 {
+			t.Error("empty histogram has counts")
+		}
+	}
+}
+
+func TestHistogramPanicsOnZeroBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 0 bins")
+		}
+	}()
+	NewHistogram([]float64{1}, 0)
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = 2x + 1 exactly.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	slope, intercept := LinearFit(xs, ys)
+	if !almostEq(slope, 2) || !almostEq(intercept, 1) {
+		t.Errorf("fit = %v, %v, want 2, 1", slope, intercept)
+	}
+	if s, i := LinearFit([]float64{1}, []float64{2}); s != 0 || i != 0 {
+		t.Error("underdetermined fit should be 0,0")
+	}
+	// Vertical data: identical x.
+	if s, i := LinearFit([]float64{2, 2}, []float64{1, 3}); s != 0 || !almostEq(i, 2) {
+		t.Errorf("degenerate fit = %v,%v", s, i)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(raw, p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			// Skip inputs whose running sum could overflow float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				return true
+			}
+		}
+		min, max := MinMax(raw)
+		m := Mean(raw)
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

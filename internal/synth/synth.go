@@ -1,0 +1,203 @@
+// Package synth generates the synthetic benchmark blocks used in the
+// paper's evaluation (section 5.2). A generator run produces a random
+// sequence of assignment statements over a bounded pool of variables and
+// constants; the statement-shape and operator frequencies follow a mix
+// table modeled on real-program statistics in the spirit of [AlW75]
+// (the paper's Table 6 is not legible in the surviving text; DESIGN.md §6
+// documents our reconstruction). Loads and stores are not generated
+// directly — they arise during tuple generation exactly as the paper
+// describes: the first reference to a variable loads it, every
+// assignment stores.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pipesched/internal/frontend"
+	"pipesched/internal/ir"
+	"pipesched/internal/opt"
+	"pipesched/internal/tuplegen"
+)
+
+// Mix gives relative statement-shape and operator frequencies.
+type Mix struct {
+	// Statement shapes (relative weights).
+	ConstAssign int // v = const
+	CopyAssign  int // v = w
+	BinOpVars   int // v = a op b
+	BinOpConst  int // v = a op const
+
+	// Operators (relative weights).
+	Add int
+	Sub int
+	Mul int
+	Div int
+}
+
+// DefaultMix is the reconstruction of the paper's Table 6 documented in
+// DESIGN.md: 20% constant assignments, 15% copies, 45% variable-variable
+// operations, 20% variable-constant operations; operators 40/25/25/10.
+var DefaultMix = Mix{
+	ConstAssign: 20,
+	CopyAssign:  15,
+	BinOpVars:   45,
+	BinOpConst:  20,
+	Add:         40,
+	Sub:         25,
+	Mul:         25,
+	Div:         10,
+}
+
+// Validate checks that both weight groups are usable.
+func (m Mix) Validate() error {
+	if m.ConstAssign < 0 || m.CopyAssign < 0 || m.BinOpVars < 0 || m.BinOpConst < 0 ||
+		m.Add < 0 || m.Sub < 0 || m.Mul < 0 || m.Div < 0 {
+		return fmt.Errorf("synth: negative weight in mix")
+	}
+	if m.ConstAssign+m.CopyAssign+m.BinOpVars+m.BinOpConst == 0 {
+		return fmt.Errorf("synth: statement weights sum to zero")
+	}
+	if m.Add+m.Sub+m.Mul+m.Div == 0 {
+		return fmt.Errorf("synth: operator weights sum to zero")
+	}
+	return nil
+}
+
+// Params configures one generated block, mirroring the paper's generator
+// inputs: "the number of statements, variables, and constants desired".
+type Params struct {
+	Statements int
+	Variables  int
+	Constants  int // size of the constant pool
+	Mix        Mix
+	Optimize   bool // run the traditional optimizations after lowering
+}
+
+// Block is one generated benchmark.
+type Block struct {
+	Source string    // the synthetic source program
+	IR     *ir.Block // lowered (and optionally optimized) tuple block
+}
+
+// Generate produces one synthetic block from rng.
+func Generate(rng *rand.Rand, p Params) (*Block, error) {
+	if p.Statements <= 0 {
+		return nil, fmt.Errorf("synth: need at least one statement")
+	}
+	if p.Variables <= 0 {
+		return nil, fmt.Errorf("synth: need at least one variable")
+	}
+	if p.Constants <= 0 {
+		return nil, fmt.Errorf("synth: need at least one constant")
+	}
+	mix := p.Mix
+	if mix == (Mix{}) {
+		mix = DefaultMix
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+
+	vars := make([]string, p.Variables)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("v%d", i)
+	}
+	consts := make([]int64, p.Constants)
+	for i := range consts {
+		consts[i] = int64(1 + rng.Intn(99)) // nonzero: safe divisors
+	}
+
+	pickVar := func() string { return vars[rng.Intn(len(vars))] }
+	pickConst := func() int64 { return consts[rng.Intn(len(consts))] }
+	pickOp := func() string {
+		w := rng.Intn(mix.Add + mix.Sub + mix.Mul + mix.Div)
+		switch {
+		case w < mix.Add:
+			return "+"
+		case w < mix.Add+mix.Sub:
+			return "-"
+		case w < mix.Add+mix.Sub+mix.Mul:
+			return "*"
+		default:
+			return "/"
+		}
+	}
+
+	var sb strings.Builder
+	total := mix.ConstAssign + mix.CopyAssign + mix.BinOpVars + mix.BinOpConst
+	for s := 0; s < p.Statements; s++ {
+		target := pickVar()
+		w := rng.Intn(total)
+		switch {
+		case w < mix.ConstAssign:
+			fmt.Fprintf(&sb, "%s = %d\n", target, pickConst())
+		case w < mix.ConstAssign+mix.CopyAssign:
+			fmt.Fprintf(&sb, "%s = %s\n", target, pickVar())
+		case w < mix.ConstAssign+mix.CopyAssign+mix.BinOpVars:
+			fmt.Fprintf(&sb, "%s = %s %s %s\n", target, pickVar(), pickOp(), pickVar())
+		default:
+			fmt.Fprintf(&sb, "%s = %s %s %d\n", target, pickVar(), pickOp(), pickConst())
+		}
+	}
+	src := sb.String()
+
+	prog, err := frontend.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("synth: generated unparseable source: %w", err)
+	}
+	block, err := tuplegen.Generate(prog, "synth")
+	if err != nil {
+		return nil, err
+	}
+	if p.Optimize {
+		block = opt.Optimize(block)
+	}
+	return &Block{Source: src, IR: block}, nil
+}
+
+// GenerateWithTuples repeatedly generates blocks until one lands exactly
+// on the requested tuple count (within maxTries attempts). The paper's
+// Table 1 needs representative blocks of specific instruction counts.
+func GenerateWithTuples(rng *rand.Rand, tuples int, p Params, maxTries int) (*Block, error) {
+	if maxTries <= 0 {
+		maxTries = 10000
+	}
+	for try := 0; try < maxTries; try++ {
+		// Tuple expansion per statement is roughly 2.5-3x; start near the
+		// right statement count and let rejection sampling do the rest.
+		p.Statements = maxInt(1, tuples/3+rng.Intn(3)-1)
+		b, err := Generate(rng, p)
+		if err != nil {
+			return nil, err
+		}
+		if b.IR.Len() == tuples {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("synth: could not hit %d tuples in %d tries", tuples, maxTries)
+}
+
+// SizeDistribution draws per-run statement counts whose resulting tuple
+// blocks reproduce the shape of the paper's Figure 5: most blocks near
+// the mean (≈20 tuples) with a tail past 40. The returned counts are
+// statements, not tuples.
+func SizeDistribution(rng *rand.Rand, runs int) []int {
+	sizes := make([]int, runs)
+	for i := range sizes {
+		// Triangular-ish distribution over statements 2..18, mode 7
+		// (≈ 6-50 tuples after ~2.8x expansion, mean ≈ 20).
+		a := rng.Intn(9) // 0..8
+		b := rng.Intn(9)
+		sizes[i] = 2 + (a+b)/2 + rng.Intn(3)*rng.Intn(4)
+	}
+	return sizes
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

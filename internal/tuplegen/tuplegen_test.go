@@ -1,0 +1,171 @@
+package tuplegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/frontend"
+	"pipesched/internal/ir"
+)
+
+func TestFigure3Lowering(t *testing.T) {
+	// The paper's Figure 3: "b = 15; a = b * a;" lowers to exactly
+	//   1: Const 15
+	//   2: Store #b, @1
+	//   3: Load #a
+	//   4: Mul @1, @3
+	//   5: Store #a, @4
+	b, err := Compile("b = 15;\na = b * a;", "fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(`fig3:
+  1: Const 15
+  2: Store #b, @1
+  3: Load #a
+  4: Mul @1, @3
+  5: Store #a, @4`)
+	if got := strings.TrimSpace(b.String()); got != want {
+		t.Errorf("lowering mismatch:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLoadOnFirstUseOnly(t *testing.T) {
+	b, err := Compile("x = a + a;\ny = a - x;", "once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := 0
+	for _, tp := range b.Tuples {
+		if tp.Op == ir.Load {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Errorf("variable 'a' loaded %d times, want 1", loads)
+	}
+}
+
+func TestAssignmentRebindsWithoutReload(t *testing.T) {
+	// After "a = ...", reading a must reuse the computed value, not
+	// reload from memory.
+	b, err := Compile("a = b + 1;\nc = a * 2;", "rebind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range b.Tuples {
+		if tp.Op == ir.Load && tp.A.Var == "a" {
+			t.Errorf("reload of assigned variable 'a':\n%s", b)
+		}
+	}
+}
+
+func TestUnaryAndAllOperators(t *testing.T) {
+	b, err := Compile("r = -(a + b) * (c - d) / e % f;", "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[ir.Op]bool{}
+	for _, tp := range b.Tuples {
+		seen[tp.Op] = true
+	}
+	for _, op := range []ir.Op{ir.Neg, ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod, ir.Load, ir.Store} {
+		if !seen[op] {
+			t.Errorf("operator %v missing from lowering:\n%s", op, b)
+		}
+	}
+}
+
+func TestGeneratedBlocksValidate(t *testing.T) {
+	srcs := []string{
+		"x = 1;",
+		"x = y;",
+		"x = x;",
+		"a = b; b = a; a = b;",
+		"q = (((1)));",
+	}
+	for _, src := range srcs {
+		b, err := Compile(src, "v")
+		if err != nil {
+			t.Errorf("Compile(%q): %v", src, err)
+			continue
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("Compile(%q) produced invalid block: %v", src, err)
+		}
+	}
+}
+
+func TestCompileParseError(t *testing.T) {
+	if _, err := Compile("x = ", "bad"); err == nil {
+		t.Error("Compile of bad source succeeded")
+	}
+}
+
+// randomProgram builds a random but division-safe source program.
+func randomProgram(rng *rand.Rand, stmts int) string {
+	vars := []string{"a", "b", "c", "d", "e"}
+	var sb strings.Builder
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return vars[rng.Intn(len(vars))]
+			}
+			return string(rune('1' + rng.Intn(9)))
+		}
+		ops := []string{"+", "-", "*"}
+		op := ops[rng.Intn(len(ops))]
+		// Keep division safe by only dividing by nonzero literals.
+		if rng.Intn(4) == 0 {
+			return "(" + expr(depth-1) + ") / " + string(rune('1'+rng.Intn(9)))
+		}
+		if rng.Intn(5) == 0 {
+			return "-(" + expr(depth-1) + ")"
+		}
+		return "(" + expr(depth-1) + " " + op + " " + expr(depth-1) + ")"
+	}
+	for i := 0; i < stmts; i++ {
+		sb.WriteString(vars[rng.Intn(len(vars))])
+		sb.WriteString(" = ")
+		sb.WriteString(expr(3))
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}
+
+// TestLoweringPreservesSemanticsProperty: the tuple interpretation of the
+// lowered block must leave memory exactly as AST evaluation does.
+func TestLoweringPreservesSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgram(rng, 1+rng.Intn(8))
+		prog, err := frontend.Parse(src)
+		if err != nil {
+			return false
+		}
+		block, err := Generate(prog, "p")
+		if err != nil {
+			return false
+		}
+		envAST := map[string]int64{"a": 2, "b": -3, "c": 7, "d": 0, "e": 11}
+		envIR := ir.Env{"a": 2, "b": -3, "c": 7, "d": 0, "e": 11}
+		if err := prog.Eval(envAST); err != nil {
+			return true // runtime fault; both would fault
+		}
+		if _, err := ir.Exec(block, envIR); err != nil {
+			return false
+		}
+		for k, v := range envAST {
+			if envIR[k] != v {
+				return false
+			}
+		}
+		return len(envAST) == len(envIR)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,538 @@
+// Package pipesched is an optimal basic-block instruction scheduler for
+// processors with multiple pipelines, reproducing Nisar & Dietz,
+// "Optimal Code Scheduling for Multiple-Pipeline Processors" (Purdue
+// TR-EE 90-11 / ICPP 1990).
+//
+// The library finds the schedule of a basic block that minimizes the
+// total delay (NOP count) on a machine where every pipeline has its own
+// latency (dependence delay) and enqueue time (structural delay). The
+// search is a heavily pruned branch-and-bound that never prunes away all
+// optimal schedules; a curtail point λ bounds worst-case compile time,
+// trading the optimality proof (not, usually, the schedule quality) on
+// the rare blocks whose pruned space is still huge.
+//
+// The simplest entry point compiles source text end to end:
+//
+//	m := pipesched.SimulationMachine()
+//	c, err := pipesched.Compile("b = 15;\na = b * a;", m, pipesched.Options{})
+//	// c.Assembly holds scheduled, register-allocated, NOP-padded code.
+//
+// Schedule does the same for an already-built tuple block, and the
+// sub-packages under internal/ expose each stage (front end, optimizer,
+// DAG, list scheduler, branch-and-bound core, baselines, simulator,
+// synthetic benchmark generator, experiment drivers) for finer control.
+package pipesched
+
+import (
+	"fmt"
+	"strings"
+
+	"pipesched/internal/codegen"
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/exhaustive"
+	"pipesched/internal/frontend"
+	"pipesched/internal/gross"
+	"pipesched/internal/ir"
+	"pipesched/internal/listsched"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+	"pipesched/internal/opt"
+	"pipesched/internal/regalloc"
+	"pipesched/internal/seqsched"
+	"pipesched/internal/sim"
+	"pipesched/internal/splitter"
+	"pipesched/internal/tuplegen"
+)
+
+// Machine describes the target processor: a pipeline table plus an
+// operation-to-pipeline map (the paper's section 4.1 configuration).
+type Machine = machine.Machine
+
+// Pipeline is one row of a machine's pipeline description table.
+type Pipeline = machine.Pipeline
+
+// Block is a basic block of tuple intermediate code.
+type Block = ir.Block
+
+// SearchStats reports how much work the branch-and-bound search did.
+type SearchStats = core.Stats
+
+// DelayMode selects how delays appear in emitted assembly.
+type DelayMode = codegen.Mode
+
+// Delay mechanisms for emitted assembly (paper section 2.2).
+const (
+	NOPPadding        = codegen.NOPPadding
+	ExplicitInterlock = codegen.ExplicitInterlock
+	ImplicitInterlock = codegen.ImplicitInterlock
+	TeraInterlock     = codegen.TeraInterlock
+)
+
+// SimulationMachine returns the machine of the paper's evaluation
+// (Tables 4/5): single loader, adder and multiplier pipelines.
+func SimulationMachine() *Machine { return machine.SimulationMachine() }
+
+// ExampleMachine returns the machine of the paper's Tables 2/3: two
+// loaders, two adders, one multiplier, with op→pipeline choice.
+func ExampleMachine() *Machine { return machine.ExampleMachine() }
+
+// NewMachine builds a custom machine description; see machine.New.
+func NewMachine(name string, pipes []Pipeline, opMap map[ir.Op][]int) (*Machine, error) {
+	return machine.New(name, pipes, opMap)
+}
+
+// ParseMachine reads a machine description in the textual table format.
+func ParseMachine(text string) (*Machine, error) { return machine.ParseString(text) }
+
+// ParseBlock reads a tuple block in the textual form of the paper's
+// Figure 3 (e.g. "1: Const 15\n2: Store #b, @1\n...").
+func ParseBlock(text string) (*Block, error) { return ir.ParseBlock(text) }
+
+// DefaultLambda is the curtail point used when Options.Lambda is zero.
+// It is large relative to the search effort of typical blocks (the paper
+// finds most blocks need well under 10^3 steps), so only pathological
+// blocks lose their optimality proof.
+const DefaultLambda = 1_000_000
+
+// Options configures Compile and Schedule.
+type Options struct {
+	// Lambda is the curtail point λ: the maximum number of search steps
+	// before giving up the optimality proof. 0 selects DefaultLambda;
+	// a negative value disables curtailment entirely (the search may then
+	// take super-exponential time on wide blocks).
+	Lambda int64
+
+	// Optimize runs constant folding, CSE, dead-code and dead-store
+	// elimination, and algebraic peepholes before scheduling.
+	Optimize bool
+
+	// Reassociate additionally rebalances associative Add/Mul chains
+	// into minimum-height trees before scheduling (implies Optimize).
+	// This is an ILP-exposing extension beyond the paper's optimizer:
+	// it shortens dependence chains the scheduler cannot otherwise hide,
+	// at the price of higher register pressure.
+	Reassociate bool
+
+	// Registers is the architectural register count available for
+	// post-scheduling allocation; 0 means unlimited.
+	Registers int
+
+	// Mode selects the delay mechanism of the emitted assembly.
+	Mode DelayMode
+
+	// ExplainNOPs annotates the emitted assembly with a comment before
+	// every delayed instruction naming the binding constraint (which
+	// producer's latency, or which pipeline's enqueue time, forces it).
+	ExplainNOPs bool
+
+	// AssignPipelines enables the exact pipeline-assignment extension for
+	// machines where an operation may run on several pipelines.
+	AssignPipelines bool
+
+	// StrongEquivalence enables the extended interchangeable-instruction
+	// pruning filter (never sacrifices optimality; usually shrinks the
+	// search further than the paper's [5c]).
+	StrongEquivalence bool
+
+	// Workers > 1 runs the branch-and-bound in parallel: first-level
+	// subtrees fan out across goroutines sharing one atomic incumbent
+	// bound. The cost and optimality verdict stay deterministic; which
+	// of several equal-cost optima is returned may vary. 0 or 1 keeps
+	// the sequential search.
+	Workers int
+}
+
+// Compiled is the result of compiling or scheduling one block.
+type Compiled struct {
+	Source    string // original source text ("" when scheduling raw tuples)
+	Original  *Block // tuple block handed to the scheduler (post-optimize)
+	Scheduled *Block // the same tuples in optimal (or best-found) order
+
+	Order       []int // scheduled order, as positions into Original
+	Eta         []int // NOPs inserted immediately before each position
+	Pipes       []int // pipeline binding per position
+	TotalNOPs   int   // μ(π), the schedule's delay cost
+	InitialNOPs int   // NOPs of the list-schedule seed
+	Ticks       int   // total issue ticks (instructions + NOPs)
+	Optimal     bool  // true iff provably optimal (search completed)
+
+	Registers *regalloc.Assignment
+	Assembly  string
+	Stats     SearchStats
+}
+
+// Compile parses, optionally optimizes, lowers, optimally schedules,
+// register-allocates and emits one source block for machine m.
+func Compile(src string, m *Machine, o Options) (*Compiled, error) {
+	block, err := tuplegen.Compile(src, "block")
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case o.Reassociate:
+		block = opt.OptimizeReassoc(block)
+	case o.Optimize:
+		block = opt.Optimize(block)
+	}
+	c, err := Schedule(block, m, o)
+	if err != nil {
+		return nil, err
+	}
+	c.Source = src
+	return c, nil
+}
+
+// Schedule optimally schedules an existing tuple block for machine m and
+// carries the result through register allocation and code emission.
+func Schedule(block *Block, m *Machine, o Options) (*Compiled, error) {
+	g, err := dag.Build(block)
+	if err != nil {
+		return nil, err
+	}
+	assign := nopins.AssignFixed
+	if o.AssignPipelines {
+		assign = nopins.AssignGreedy
+	}
+	lambda := o.Lambda
+	switch {
+	case lambda == 0:
+		lambda = DefaultLambda
+	case lambda < 0:
+		lambda = 0 // core treats 0 as unlimited
+	}
+	copts := core.Options{
+		Lambda:            lambda,
+		Assign:            assign,
+		AssignSearch:      o.AssignPipelines,
+		StrongEquivalence: o.StrongEquivalence,
+		SeedPriority:      listsched.ByHeight,
+	}
+	var sched *core.Schedule
+	if o.Workers > 1 {
+		sched, err = core.FindParallel(g, m, copts, o.Workers)
+	} else {
+		sched, err = core.Find(g, m, copts)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	c, err := finish(block, g, m, o, sched.Order, sched.Eta, sched.Pipes, sched.Optimal)
+	if err != nil {
+		return nil, err
+	}
+	c.InitialNOPs = sched.InitialNOPs
+	c.Stats = sched.Stats
+	return c, nil
+}
+
+// finish carries a computed schedule through register allocation, code
+// emission and independent hazard re-verification.
+func finish(block *Block, g *dag.Graph, m *Machine, o Options,
+	order, eta, pipes []int, optimal bool) (*Compiled, error) {
+	scheduled, err := block.Permute(order)
+	if err != nil {
+		return nil, fmt.Errorf("pipesched: internal: %w", err)
+	}
+	regs, err := regalloc.Allocate(scheduled, o.Registers)
+	if err != nil {
+		return nil, err
+	}
+	prog := codegen.Program{Block: scheduled, Eta: eta, Regs: regs}
+	if o.ExplainNOPs {
+		causes, err := sim.ExplainDelays(sim.Input{Graph: g, M: m, Order: order, Eta: eta, Pipes: pipes})
+		if err != nil {
+			return nil, err
+		}
+		prog.Notes = make([]string, len(order))
+		for _, c := range causes {
+			prog.Notes[c.Position] = c.Detail
+		}
+	}
+	if o.Mode == TeraInterlock {
+		back, err := sim.TeraCounts(sim.Input{Graph: g, M: m, Order: order, Eta: eta, Pipes: pipes})
+		if err != nil {
+			return nil, err
+		}
+		prog.Back = back
+	}
+	asm, err := codegen.Emit(prog, o.Mode)
+	if err != nil {
+		return nil, err
+	}
+	// Defense in depth: every schedule leaving the library is re-verified
+	// hazard-free by the independent simulator.
+	if _, err := sim.Run(sim.Input{
+		Graph: g, M: m, Order: order, Eta: eta, Pipes: pipes,
+	}, sim.NOPPadding); err != nil {
+		return nil, fmt.Errorf("pipesched: schedule failed verification: %w", err)
+	}
+	total := 0
+	for _, e := range eta {
+		total += e
+	}
+	return &Compiled{
+		Original:  block,
+		Scheduled: scheduled,
+		Order:     order,
+		Eta:       eta,
+		Pipes:     pipes,
+		TotalNOPs: total,
+		Ticks:     total + len(order),
+		Optimal:   optimal,
+		Registers: regs,
+		Assembly:  asm,
+	}, nil
+}
+
+// ScheduleLarge schedules a block using the section 5.3 splitting
+// strategy: the list schedule is partitioned into windows of at most
+// window instructions (0 selects the paper's suggested 20) and each
+// window is scheduled locally optimally, threading pipeline state across
+// the boundaries. Use it for blocks too large for whole-block search;
+// the result is legal and hazard-free but only per-window optimal.
+// Compiled.Optimal reports whether every window's search completed.
+func ScheduleLarge(block *Block, m *Machine, window int, o Options) (*Compiled, error) {
+	g, err := dag.Build(block)
+	if err != nil {
+		return nil, err
+	}
+	lambda := o.Lambda
+	switch {
+	case lambda == 0:
+		lambda = DefaultLambda
+	case lambda < 0:
+		lambda = 0
+	}
+	assign := nopins.AssignFixed
+	if o.AssignPipelines {
+		assign = nopins.AssignGreedy
+	}
+	r, err := splitter.Schedule(g, m, splitter.Config{
+		Window: window, Lambda: lambda, Assign: assign,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c, err := finish(block, g, m, o, r.Order, r.Eta, r.Pipes, r.OptimalWindows == r.Windows)
+	if err != nil {
+		return nil, err
+	}
+	c.Stats.OmegaCalls = r.OmegaCalls
+	return c, nil
+}
+
+// SequenceResult is the outcome of scheduling consecutive blocks with
+// pipeline state threaded across the boundaries (the paper's footnote 1).
+type SequenceResult struct {
+	Blocks     []*Compiled
+	TotalNOPs  int
+	TotalTicks int  // issue tick of the final instruction of the sequence
+	Optimal    bool // every block's search completed
+}
+
+// ScheduleSequence schedules a straight-line sequence of blocks,
+// threading each block's exit pipeline state into the next block's
+// NOP-insertion analysis, so cross-boundary conflicts cost exactly the
+// delays they need — no hazards, no pessimistic pipeline drains.
+//
+// The per-block Compiled results carry each block's own assembly (whose
+// leading NOPs implement the boundary delays) and per-block register
+// allocation; TotalNOPs and TotalTicks describe the whole sequence.
+func ScheduleSequence(blocks []*Block, m *Machine, o Options) (*SequenceResult, error) {
+	lambda := o.Lambda
+	switch {
+	case lambda == 0:
+		lambda = DefaultLambda
+	case lambda < 0:
+		lambda = 0
+	}
+	assign := nopins.AssignFixed
+	if o.AssignPipelines {
+		assign = nopins.AssignGreedy
+	}
+	r, err := seqsched.Schedule(blocks, m, core.Options{
+		Lambda:            lambda,
+		Assign:            assign,
+		AssignSearch:      o.AssignPipelines,
+		StrongEquivalence: o.StrongEquivalence,
+		SeedPriority:      listsched.ByHeight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SequenceResult{TotalNOPs: r.TotalNOPs, TotalTicks: r.TotalTicks, Optimal: r.Optimal}
+	for i, bs := range r.Blocks {
+		c, err := finishSequenceBlock(blocks[i], bs, m, o)
+		if err != nil {
+			return nil, err
+		}
+		out.Blocks = append(out.Blocks, c)
+	}
+	return out, nil
+}
+
+// finishSequenceBlock emits one block of a threaded sequence. The
+// block's η values include boundary delays imposed by the PREVIOUS
+// blocks' pipeline state, so the cold-start hazard re-verification of
+// finish does not apply; the sequence-level verification lives in
+// internal/seqsched (Flatten + simulator), exercised by its tests.
+func finishSequenceBlock(block *Block, bs seqsched.BlockSchedule, m *Machine, o Options) (*Compiled, error) {
+	scheduled, err := block.Permute(bs.Sched.Order)
+	if err != nil {
+		return nil, fmt.Errorf("pipesched: internal: %w", err)
+	}
+	regs, err := regalloc.Allocate(scheduled, o.Registers)
+	if err != nil {
+		return nil, err
+	}
+	prog := codegen.Program{Block: scheduled, Eta: bs.Sched.Eta, Regs: regs}
+	if o.ExplainNOPs {
+		// Boundary delays reference state outside the block's own graph,
+		// so explanation runs against the block-local constraints only;
+		// unexplainable (boundary-caused) delays keep a generic note.
+		if causes, err := sim.ExplainDelays(sim.Input{
+			Graph: bs.Graph, M: m, Order: bs.Sched.Order, Eta: bs.Sched.Eta, Pipes: bs.Sched.Pipes,
+		}); err == nil {
+			prog.Notes = make([]string, len(bs.Sched.Order))
+			for _, c := range causes {
+				prog.Notes[c.Position] = c.Detail
+			}
+		} else {
+			prog.Notes = make([]string, len(bs.Sched.Order))
+			for i, eta := range bs.Sched.Eta {
+				if eta > 0 {
+					prog.Notes[i] = fmt.Sprintf("waits %d ticks (includes cross-block pipeline state)", eta)
+				}
+			}
+		}
+	}
+	if o.Mode == TeraInterlock {
+		back, err := sim.TeraCounts(sim.Input{
+			Graph: bs.Graph, M: m, Order: bs.Sched.Order, Eta: bs.Sched.Eta, Pipes: bs.Sched.Pipes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prog.Back = back
+	}
+	asm, err := codegen.Emit(prog, o.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Original:    block,
+		Scheduled:   scheduled,
+		Order:       bs.Sched.Order,
+		Eta:         bs.Sched.Eta,
+		Pipes:       bs.Sched.Pipes,
+		TotalNOPs:   bs.Sched.TotalNOPs,
+		InitialNOPs: bs.Sched.InitialNOPs,
+		Ticks:       bs.EndTick,
+		Optimal:     bs.Sched.Optimal,
+		Registers:   regs,
+		Assembly:    asm,
+		Stats:       bs.Sched.Stats,
+	}, nil
+}
+
+// GreedyBaseline schedules block with the Gross-style greedy postpass
+// heuristic instead of the optimal search — useful for comparisons.
+// It returns the greedy schedule's total NOP count and execution ticks.
+func GreedyBaseline(block *Block, m *Machine) (totalNOPs, ticks int, err error) {
+	g, err := dag.Build(block)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := gross.Schedule(g, m, nopins.AssignFixed)
+	return r.TotalNOPs, r.Ticks, nil
+}
+
+// CountLegalSchedules counts the block's legal instruction orders
+// (topological orders of its dependence DAG), stopping at limit when
+// limit > 0 — the size of the paper's "pruning illegal" search space.
+func CountLegalSchedules(block *Block, limit int64) (int64, error) {
+	g, err := dag.Build(block)
+	if err != nil {
+		return 0, err
+	}
+	return exhaustive.CountLegal(g, limit), nil
+}
+
+// CompileSequence compiles a multi-block source file (blocks written as
+// "block name { ... }"; a plain statement file is one unnamed block),
+// scheduling the blocks as a straight-line sequence with pipeline state
+// threaded across the boundaries. Each block is lowered — and, per
+// Options, optimized — independently, exactly as the paper's compiler
+// treats basic blocks, then ScheduleSequence applies footnote 1.
+func CompileSequence(src string, m *Machine, o Options) (*SequenceResult, error) {
+	parsed, err := frontend.ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	var blocks []*Block
+	for i, np := range parsed {
+		label := np.Name
+		if label == "" {
+			label = fmt.Sprintf("block%d", i)
+		}
+		b, err := tuplegen.Generate(np.Program, label)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case o.Reassociate:
+			b = opt.OptimizeReassoc(b)
+		case o.Optimize:
+			b = opt.Optimize(b)
+		}
+		blocks = append(blocks, b)
+	}
+	r, err := ScheduleSequence(blocks, m, o)
+	if err != nil {
+		return nil, err
+	}
+	for i := range r.Blocks {
+		r.Blocks[i].Source = src
+	}
+	return r, nil
+}
+
+// Report renders a human-readable compilation report: the machine, the
+// tuple block before and after scheduling, search statistics, the
+// register assignment and the assembly. It is what `cmd/pipesched`
+// users read when debugging a schedule.
+func (c *Compiled) Report(m *Machine) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== pipesched report: %s on %s ===\n\n", labelOf(c), m.Name)
+	if c.Source != "" {
+		fmt.Fprintf(&sb, "--- source ---\n%s\n", strings.TrimSpace(c.Source))
+	}
+	fmt.Fprintf(&sb, "\n--- tuples (program order) ---\n%s", c.Original)
+	fmt.Fprintf(&sb, "\n--- tuples (scheduled order) ---\n%s", c.Scheduled)
+	fmt.Fprintf(&sb, "\n--- result ---\n")
+	fmt.Fprintf(&sb, "instructions: %d\n", c.Scheduled.Len())
+	fmt.Fprintf(&sb, "NOPs:         %d (seed had %d)\n", c.TotalNOPs, c.InitialNOPs)
+	fmt.Fprintf(&sb, "ticks:        %d\n", c.Ticks)
+	fmt.Fprintf(&sb, "optimal:      %v\n", c.Optimal)
+	st := c.Stats
+	fmt.Fprintf(&sb, "search:       Ω=%d examined=%d improvements=%d curtailed=%v\n",
+		st.OmegaCalls, st.SchedulesExamined, st.Improvements, st.Curtailed)
+	fmt.Fprintf(&sb, "pruned:       bounds=%d illegal=%d equiv=%d strong=%d αβ=%d lb=%d\n",
+		st.PrunedBounds, st.PrunedIllegal, st.PrunedEquivalence,
+		st.PrunedStrongEquiv, st.PrunedAlphaBeta, st.PrunedLowerBound)
+	if c.Registers != nil {
+		fmt.Fprintf(&sb, "registers:    %d used (peak liveness %d)\n",
+			c.Registers.NumRegs, c.Registers.MaxLive)
+	}
+	fmt.Fprintf(&sb, "\n--- assembly ---\n%s", c.Assembly)
+	return sb.String()
+}
+
+func labelOf(c *Compiled) string {
+	if c.Scheduled != nil && c.Scheduled.Label != "" {
+		return c.Scheduled.Label
+	}
+	return "(unnamed block)"
+}

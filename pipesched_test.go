@@ -1,0 +1,232 @@
+package pipesched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/ir"
+)
+
+func TestCompileFigure3(t *testing.T) {
+	m := SimulationMachine()
+	c, err := Compile("b = 15;\na = b * a;", m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Optimal {
+		t.Error("tiny block should schedule optimally")
+	}
+	if c.TotalNOPs != 2 {
+		t.Errorf("Figure 3 optimum = %d NOPs, want 2", c.TotalNOPs)
+	}
+	if c.Ticks != 7 {
+		t.Errorf("Ticks = %d, want 7", c.Ticks)
+	}
+	if !strings.Contains(c.Assembly, "NOP") || !strings.Contains(c.Assembly, "MUL") {
+		t.Errorf("assembly incomplete:\n%s", c.Assembly)
+	}
+	if c.Scheduled.Len() != c.Original.Len() {
+		t.Error("scheduling changed tuple count")
+	}
+}
+
+func TestCompilePreservesSemantics(t *testing.T) {
+	src := "x = a + b * 3;\ny = x - a;\nz = y * y;"
+	m := SimulationMachine()
+	for _, optimize := range []bool{false, true} {
+		c, err := Compile(src, m, Options{Optimize: optimize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The scheduled block must compute the same memory as the naive one.
+		ref, err := ParseBlock(c.Original.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		env1 := ir.Env{"a": 4, "b": -2}
+		env2 := ir.Env{"a": 4, "b": -2}
+		if _, err := ir.Exec(ref, env1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ir.Exec(c.Scheduled, env2); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range env1 {
+			if env2[k] != v {
+				t.Errorf("optimize=%v: scheduled block computes %s=%d, want %d", optimize, k, env2[k], v)
+			}
+		}
+	}
+}
+
+func TestCompileModes(t *testing.T) {
+	m := SimulationMachine()
+	src := "a = b * c;"
+	nopAsm, err := Compile(src, m, Options{Mode: NOPPadding})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Compile(src, m, Options{Mode: ExplicitInterlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	implicit, err := Compile(src, m, Options{Mode: ImplicitInterlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nopAsm.Assembly, "NOP") {
+		t.Error("NOP mode emitted no NOPs for a dependent multiply")
+	}
+	if !strings.Contains(explicit.Assembly, "wait=") {
+		t.Error("explicit mode emitted no wait tags")
+	}
+	if strings.Contains(implicit.Assembly, "NOP") || strings.Contains(implicit.Assembly, "wait=") {
+		t.Error("implicit mode leaked delay info")
+	}
+}
+
+func TestScheduleRawBlock(t *testing.T) {
+	b, err := ParseBlock(`raw:
+  1: Load #x
+  2: Load #y
+  3: Mul @1, @2
+  4: Store #z, @3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Schedule(b, SimulationMachine(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Optimal || c.Source != "" {
+		t.Errorf("raw schedule: optimal=%v source=%q", c.Optimal, c.Source)
+	}
+}
+
+func TestRegistersLimit(t *testing.T) {
+	src := "r = (a + b) * (c + d) + (e + f) * (g + h);"
+	m := SimulationMachine()
+	if _, err := Compile(src, m, Options{Registers: 2}); err == nil {
+		t.Error("2 registers accepted for a wide expression")
+	}
+	c, err := Compile(src, m, Options{Registers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Registers.NumRegs > 16 {
+		t.Errorf("allocator used %d > 16 registers", c.Registers.NumRegs)
+	}
+}
+
+func TestGreedyBaselineNeverBeatsOptimal(t *testing.T) {
+	m := SimulationMachine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBlock(rng, 4+rng.Intn(8))
+		c, err := Schedule(b, m, Options{})
+		if err != nil || !c.Optimal {
+			return false
+		}
+		greedy, _, err := GreedyBaseline(b, m)
+		if err != nil {
+			return false
+		}
+		return greedy >= c.TotalNOPs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignPipelinesOnExampleMachine(t *testing.T) {
+	src := "p = a + b;\nq = c + d;\nr = e + f;"
+	fixed, err := Compile(src, ExampleMachine(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned, err := Compile(src, ExampleMachine(), Options{AssignPipelines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assigned.TotalNOPs > fixed.TotalNOPs {
+		t.Errorf("assignment search (%d NOPs) worse than fixed (%d)",
+			assigned.TotalNOPs, fixed.TotalNOPs)
+	}
+}
+
+func TestCountLegalSchedules(t *testing.T) {
+	b, err := ParseBlock(`x:
+  1: Load #a
+  2: Load #b
+  3: Load #c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountLegalSchedules(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("3 independent loads have %d legal orders, want 6", n)
+	}
+}
+
+func TestParseMachineRoundTrip(t *testing.T) {
+	m, err := ParseMachine(SimulationMachine().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "paper-simulation" {
+		t.Errorf("parsed machine name %q", m.Name)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	m := SimulationMachine()
+	if _, err := Compile("x = ", m, Options{}); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestCurtailedCompileStillEmits(t *testing.T) {
+	src := `a1 = x1 * y1
+a2 = x2 * y2
+a3 = x3 * y3
+a4 = x4 * y4
+a5 = a1 + a2
+a6 = a3 + a4
+a7 = a5 * a6`
+	c, err := Compile(src, SimulationMachine(), Options{Lambda: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Optimal {
+		t.Error("λ=10 should curtail this block")
+	}
+	if c.Assembly == "" {
+		t.Error("curtailed compile must still emit code")
+	}
+}
+
+func randomBlock(rng *rand.Rand, n int) *Block {
+	b := ir.NewBlock("rand")
+	vars := []string{"a", "b", "c"}
+	var ids []int
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(6); {
+		case k == 0 || len(ids) == 0:
+			ids = append(ids, b.Append(ir.Load, ir.Var(vars[rng.Intn(len(vars))]), ir.None()))
+		case k == 1:
+			ids = append(ids, b.Append(ir.Const, ir.Imm(int64(rng.Intn(50))), ir.None()))
+		case k == 2:
+			b.Append(ir.Store, ir.Var(vars[rng.Intn(len(vars))]), ir.Ref(ids[rng.Intn(len(ids))]))
+		default:
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div}
+			ids = append(ids, b.Append(ops[rng.Intn(len(ops))],
+				ir.Ref(ids[rng.Intn(len(ids))]), ir.Ref(ids[rng.Intn(len(ids))])))
+		}
+	}
+	return b
+}
