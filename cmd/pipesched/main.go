@@ -12,14 +12,20 @@
 //	-O               run the traditional optimizations before scheduling
 //	-mode m          delay mechanism: nop | explicit | implicit
 //	-lambda n        curtail point (0 = library default, <0 = unlimited)
+//	-timeout d       wall-clock compile budget, e.g. 500ms (0 = none)
 //	-registers n     architectural registers (0 = unlimited)
 //	-assign          enable the pipeline-assignment extension
 //	-stats           print search statistics to stderr
 //
-// Exit status is nonzero on any compile error.
+// Exit status: 0 when the emitted schedule is provably optimal and no
+// stage failed; 2 when a legal schedule was emitted but degraded (the
+// curtail point λ or the -timeout budget cut the search short, or a
+// stage failure was recovered — the reason is printed to stderr); 1 on
+// hard failure with nothing emitted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,42 +38,55 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "pipesched: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() error {
+// run is the testable driver body; it returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pipesched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		preset    = flag.String("preset", "simulation", "machine preset: simulation|example|unpipelined|deep|r3000|m88k|carp")
-		machFile  = flag.String("machine", "", "machine description file")
-		tuples    = flag.Bool("tuples", false, "input is tuple code instead of source")
-		optimize  = flag.Bool("O", false, "optimize before scheduling")
-		modeName  = flag.String("mode", "nop", "delay mechanism: nop|explicit|implicit|tera")
-		lambda    = flag.Int64("lambda", 0, "curtail point (0 = default, <0 = unlimited)")
-		registers = flag.Int("registers", 0, "architectural registers (0 = unlimited)")
-		assign    = flag.Bool("assign", false, "enable pipeline-assignment extension")
-		stats     = flag.Bool("stats", false, "print search statistics")
-		timeline  = flag.Bool("timeline", false, "print a tick-by-tick pipeline occupancy timeline")
-		explain   = flag.Bool("explain", false, "annotate delays with their binding constraint")
-		report    = flag.Bool("report", false, "print a full compilation report instead of bare assembly")
+		preset    = fs.String("preset", "simulation", "machine preset: simulation|example|unpipelined|deep|r3000|m88k|carp")
+		machFile  = fs.String("machine", "", "machine description file")
+		tuples    = fs.Bool("tuples", false, "input is tuple code instead of source")
+		optimize  = fs.Bool("O", false, "optimize before scheduling")
+		modeName  = fs.String("mode", "nop", "delay mechanism: nop|explicit|implicit|tera")
+		lambda    = fs.Int64("lambda", 0, "curtail point (0 = default, <0 = unlimited)")
+		timeout   = fs.Duration("timeout", 0, "wall-clock compile budget (0 = none); on expiry the best schedule found so far is emitted with exit status 2")
+		registers = fs.Int("registers", 0, "architectural registers (0 = unlimited)")
+		assign    = fs.Bool("assign", false, "enable pipeline-assignment extension")
+		stats     = fs.Bool("stats", false, "print search statistics")
+		timeline  = fs.Bool("timeline", false, "print a tick-by-tick pipeline occupancy timeline")
+		explain   = fs.Bool("explain", false, "annotate delays with their binding constraint")
+		report    = fs.Bool("report", false, "print a full compilation report instead of bare assembly")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "pipesched: %v\n", err)
+		return 1
+	}
 
 	m, err := pickMachine(*preset, *machFile)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	mode, err := pickMode(*modeName)
 	if err != nil {
-		return err
+		return fail(err)
 	}
-	input, err := readInput(flag.Args())
+	input, err := readInput(fs.Args())
 	if err != nil {
-		return err
+		return fail(err)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	opts := pipesched.Options{
 		Lambda:          *lambda,
 		Optimize:        *optimize,
@@ -76,61 +95,70 @@ func run() error {
 		AssignPipelines: *assign,
 		ExplainNOPs:     *explain,
 	}
+
+	degraded := func(err error) int {
+		if err == nil {
+			return 0
+		}
+		fmt.Fprintf(stderr, "pipesched: degraded result: %v\n", err)
+		return 2
+	}
+
 	if *tuples {
 		block, err := pipesched.ParseBlock(input)
 		if err != nil {
-			return err
+			return fail(err)
 		}
-		compiled, err := pipesched.Schedule(block, m, opts)
-		if err != nil {
-			return err
+		compiled, cerr := pipesched.ScheduleCtx(ctx, block, m, opts)
+		if compiled == nil {
+			return fail(cerr)
 		}
 		if *report {
-			fmt.Print(compiled.Report(m))
+			fmt.Fprint(stdout, compiled.Report(m))
 		} else {
-			emit(compiled, m, *stats)
+			emit(stdout, stderr, compiled, m, *stats)
 		}
 		if *timeline {
-			if err := printTimeline(compiled, m); err != nil {
-				return err
+			if err := printTimeline(stderr, compiled, m); err != nil {
+				return fail(err)
 			}
 		}
-		return nil
+		return degraded(cerr)
 	}
 	// Multi-block sources are scheduled as a sequence with pipeline
 	// state threaded across the boundaries; plain sources produce one
 	// block either way.
-	seq, err := pipesched.CompileSequence(input, m, opts)
-	if err != nil {
-		return err
+	seq, cerr := pipesched.CompileSequenceCtx(ctx, input, m, opts)
+	if seq == nil {
+		return fail(cerr)
 	}
 	for _, c := range seq.Blocks {
 		if *report {
-			fmt.Print(c.Report(m))
+			fmt.Fprint(stdout, c.Report(m))
 		} else {
-			emit(c, m, *stats)
+			emit(stdout, stderr, c, m, *stats)
 		}
 		if *timeline {
-			if err := printTimeline(c, m); err != nil {
-				return err
+			if err := printTimeline(stderr, c, m); err != nil {
+				return fail(err)
 			}
 		}
 	}
 	if len(seq.Blocks) > 1 && *stats {
-		fmt.Fprintf(os.Stderr, "sequence: blocks=%d total-nops=%d total-ticks=%d optimal=%t\n",
-			len(seq.Blocks), seq.TotalNOPs, seq.TotalTicks, seq.Optimal)
+		fmt.Fprintf(stderr, "sequence: blocks=%d total-nops=%d total-ticks=%d optimal=%t quality=%s\n",
+			len(seq.Blocks), seq.TotalNOPs, seq.TotalTicks, seq.Optimal, seq.Quality)
 	}
-	return nil
+	return degraded(cerr)
 }
 
 // emit prints one compiled block and, optionally, its statistics line.
-func emit(c *pipesched.Compiled, m *pipesched.Machine, stats bool) {
-	fmt.Print(c.Assembly)
+func emit(stdout, stderr io.Writer, c *pipesched.Compiled, m *pipesched.Machine, stats bool) {
+	fmt.Fprint(stdout, c.Assembly)
 	if stats {
-		fmt.Fprintf(os.Stderr,
-			"machine=%s block=%s instructions=%d nops=%d ticks=%d optimal=%t seed-nops=%d omega=%d elapsed=%s\n",
+		fmt.Fprintf(stderr,
+			"machine=%s block=%s instructions=%d nops=%d ticks=%d optimal=%t quality=%s seed-nops=%d omega=%d elapsed=%s\n",
 			m.Name, c.Scheduled.Label, c.Scheduled.Len(), c.TotalNOPs, c.Ticks,
-			c.Optimal, c.InitialNOPs, c.Stats.OmegaCalls, c.Stats.Elapsed)
+			c.Optimal, c.Quality, c.InitialNOPs, c.Stats.OmegaCalls, c.Stats.Elapsed)
 	}
 }
 
@@ -175,8 +203,8 @@ func readInput(args []string) (string, error) {
 	return string(data), err
 }
 
-// printTimeline renders the block's occupancy timeline to stderr.
-func printTimeline(c *pipesched.Compiled, m *pipesched.Machine) error {
+// printTimeline renders the block's occupancy timeline to w.
+func printTimeline(w io.Writer, c *pipesched.Compiled, m *pipesched.Machine) error {
 	g, err := dag.Build(c.Original)
 	if err != nil {
 		return err
@@ -186,6 +214,6 @@ func printTimeline(c *pipesched.Compiled, m *pipesched.Machine) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(os.Stderr, sim.Timeline(in, tr))
+	fmt.Fprint(w, sim.Timeline(in, tr))
 	return nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pipesched"
@@ -81,6 +83,81 @@ func TestReadInput(t *testing.T) {
 	}
 	if _, err := readInput([]string{filepath.Join(dir, "nope")}); err == nil {
 		t.Error("missing input accepted")
+	}
+}
+
+// chainSource is a multiply chain whose optimal schedule cannot reach
+// zero NOPs, so curtailment and deadlines genuinely interrupt the search.
+func chainSource() string {
+	var sb strings.Builder
+	sb.WriteString("a = x * y\n")
+	for i := 0; i < 8; i++ {
+		sb.WriteString("a = a * y")
+		sb.WriteByte(byte('0' + i))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestRunExitCodes covers the driver's three-way exit status: 0 optimal,
+// 2 degraded-but-legal, 1 hard failure.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	tiny := filepath.Join(dir, "tiny.src")
+	if err := os.WriteFile(tiny, []byte("a = b * c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "in.src")
+	if err := os.WriteFile(src, []byte(chainSource()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.src")
+	if err := os.WriteFile(bad, []byte("a = = ;;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		want    int
+		wantAsm bool
+	}{
+		{"optimal", []string{tiny}, 0, true},
+		{"curtailed", []string{"-lambda", "10", src}, 2, true},
+		{"timeout", []string{"-timeout", "1ns", "-lambda", "-1", src}, 2, true},
+		{"hard-failure", []string{bad}, 1, false},
+		{"bad-flag", []string{"-no-such-flag"}, 1, false},
+		{"bad-preset", []string{"-preset", "bogus", src}, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.wantAsm && stdout.Len() == 0 {
+				t.Errorf("run(%v) emitted no assembly", tc.args)
+			}
+			if tc.want == 2 && !strings.Contains(stderr.String(), "degraded") {
+				t.Errorf("degraded exit should explain itself on stderr, got: %s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunStatsShowsQuality checks the stats line carries the ladder rung.
+func TestRunStatsShowsQuality(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "in.src")
+	if err := os.WriteFile(src, []byte(chainSource()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-stats", "-lambda", "10", src}, &stdout, &stderr); got != 2 {
+		t.Fatalf("exit = %d, want 2", got)
+	}
+	if !strings.Contains(stderr.String(), "quality=incumbent") {
+		t.Errorf("stats line missing quality rung: %s", stderr.String())
 	}
 }
 

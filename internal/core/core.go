@@ -32,6 +32,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -44,12 +46,25 @@ import (
 	"pipesched/internal/nopins"
 )
 
+// ErrBudget is the stop reason when the search is curtailed by the λ
+// budget (the paper's rule [2]).
+var ErrBudget = errors.New("core: search budget λ exhausted")
+
 // Options configures the search.
 type Options struct {
 	// Lambda is the curtail point λ: the maximum number of Ω invocations
 	// (search steps) before the search gives up optimality and returns
 	// the best schedule found. Zero or negative means unlimited.
 	Lambda int64
+
+	// Ctx, when non-nil, is polled inside the branch-and-bound inner
+	// loop (every ctxCheckEvery Ω invocations, alongside the λ budget).
+	// When it is done, the search stops exactly like a curtailment and
+	// returns the best incumbent found so far; Schedule.Stopped records
+	// the context's error. λ bounds search *work*, Ctx bounds
+	// *wall-clock time* — a deadline holds even when individual Ω
+	// invocations are slow or λ is unlimited.
+	Ctx context.Context
 
 	// Assign selects pipeline binding when op→pipeline sets are not
 	// singletons: nopins.AssignFixed reproduces the paper's core model,
@@ -121,7 +136,7 @@ type Stats struct {
 	PrunedStrongEquiv int64 // candidates removed by the extension filter
 	PrunedAlphaBeta   int64 // placements abandoned by α–β
 	PrunedLowerBound  int64 // placements abandoned by the critical-path bound
-	Curtailed         bool  // search stopped by λ (rule [2])
+	Curtailed         bool  // search stopped early (λ, deadline or cancellation)
 	Elapsed           time.Duration
 }
 
@@ -134,7 +149,12 @@ type Schedule struct {
 	Ticks       int   // total issue ticks (instructions + NOPs)
 	InitialNOPs int   // μ of the seed schedule, before searching
 	Optimal     bool  // true iff the search ran to completion (rule [1])
-	Stats       Stats
+	// Stopped records why the search ended early: nil when it ran to
+	// completion, ErrBudget when λ was exhausted, or the context's
+	// error (context.Canceled / context.DeadlineExceeded) when
+	// Options.Ctx ended it. Optimal == (Stopped == nil).
+	Stopped error
+	Stats   Stats
 }
 
 // searcher carries the mutable state of one search.
@@ -149,6 +169,7 @@ type searcher struct {
 	best      nopins.Result
 	stats     Stats
 	curtail   bool
+	stopErr   error // why the search stopped early (ErrBudget or ctx error)
 
 	equivClass []int // StrongEquivalence: canonical representative per node
 	tails      []int // admissible latency-weighted height per node
@@ -191,15 +212,43 @@ func (s *searcher) publish(total int) {
 	}
 }
 
+// ctxCheckEvery is how many Ω invocations pass between cooperative
+// cancellation checks: frequent enough that a deadline stops the search
+// within microseconds, rare enough that ctx.Err's mutex stays off the
+// hot path. The first check fires on the very first invocation so an
+// already-expired context never starts a descent.
+const ctxCheckEvery = 64
+
 // chargeOmega counts one Ω invocation against the (possibly shared)
-// curtail budget, reporting whether the budget is now exhausted.
+// curtail budget and polls the context, reporting whether the search
+// must stop. The stop reason is recorded in stopErr.
 func (s *searcher) chargeOmega() bool {
 	s.stats.OmegaCalls++
+	if s.opts.Ctx != nil && s.stats.OmegaCalls%ctxCheckEvery == 1 {
+		if err := s.opts.Ctx.Err(); err != nil {
+			if s.stopErr == nil {
+				s.stopErr = err
+			}
+			return true
+		}
+	}
 	if s.shared != nil {
 		n := s.shared.omega.Add(1)
-		return s.shared.lambda > 0 && n >= s.shared.lambda
+		if s.shared.lambda > 0 && n >= s.shared.lambda {
+			if s.stopErr == nil {
+				s.stopErr = ErrBudget
+			}
+			return true
+		}
+		return false
 	}
-	return s.opts.Lambda > 0 && s.stats.OmegaCalls >= s.opts.Lambda
+	if s.opts.Lambda > 0 && s.stats.OmegaCalls >= s.opts.Lambda {
+		if s.stopErr == nil {
+			s.stopErr = ErrBudget
+		}
+		return true
+	}
+	return false
 }
 
 // errIllegalSeed reports an InitialOrder that breaks dependences.
@@ -283,6 +332,7 @@ func Find(g *dag.Graph, m *machine.Machine, opts Options) (*Schedule, error) {
 		Ticks:       s.best.Ticks,
 		InitialNOPs: seedRes.TotalNOPs,
 		Optimal:     !s.curtail,
+		Stopped:     s.stopErr,
 		Stats:       s.stats,
 	}, nil
 }

@@ -100,6 +100,7 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 		best    nopins.Result
 		found   bool
 		curtail bool
+		stopErr error
 		stats   Stats
 	}
 	results := make([]result, len(candidates))
@@ -146,6 +147,7 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 					best:    s.best,
 					found:   len(s.best.Order) == g.N,
 					curtail: s.curtail,
+					stopErr: s.stopErr,
 					stats:   s.stats,
 				}
 			}
@@ -158,7 +160,13 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 	wg.Wait()
 
 	curtailed := false
+	var stopped error
 	for _, r := range results {
+		// Prefer a context stop reason over the λ budget: a deadline or
+		// cancellation in any worker is the caller-visible cause.
+		if r.stopErr != nil && (stopped == nil || stopped == ErrBudget) {
+			stopped = r.stopErr
+		}
 		agg.OmegaCalls += r.stats.OmegaCalls
 		agg.SchedulesExamined += r.stats.SchedulesExamined
 		agg.Improvements += r.stats.Improvements
@@ -184,6 +192,7 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 		Ticks:       best.Ticks,
 		InitialNOPs: seedRes.TotalNOPs,
 		Optimal:     !curtailed,
+		Stopped:     stopped,
 		Stats:       agg,
 	}, nil
 }

@@ -14,12 +14,23 @@
 package exhaustive
 
 import (
+	"context"
 	"math/big"
 
 	"pipesched/internal/dag"
 	"pipesched/internal/machine"
 	"pipesched/internal/nopins"
 )
+
+// ctxCheckEvery is how many evaluations pass between cooperative
+// cancellation checks in the baseline searches.
+const ctxCheckEvery = 1024
+
+// expired reports whether ctx is done, polling only every
+// ctxCheckEvery-th call to keep the enumeration loop fast.
+func expired(ctx context.Context, calls int64) bool {
+	return ctx != nil && calls%ctxCheckEvery == 1 && ctx.Err() != nil
+}
 
 // Result summarizes one baseline search.
 type Result struct {
@@ -44,6 +55,13 @@ func Factorial(n int) *big.Int {
 // The search stops early once calls reaches budget (budget <= 0 means
 // unlimited — only sane for very small blocks).
 func SearchExhaustive(g *dag.Graph, m *machine.Machine, budget int64) Result {
+	return SearchExhaustiveCtx(context.Background(), g, m, budget)
+}
+
+// SearchExhaustiveCtx is SearchExhaustive with a cooperative wall-clock
+// bound: when ctx ends, the enumeration stops with Exhausted set and the
+// best schedule found so far.
+func SearchExhaustiveCtx(ctx context.Context, g *dag.Graph, m *machine.Machine, budget int64) Result {
 	e := nopins.NewEvaluator(g, m, nopins.AssignFixed)
 	res := Result{}
 	perm := make([]int, g.N)
@@ -61,6 +79,9 @@ func SearchExhaustive(g *dag.Graph, m *machine.Machine, budget int64) Result {
 					res.Found = true
 					best = r.TotalNOPs
 				}
+			}
+			if expired(ctx, res.Calls) {
+				return false
 			}
 			return budget <= 0 || res.Calls < budget
 		}
@@ -85,6 +106,13 @@ func SearchExhaustive(g *dag.Graph, m *machine.Machine, budget int64) Result {
 // is counted per complete legal schedule. The search stops early once
 // calls reaches budget (budget <= 0 means unlimited).
 func SearchLegal(g *dag.Graph, m *machine.Machine, budget int64) Result {
+	return SearchLegalCtx(context.Background(), g, m, budget)
+}
+
+// SearchLegalCtx is SearchLegal with a cooperative wall-clock bound:
+// when ctx ends, the enumeration stops with Exhausted set and the best
+// schedule found so far.
+func SearchLegalCtx(ctx context.Context, g *dag.Graph, m *machine.Machine, budget int64) Result {
 	e := nopins.NewEvaluator(g, m, nopins.AssignFixed)
 	res := Result{}
 	best := -1
@@ -96,6 +124,9 @@ func SearchLegal(g *dag.Graph, m *machine.Machine, budget int64) Result {
 				res.Best = e.Snapshot()
 				res.Found = true
 				best = e.TotalNOPs()
+			}
+			if expired(ctx, res.Calls) {
+				return false
 			}
 			return budget <= 0 || res.Calls < budget
 		}

@@ -1,0 +1,160 @@
+// Package faultinject provides build-tag-free, nil-by-default fault
+// injection hooks for the compilation pipeline. Production code calls
+// Fire at every stage boundary; with no injector activated (the default)
+// the call is a single atomic load and injects nothing. Chaos tests
+// activate an Injector that can inject panics, delays, stage errors and
+// forced search curtailment, proving the degradation ladder in the
+// pipesched package holds under every failure mode.
+//
+// The hooks are process-global (tests that Activate an injector must not
+// run in parallel with each other), race-safe, and restored by the
+// function Activate returns.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one instrumented boundary of the compilation pipeline.
+type Stage string
+
+// The instrumented pipeline stages, in pipeline order.
+const (
+	Frontend Stage = "frontend" // parse + tuple generation
+	Opt      Stage = "opt"      // classical optimizer
+	DAG      Stage = "dag"      // dependence DAG construction
+	Search   Stage = "search"   // branch-and-bound (or seed) scheduling
+	Regalloc Stage = "regalloc" // post-scheduling register allocation
+	Codegen  Stage = "codegen"  // assembly emission
+)
+
+// Stages returns every instrumented stage in pipeline order.
+func Stages() []Stage {
+	return []Stage{Frontend, Opt, DAG, Search, Regalloc, Codegen}
+}
+
+// Plan describes the faults to inject when a stage boundary fires.
+// The zero Plan injects nothing.
+type Plan struct {
+	// Delay sleeps this long before the stage runs (deadline chaos).
+	Delay time.Duration
+	// PanicValue, when non-nil, panics with this value at the boundary.
+	PanicValue any
+	// Err, when non-nil (and PanicValue is nil), makes the stage fail
+	// with this error without running.
+	Err error
+	// CurtailLambda, when > 0 on the Search stage, forces the search's
+	// curtail point λ down to this many Ω invocations.
+	CurtailLambda int64
+	// Times bounds how many boundary crossings fire this plan;
+	// 0 means every crossing (a persistent fault).
+	Times int
+}
+
+// Injector holds the per-stage fault plans of one chaos experiment.
+type Injector struct {
+	mu    sync.Mutex
+	plans map[Stage]*planEntry
+}
+
+type planEntry struct {
+	plan  Plan
+	fired int
+}
+
+// New returns an empty injector.
+func New() *Injector { return &Injector{plans: map[Stage]*planEntry{}} }
+
+// Plan installs (or replaces) the fault plan for a stage and returns the
+// injector for chaining.
+func (in *Injector) Plan(stage Stage, p Plan) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plans[stage] = &planEntry{plan: p}
+	return in
+}
+
+// Fired reports how many times the stage's plan has fired.
+func (in *Injector) Fired(stage Stage) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if e := in.plans[stage]; e != nil {
+		return e.fired
+	}
+	return 0
+}
+
+// take consumes one firing of the stage's plan, or returns nil when no
+// plan applies (none installed, or its Times budget is spent).
+func (in *Injector) take(stage Stage) *Plan {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	e := in.plans[stage]
+	if e == nil {
+		return nil
+	}
+	if e.plan.Times > 0 && e.fired >= e.plan.Times {
+		return nil
+	}
+	e.fired++
+	p := e.plan
+	return &p
+}
+
+// curtail reads the Search stage's forced curtail point without
+// consuming a firing.
+func (in *Injector) curtail() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if e := in.plans[Search]; e != nil {
+		return e.plan.CurtailLambda
+	}
+	return 0
+}
+
+// active is the process-global injector; nil (the default) disables all
+// injection.
+var active atomic.Pointer[Injector]
+
+// Activate installs in as the process-global injector (nil deactivates)
+// and returns a function restoring the previous one. Intended for tests:
+//
+//	defer faultinject.Activate(faultinject.New().
+//		Plan(faultinject.Search, faultinject.Plan{PanicValue: "boom"}))()
+func Activate(in *Injector) (restore func()) {
+	prev := active.Swap(in)
+	return func() { active.Store(prev) }
+}
+
+// Fire runs the faults planned for a stage boundary: it sleeps the
+// planned delay, panics with the planned value, or returns the planned
+// error. With no active injector (production) it is a no-op.
+func Fire(stage Stage) error {
+	in := active.Load()
+	if in == nil {
+		return nil
+	}
+	p := in.take(stage)
+	if p == nil {
+		return nil
+	}
+	if p.Delay > 0 {
+		time.Sleep(p.Delay)
+	}
+	if p.PanicValue != nil {
+		panic(p.PanicValue)
+	}
+	return p.Err
+}
+
+// CurtailLambda returns the forced curtail point for the search stage,
+// or 0 when none is planned.
+func CurtailLambda() int64 {
+	in := active.Load()
+	if in == nil {
+		return 0
+	}
+	return in.curtail()
+}

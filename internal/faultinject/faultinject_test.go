@@ -1,0 +1,73 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInactiveIsNoop(t *testing.T) {
+	for _, s := range Stages() {
+		if err := Fire(s); err != nil {
+			t.Fatalf("Fire(%s) with no injector = %v", s, err)
+		}
+	}
+	if CurtailLambda() != 0 {
+		t.Fatal("CurtailLambda with no injector != 0")
+	}
+}
+
+func TestErrAndTimes(t *testing.T) {
+	want := errors.New("injected")
+	restore := Activate(New().Plan(DAG, Plan{Err: want, Times: 2}))
+	defer restore()
+	for i := 0; i < 2; i++ {
+		if err := Fire(DAG); !errors.Is(err, want) {
+			t.Fatalf("firing %d = %v, want injected error", i, err)
+		}
+	}
+	if err := Fire(DAG); err != nil {
+		t.Fatalf("plan should be exhausted after Times firings, got %v", err)
+	}
+	if err := Fire(Search); err != nil {
+		t.Fatalf("unplanned stage fired: %v", err)
+	}
+}
+
+func TestPanicAndRestore(t *testing.T) {
+	restore := Activate(New().Plan(Codegen, Plan{PanicValue: "boom"}))
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("recovered %v, want boom", r)
+			}
+		}()
+		Fire(Codegen)
+		t.Error("Fire should have panicked")
+	}()
+	restore()
+	if err := Fire(Codegen); err != nil {
+		t.Fatalf("after restore Fire = %v", err)
+	}
+}
+
+func TestDelayAndCurtail(t *testing.T) {
+	defer Activate(New().
+		Plan(Opt, Plan{Delay: 10 * time.Millisecond}).
+		Plan(Search, Plan{CurtailLambda: 7}))()
+	start := time.Now()
+	if err := Fire(Opt); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("delay not applied: %v", d)
+	}
+	if got := CurtailLambda(); got != 7 {
+		t.Errorf("CurtailLambda = %d, want 7", got)
+	}
+	// Reading the curtail point must not consume a firing.
+	in := active.Load()
+	if n := in.Fired(Search); n != 0 {
+		t.Errorf("CurtailLambda consumed %d firings", n)
+	}
+}

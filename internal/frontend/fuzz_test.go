@@ -33,3 +33,35 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseFile checks the multi-block file parser never panics on
+// arbitrary input — with and without "block name { ... }" headers — and
+// that accepted files yield only parsable programs.
+func FuzzParseFile(f *testing.F) {
+	seeds := []string{
+		"a = b + c",
+		"block one { a = b * c }\nblock two { x = a + 1 }",
+		"block { }",
+		"block one {",
+		"block one { a = b } trailing",
+		"}{",
+		"block \x00 { a = b }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		parsed, err := ParseFile(src)
+		if err != nil {
+			return
+		}
+		for _, np := range parsed {
+			if np.Program == nil {
+				t.Fatalf("ParseFile returned a nil program for block %q", np.Name)
+			}
+			if _, err := Parse(np.Program.String()); err != nil {
+				t.Fatalf("block %q does not reparse: %v", np.Name, err)
+			}
+		}
+	})
+}

@@ -66,3 +66,35 @@ func FuzzParseBlocks(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseBlock checks the single-block entry point never panics and
+// that every accepted block is structurally valid — the invariant the
+// scheduling pipeline's degradation ladder relies on: anything that
+// parses can be scheduled, and anything broken fails with a typed error
+// rather than a crash.
+func FuzzParseBlock(f *testing.F) {
+	seeds := []string{
+		"1: Const 15\n2: Store #b, @1\n",
+		"blk:\n  1: Load #a\n  2: Mul @1, @1\n",
+		"1: Load #a\n1: Load #a\n",           // duplicate ID
+		"1: Mul @2, @2\n",                    // forward reference
+		"a:\n1: Load #x\n\nb:\n1: Load #y\n", // two blocks: must be rejected
+		"",
+		"; just a comment\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := ParseBlock(src)
+		if err != nil {
+			return
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("ParseBlock accepted an invalid block: %v\n%s", err, src)
+		}
+		if _, err := ParseBlock(b.String()); err != nil {
+			t.Fatalf("accepted block does not reparse: %v\n%s", err, b.String())
+		}
+	})
+}

@@ -1,10 +1,15 @@
 package ir
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 )
+
+// ErrInvalidBlock is wrapped by every error reporting a structurally
+// invalid tuple block, so callers can classify with errors.Is.
+var ErrInvalidBlock = errors.New("ir: invalid block")
 
 // OperandKind discriminates the four operand forms of a tuple.
 type OperandKind uint8
@@ -269,13 +274,13 @@ func (b *Block) Validate() error {
 	seen := make(map[int]int, len(b.Tuples)) // ID -> position
 	for i, t := range b.Tuples {
 		if !t.Op.Valid() {
-			return fmt.Errorf("ir: tuple at position %d has invalid op", i)
+			return fmt.Errorf("%w: tuple at position %d has invalid op", ErrInvalidBlock, i)
 		}
 		if t.ID <= 0 {
-			return fmt.Errorf("ir: tuple at position %d has non-positive ID %d", i, t.ID)
+			return fmt.Errorf("%w: tuple at position %d has non-positive ID %d", ErrInvalidBlock, i, t.ID)
 		}
 		if prev, dup := seen[t.ID]; dup {
-			return fmt.Errorf("ir: duplicate tuple ID %d at positions %d and %d", t.ID, prev, i)
+			return fmt.Errorf("%w: duplicate tuple ID %d at positions %d and %d", ErrInvalidBlock, t.ID, prev, i)
 		}
 		seen[t.ID] = i
 		if err := validateShape(t); err != nil {
@@ -284,11 +289,10 @@ func (b *Block) Validate() error {
 		for _, ref := range t.Refs() {
 			j, ok := seen[ref]
 			if !ok {
-				return fmt.Errorf("ir: tuple %d references %d which does not precede it", t.ID, ref)
+				return fmt.Errorf("%w: tuple %d references %d which does not precede it", ErrInvalidBlock, t.ID, ref)
 			}
 			if !b.Tuples[j].Op.ProducesValue() {
-				return fmt.Errorf("ir: tuple %d references %d (%s) which produces no value",
-					t.ID, ref, b.Tuples[j].Op)
+				return fmt.Errorf("%w: tuple %d references %d (%s) which produces no value", ErrInvalidBlock, t.ID, ref, b.Tuples[j].Op)
 			}
 		}
 	}
@@ -299,35 +303,35 @@ func validateShape(t Tuple) error {
 	switch t.Op {
 	case Nop:
 		if !t.A.IsNone() || !t.B.IsNone() {
-			return fmt.Errorf("ir: tuple %d: Nop takes no operands", t.ID)
+			return fmt.Errorf("%w: tuple %d: Nop takes no operands", ErrInvalidBlock, t.ID)
 		}
 	case Const:
 		if t.A.Kind != ImmOperand || !t.B.IsNone() {
-			return fmt.Errorf("ir: tuple %d: Const takes one immediate operand", t.ID)
+			return fmt.Errorf("%w: tuple %d: Const takes one immediate operand", ErrInvalidBlock, t.ID)
 		}
 	case Load:
 		if t.A.Kind != VarOperand || !t.B.IsNone() {
-			return fmt.Errorf("ir: tuple %d: Load takes one variable operand", t.ID)
+			return fmt.Errorf("%w: tuple %d: Load takes one variable operand", ErrInvalidBlock, t.ID)
 		}
 	case Store:
 		if t.A.Kind != VarOperand {
-			return fmt.Errorf("ir: tuple %d: Store's first operand must be a variable", t.ID)
+			return fmt.Errorf("%w: tuple %d: Store's first operand must be a variable", ErrInvalidBlock, t.ID)
 		}
 		if t.B.Kind != RefOperand && t.B.Kind != ImmOperand {
-			return fmt.Errorf("ir: tuple %d: Store's second operand must be a ref or immediate", t.ID)
+			return fmt.Errorf("%w: tuple %d: Store's second operand must be a ref or immediate", ErrInvalidBlock, t.ID)
 		}
 	case Neg:
 		if t.A.Kind != RefOperand || !t.B.IsNone() {
-			return fmt.Errorf("ir: tuple %d: Neg takes one ref operand", t.ID)
+			return fmt.Errorf("%w: tuple %d: Neg takes one ref operand", ErrInvalidBlock, t.ID)
 		}
 	case Add, Sub, Mul, Div, Mod:
 		for _, op := range []Operand{t.A, t.B} {
 			if op.Kind != RefOperand && op.Kind != ImmOperand {
-				return fmt.Errorf("ir: tuple %d: %s operands must be refs or immediates", t.ID, t.Op)
+				return fmt.Errorf("%w: tuple %d: %s operands must be refs or immediates", ErrInvalidBlock, t.ID, t.Op)
 			}
 		}
 	default:
-		return fmt.Errorf("ir: tuple %d: unknown op %v", t.ID, t.Op)
+		return fmt.Errorf("%w: tuple %d: unknown op %v", ErrInvalidBlock, t.ID, t.Op)
 	}
 	return nil
 }

@@ -38,23 +38,23 @@ func Parse(r io.Reader) (*Machine, error) {
 		switch fields[0] {
 		case "machine":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("machine: line %d: want 'machine <name>'", lineNo)
+				return nil, fmt.Errorf("%w: line %d: want 'machine <name>'", ErrInvalid, lineNo)
 			}
 			name = fields[1]
 		case "pipe":
 			p, err := parsePipe(fields)
 			if err != nil {
-				return nil, fmt.Errorf("machine: line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("%w: line %d: %w", ErrInvalid, lineNo, err)
 			}
 			pipes = append(pipes, p)
 		case "op":
 			op, ids, err := parseOpLine(fields)
 			if err != nil {
-				return nil, fmt.Errorf("machine: line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("%w: line %d: %w", ErrInvalid, lineNo, err)
 			}
 			opMap[op] = ids
 		default:
-			return nil, fmt.Errorf("machine: line %d: unknown directive %q", lineNo, fields[0])
+			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrInvalid, lineNo, fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -20,12 +20,21 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"pipesched/internal/ir"
 )
+
+// ErrInvalid is wrapped by every error reporting a structurally invalid
+// machine description, so callers can classify with errors.Is. An
+// invalid description must never reach the scheduler: zero or negative
+// latencies and enqueue times, empty pipeline tables, and op-map entries
+// naming unknown pipelines would silently corrupt the NOP-insertion
+// analysis.
+var ErrInvalid = errors.New("machine: invalid description")
 
 // NoPipeline is the identifier meaning σ(ζ) = ∅: the operation uses no
 // pipelined resource.
@@ -71,35 +80,39 @@ func (m *Machine) buildIndex() {
 	}
 }
 
-// Validate checks the machine description for structural errors.
+// Validate checks the machine description for structural errors. Every
+// violation wraps ErrInvalid.
 func (m *Machine) Validate() error {
+	if len(m.Pipelines) == 0 {
+		return fmt.Errorf("%w: empty pipeline table", ErrInvalid)
+	}
 	seen := map[int]bool{}
 	for _, p := range m.Pipelines {
 		if p.ID <= 0 {
-			return fmt.Errorf("machine: pipeline %q has non-positive ID %d", p.Function, p.ID)
+			return fmt.Errorf("%w: pipeline %q has non-positive ID %d", ErrInvalid, p.Function, p.ID)
 		}
 		if seen[p.ID] {
-			return fmt.Errorf("machine: duplicate pipeline ID %d", p.ID)
+			return fmt.Errorf("%w: duplicate pipeline ID %d", ErrInvalid, p.ID)
 		}
 		seen[p.ID] = true
 		if p.Latency < 1 {
-			return fmt.Errorf("machine: pipeline %d latency %d < 1", p.ID, p.Latency)
+			return fmt.Errorf("%w: pipeline %d latency %d < 1", ErrInvalid, p.ID, p.Latency)
 		}
 		if p.Enqueue < 1 {
-			return fmt.Errorf("machine: pipeline %d enqueue time %d < 1", p.ID, p.Enqueue)
+			return fmt.Errorf("%w: pipeline %d enqueue time %d < 1", ErrInvalid, p.ID, p.Enqueue)
 		}
 		if p.Enqueue > p.Latency {
-			return fmt.Errorf("machine: pipeline %d enqueue time %d exceeds latency %d",
-				p.ID, p.Enqueue, p.Latency)
+			return fmt.Errorf("%w: pipeline %d enqueue time %d exceeds latency %d",
+				ErrInvalid, p.ID, p.Enqueue, p.Latency)
 		}
 	}
 	for op, ids := range m.OpMap {
 		if !op.Valid() {
-			return fmt.Errorf("machine: op map contains invalid operation")
+			return fmt.Errorf("%w: op map contains invalid operation", ErrInvalid)
 		}
 		for _, id := range ids {
 			if id != NoPipeline && !seen[id] {
-				return fmt.Errorf("machine: op %s mapped to unknown pipeline %d", op, id)
+				return fmt.Errorf("%w: op %s mapped to unknown pipeline %d", ErrInvalid, op, id)
 			}
 		}
 	}

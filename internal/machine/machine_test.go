@@ -2,6 +2,7 @@ package machine
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -115,10 +116,37 @@ func TestValidateRejections(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if _, err := New("bad", c.pipes, c.opMap); err == nil {
-				t.Errorf("New accepted %s", c.name)
+			_, err := New("bad", c.pipes, c.opMap)
+			if err == nil {
+				t.Fatalf("New accepted %s", c.name)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("%s: error %v does not wrap ErrInvalid", c.name, err)
 			}
 		})
+	}
+}
+
+// TestErrInvalidClassification pins the ErrInvalid taxonomy: every way a
+// machine description can be structurally wrong — including an empty
+// pipeline table and parse-level violations — classifies with errors.Is.
+func TestErrInvalidClassification(t *testing.T) {
+	if _, err := New("empty", nil, nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty pipeline table: err = %v, want ErrInvalid", err)
+	}
+	bad := []string{
+		"machine x\npipe 1 loader latency=0 enqueue=1\n",
+		"machine x\npipe 1 loader latency=2 enqueue=0\n",
+		"machine x\npipe 1 loader latency=2 enqueue=1\nop Load -> {9}\n",
+		"machine x\n", // no pipelines at all
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); !errors.Is(err, ErrInvalid) {
+			t.Errorf("ParseString(%q): err = %v, want ErrInvalid", src, err)
+		}
+	}
+	if _, err := ParseString(SimulationMachine().String()); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"pipesched/internal/core"
 	"pipesched/internal/dag"
 	"pipesched/internal/ir"
+	"pipesched/internal/listsched"
 	"pipesched/internal/machine"
 	"pipesched/internal/nopins"
 )
@@ -42,12 +43,55 @@ type Result struct {
 	TotalNOPs  int
 	TotalTicks int  // issue tick of the final instruction
 	Optimal    bool // every block's search completed
+	// Stopped is the first block's early-stop reason (core.ErrBudget or
+	// a context error), or nil when every search ran to completion.
+	Stopped error
 }
+
+// blockScheduler produces one block's schedule given its DAG and the
+// entry state the preceding blocks left behind.
+type blockScheduler func(g *dag.Graph, entry *nopins.EntryState) (*core.Schedule, error)
 
 // Schedule schedules each block in order on m, threading pipeline state
 // across the boundaries. opts applies to every block's search (its Entry
 // and InitialOrder fields are overridden per block).
 func Schedule(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*Result, error) {
+	return scheduleWith(blocks, func(g *dag.Graph, entry *nopins.EntryState) (*core.Schedule, error) {
+		o := opts
+		o.InitialOrder = nil
+		o.Entry = entry
+		return core.Find(g, m, o)
+	})
+}
+
+// ScheduleSeed schedules each block with its list-schedule seed alone —
+// no branch-and-bound — while still threading pipeline state across the
+// boundaries. It is the heuristic fallback rung of the degradation
+// ladder: legal and hazard-free by the same entry-state analysis as
+// Schedule, just without optimality. Every block reports Optimal=false.
+func ScheduleSeed(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*Result, error) {
+	r, err := scheduleWith(blocks, func(g *dag.Graph, entry *nopins.EntryState) (*core.Schedule, error) {
+		order := listsched.Schedule(g, opts.SeedPriority)
+		eval := nopins.NewEvaluator(g, m, opts.Assign)
+		eval.SetEntryState(entry)
+		res, err := eval.EvaluateOrder(order)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Schedule{
+			Order: res.Order, Eta: res.Eta, Pipes: res.Pipes,
+			TotalNOPs: res.TotalNOPs, Ticks: res.Ticks,
+			InitialNOPs: res.TotalNOPs, Optimal: false,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Optimal = false
+	return r, nil
+}
+
+func scheduleWith(blocks []*ir.Block, schedule blockScheduler) (*Result, error) {
 	res := &Result{Optimal: true}
 	startTick := 0
 	pipeLast := map[int]int{}
@@ -60,10 +104,7 @@ func Schedule(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*Resul
 		for k, v := range pipeLast {
 			entryPipes[k] = v
 		}
-		o := opts
-		o.InitialOrder = nil
-		o.Entry = &nopins.EntryState{StartTick: startTick, PipeLast: entryPipes}
-		sched, err := core.Find(g, m, o)
+		sched, err := schedule(g, &nopins.EntryState{StartTick: startTick, PipeLast: entryPipes})
 		if err != nil {
 			return nil, fmt.Errorf("seqsched: block %d: %w", bi, err)
 		}
@@ -84,6 +125,9 @@ func Schedule(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*Resul
 		startTick = tick
 		res.TotalNOPs += sched.TotalNOPs
 		res.Optimal = res.Optimal && sched.Optimal
+		if res.Stopped == nil {
+			res.Stopped = sched.Stopped
+		}
 		res.Blocks = append(res.Blocks, bs)
 	}
 	res.TotalTicks = startTick

@@ -17,6 +17,7 @@
 package splitter
 
 import (
+	"context"
 	"fmt"
 
 	"pipesched/internal/core"
@@ -37,6 +38,10 @@ type Config struct {
 	SeedPriority listsched.Priority
 	// Assign selects the pipeline-binding mode.
 	Assign nopins.AssignMode
+	// Ctx, when non-nil, bounds the wall-clock time of every window's
+	// search (see core.Options.Ctx); expired windows fall back to their
+	// list-schedule seeds, so the result stays legal.
+	Ctx context.Context
 }
 
 func (c *Config) defaults() {
@@ -59,6 +64,7 @@ type Result struct {
 	Windows        int   // number of windows scheduled
 	OptimalWindows int   // windows whose search completed
 	OmegaCalls     int64 // total search placements across windows
+	Stopped        error // first window's early-stop reason, nil if none
 }
 
 // Schedule partitions and schedules g on m.
@@ -114,6 +120,7 @@ func Schedule(g *dag.Graph, m *machine.Machine, cfg Config) (*Result, error) {
 		}
 		sched, err := core.Find(sub, m, core.Options{
 			Lambda:       cfg.Lambda,
+			Ctx:          cfg.Ctx,
 			Assign:       cfg.Assign,
 			SeedPriority: cfg.SeedPriority,
 			Entry: &nopins.EntryState{
@@ -151,6 +158,9 @@ func Schedule(g *dag.Graph, m *machine.Machine, cfg Config) (*Result, error) {
 		res.Windows++
 		if sched.Optimal {
 			res.OptimalWindows++
+		}
+		if res.Stopped == nil {
+			res.Stopped = sched.Stopped
 		}
 		res.OmegaCalls += sched.Stats.OmegaCalls
 	}

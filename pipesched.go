@@ -24,6 +24,7 @@
 package pipesched
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,18 +32,11 @@ import (
 	"pipesched/internal/core"
 	"pipesched/internal/dag"
 	"pipesched/internal/exhaustive"
-	"pipesched/internal/frontend"
 	"pipesched/internal/gross"
 	"pipesched/internal/ir"
-	"pipesched/internal/listsched"
 	"pipesched/internal/machine"
 	"pipesched/internal/nopins"
-	"pipesched/internal/opt"
 	"pipesched/internal/regalloc"
-	"pipesched/internal/seqsched"
-	"pipesched/internal/sim"
-	"pipesched/internal/splitter"
-	"pipesched/internal/tuplegen"
 )
 
 // Machine describes the target processor: a pipeline table plus an
@@ -157,6 +151,13 @@ type Compiled struct {
 	Ticks       int   // total issue ticks (instructions + NOPs)
 	Optimal     bool  // true iff provably optimal (search completed)
 
+	// Quality is the degradation-ladder rung the schedule landed on;
+	// Optimal unless the search was cut short or a stage failed.
+	Quality Quality
+	// Faults lists stage failures that were isolated and recovered from
+	// (panics or injected faults); empty on a clean compilation.
+	Faults []*StageError
+
 	Registers *regalloc.Assignment
 	Assembly  string
 	Stats     SearchStats
@@ -164,126 +165,39 @@ type Compiled struct {
 
 // Compile parses, optionally optimizes, lowers, optimally schedules,
 // register-allocates and emits one source block for machine m.
+//
+// Compile keeps the legacy anytime contract: a curtailed search still
+// returns its best schedule with a nil error (check Compiled.Optimal or
+// Compiled.Quality). Use CompileCtx to also observe WHY a result is
+// degraded, or to bound compile time with a deadline.
 func Compile(src string, m *Machine, o Options) (*Compiled, error) {
-	block, err := tuplegen.Compile(src, "block")
-	if err != nil {
-		return nil, err
-	}
-	switch {
-	case o.Reassociate:
-		block = opt.OptimizeReassoc(block)
-	case o.Optimize:
-		block = opt.Optimize(block)
-	}
-	c, err := Schedule(block, m, o)
-	if err != nil {
-		return nil, err
-	}
-	c.Source = src
-	return c, nil
+	return suppressDegraded(CompileCtx(context.Background(), src, m, o))
 }
 
 // Schedule optimally schedules an existing tuple block for machine m and
-// carries the result through register allocation and code emission.
+// carries the result through register allocation and code emission. Like
+// Compile, it returns degraded-but-legal results with a nil error; use
+// ScheduleCtx for deadlines and the typed degradation errors.
 func Schedule(block *Block, m *Machine, o Options) (*Compiled, error) {
-	g, err := dag.Build(block)
-	if err != nil {
-		return nil, err
-	}
-	assign := nopins.AssignFixed
-	if o.AssignPipelines {
-		assign = nopins.AssignGreedy
-	}
-	lambda := o.Lambda
-	switch {
-	case lambda == 0:
-		lambda = DefaultLambda
-	case lambda < 0:
-		lambda = 0 // core treats 0 as unlimited
-	}
-	copts := core.Options{
-		Lambda:            lambda,
-		Assign:            assign,
-		AssignSearch:      o.AssignPipelines,
-		StrongEquivalence: o.StrongEquivalence,
-		SeedPriority:      listsched.ByHeight,
-	}
-	var sched *core.Schedule
-	if o.Workers > 1 {
-		sched, err = core.FindParallel(g, m, copts, o.Workers)
-	} else {
-		sched, err = core.Find(g, m, copts)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	c, err := finish(block, g, m, o, sched.Order, sched.Eta, sched.Pipes, sched.Optimal)
-	if err != nil {
-		return nil, err
-	}
-	c.InitialNOPs = sched.InitialNOPs
-	c.Stats = sched.Stats
-	return c, nil
+	return suppressDegraded(ScheduleCtx(context.Background(), block, m, o))
 }
 
-// finish carries a computed schedule through register allocation, code
-// emission and independent hazard re-verification.
-func finish(block *Block, g *dag.Graph, m *Machine, o Options,
-	order, eta, pipes []int, optimal bool) (*Compiled, error) {
-	scheduled, err := block.Permute(order)
-	if err != nil {
-		return nil, fmt.Errorf("pipesched: internal: %w", err)
+// suppressDegraded implements the legacy error contract: degradation
+// errors accompany a usable result and are dropped; only hard failures
+// (nil result) surface as errors.
+func suppressDegraded(c *Compiled, err error) (*Compiled, error) {
+	if c != nil {
+		return c, nil
 	}
-	regs, err := regalloc.Allocate(scheduled, o.Registers)
-	if err != nil {
-		return nil, err
+	return nil, err
+}
+
+// suppressDegradedSeq is suppressDegraded for block sequences.
+func suppressDegradedSeq(r *SequenceResult, err error) (*SequenceResult, error) {
+	if r != nil {
+		return r, nil
 	}
-	prog := codegen.Program{Block: scheduled, Eta: eta, Regs: regs}
-	if o.ExplainNOPs {
-		causes, err := sim.ExplainDelays(sim.Input{Graph: g, M: m, Order: order, Eta: eta, Pipes: pipes})
-		if err != nil {
-			return nil, err
-		}
-		prog.Notes = make([]string, len(order))
-		for _, c := range causes {
-			prog.Notes[c.Position] = c.Detail
-		}
-	}
-	if o.Mode == TeraInterlock {
-		back, err := sim.TeraCounts(sim.Input{Graph: g, M: m, Order: order, Eta: eta, Pipes: pipes})
-		if err != nil {
-			return nil, err
-		}
-		prog.Back = back
-	}
-	asm, err := codegen.Emit(prog, o.Mode)
-	if err != nil {
-		return nil, err
-	}
-	// Defense in depth: every schedule leaving the library is re-verified
-	// hazard-free by the independent simulator.
-	if _, err := sim.Run(sim.Input{
-		Graph: g, M: m, Order: order, Eta: eta, Pipes: pipes,
-	}, sim.NOPPadding); err != nil {
-		return nil, fmt.Errorf("pipesched: schedule failed verification: %w", err)
-	}
-	total := 0
-	for _, e := range eta {
-		total += e
-	}
-	return &Compiled{
-		Original:  block,
-		Scheduled: scheduled,
-		Order:     order,
-		Eta:       eta,
-		Pipes:     pipes,
-		TotalNOPs: total,
-		Ticks:     total + len(order),
-		Optimal:   optimal,
-		Registers: regs,
-		Assembly:  asm,
-	}, nil
+	return nil, err
 }
 
 // ScheduleLarge schedules a block using the section 5.3 splitting
@@ -294,33 +208,7 @@ func finish(block *Block, g *dag.Graph, m *Machine, o Options,
 // the result is legal and hazard-free but only per-window optimal.
 // Compiled.Optimal reports whether every window's search completed.
 func ScheduleLarge(block *Block, m *Machine, window int, o Options) (*Compiled, error) {
-	g, err := dag.Build(block)
-	if err != nil {
-		return nil, err
-	}
-	lambda := o.Lambda
-	switch {
-	case lambda == 0:
-		lambda = DefaultLambda
-	case lambda < 0:
-		lambda = 0
-	}
-	assign := nopins.AssignFixed
-	if o.AssignPipelines {
-		assign = nopins.AssignGreedy
-	}
-	r, err := splitter.Schedule(g, m, splitter.Config{
-		Window: window, Lambda: lambda, Assign: assign,
-	})
-	if err != nil {
-		return nil, err
-	}
-	c, err := finish(block, g, m, o, r.Order, r.Eta, r.Pipes, r.OptimalWindows == r.Windows)
-	if err != nil {
-		return nil, err
-	}
-	c.Stats.OmegaCalls = r.OmegaCalls
-	return c, nil
+	return suppressDegraded(ScheduleLargeCtx(context.Background(), block, m, window, o))
 }
 
 // SequenceResult is the outcome of scheduling consecutive blocks with
@@ -330,6 +218,8 @@ type SequenceResult struct {
 	TotalNOPs  int
 	TotalTicks int  // issue tick of the final instruction of the sequence
 	Optimal    bool // every block's search completed
+	// Quality is the worst degradation-ladder rung across the blocks.
+	Quality Quality
 }
 
 // ScheduleSequence schedules a straight-line sequence of blocks,
@@ -341,100 +231,7 @@ type SequenceResult struct {
 // leading NOPs implement the boundary delays) and per-block register
 // allocation; TotalNOPs and TotalTicks describe the whole sequence.
 func ScheduleSequence(blocks []*Block, m *Machine, o Options) (*SequenceResult, error) {
-	lambda := o.Lambda
-	switch {
-	case lambda == 0:
-		lambda = DefaultLambda
-	case lambda < 0:
-		lambda = 0
-	}
-	assign := nopins.AssignFixed
-	if o.AssignPipelines {
-		assign = nopins.AssignGreedy
-	}
-	r, err := seqsched.Schedule(blocks, m, core.Options{
-		Lambda:            lambda,
-		Assign:            assign,
-		AssignSearch:      o.AssignPipelines,
-		StrongEquivalence: o.StrongEquivalence,
-		SeedPriority:      listsched.ByHeight,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := &SequenceResult{TotalNOPs: r.TotalNOPs, TotalTicks: r.TotalTicks, Optimal: r.Optimal}
-	for i, bs := range r.Blocks {
-		c, err := finishSequenceBlock(blocks[i], bs, m, o)
-		if err != nil {
-			return nil, err
-		}
-		out.Blocks = append(out.Blocks, c)
-	}
-	return out, nil
-}
-
-// finishSequenceBlock emits one block of a threaded sequence. The
-// block's η values include boundary delays imposed by the PREVIOUS
-// blocks' pipeline state, so the cold-start hazard re-verification of
-// finish does not apply; the sequence-level verification lives in
-// internal/seqsched (Flatten + simulator), exercised by its tests.
-func finishSequenceBlock(block *Block, bs seqsched.BlockSchedule, m *Machine, o Options) (*Compiled, error) {
-	scheduled, err := block.Permute(bs.Sched.Order)
-	if err != nil {
-		return nil, fmt.Errorf("pipesched: internal: %w", err)
-	}
-	regs, err := regalloc.Allocate(scheduled, o.Registers)
-	if err != nil {
-		return nil, err
-	}
-	prog := codegen.Program{Block: scheduled, Eta: bs.Sched.Eta, Regs: regs}
-	if o.ExplainNOPs {
-		// Boundary delays reference state outside the block's own graph,
-		// so explanation runs against the block-local constraints only;
-		// unexplainable (boundary-caused) delays keep a generic note.
-		if causes, err := sim.ExplainDelays(sim.Input{
-			Graph: bs.Graph, M: m, Order: bs.Sched.Order, Eta: bs.Sched.Eta, Pipes: bs.Sched.Pipes,
-		}); err == nil {
-			prog.Notes = make([]string, len(bs.Sched.Order))
-			for _, c := range causes {
-				prog.Notes[c.Position] = c.Detail
-			}
-		} else {
-			prog.Notes = make([]string, len(bs.Sched.Order))
-			for i, eta := range bs.Sched.Eta {
-				if eta > 0 {
-					prog.Notes[i] = fmt.Sprintf("waits %d ticks (includes cross-block pipeline state)", eta)
-				}
-			}
-		}
-	}
-	if o.Mode == TeraInterlock {
-		back, err := sim.TeraCounts(sim.Input{
-			Graph: bs.Graph, M: m, Order: bs.Sched.Order, Eta: bs.Sched.Eta, Pipes: bs.Sched.Pipes,
-		})
-		if err != nil {
-			return nil, err
-		}
-		prog.Back = back
-	}
-	asm, err := codegen.Emit(prog, o.Mode)
-	if err != nil {
-		return nil, err
-	}
-	return &Compiled{
-		Original:    block,
-		Scheduled:   scheduled,
-		Order:       bs.Sched.Order,
-		Eta:         bs.Sched.Eta,
-		Pipes:       bs.Sched.Pipes,
-		TotalNOPs:   bs.Sched.TotalNOPs,
-		InitialNOPs: bs.Sched.InitialNOPs,
-		Ticks:       bs.EndTick,
-		Optimal:     bs.Sched.Optimal,
-		Registers:   regs,
-		Assembly:    asm,
-		Stats:       bs.Sched.Stats,
-	}, nil
+	return suppressDegradedSeq(ScheduleSequenceCtx(context.Background(), blocks, m, o))
 }
 
 // GreedyBaseline schedules block with the Gross-style greedy postpass
@@ -467,36 +264,7 @@ func CountLegalSchedules(block *Block, limit int64) (int64, error) {
 // Options, optimized — independently, exactly as the paper's compiler
 // treats basic blocks, then ScheduleSequence applies footnote 1.
 func CompileSequence(src string, m *Machine, o Options) (*SequenceResult, error) {
-	parsed, err := frontend.ParseFile(src)
-	if err != nil {
-		return nil, err
-	}
-	var blocks []*Block
-	for i, np := range parsed {
-		label := np.Name
-		if label == "" {
-			label = fmt.Sprintf("block%d", i)
-		}
-		b, err := tuplegen.Generate(np.Program, label)
-		if err != nil {
-			return nil, err
-		}
-		switch {
-		case o.Reassociate:
-			b = opt.OptimizeReassoc(b)
-		case o.Optimize:
-			b = opt.Optimize(b)
-		}
-		blocks = append(blocks, b)
-	}
-	r, err := ScheduleSequence(blocks, m, o)
-	if err != nil {
-		return nil, err
-	}
-	for i := range r.Blocks {
-		r.Blocks[i].Source = src
-	}
-	return r, nil
+	return suppressDegradedSeq(CompileSequenceCtx(context.Background(), src, m, o))
 }
 
 // Report renders a human-readable compilation report: the machine, the
@@ -516,6 +284,14 @@ func (c *Compiled) Report(m *Machine) string {
 	fmt.Fprintf(&sb, "NOPs:         %d (seed had %d)\n", c.TotalNOPs, c.InitialNOPs)
 	fmt.Fprintf(&sb, "ticks:        %d\n", c.Ticks)
 	fmt.Fprintf(&sb, "optimal:      %v\n", c.Optimal)
+	fmt.Fprintf(&sb, "quality:      %s\n", c.Quality)
+	if len(c.Faults) > 0 {
+		fmt.Fprintf(&sb, "faults:       %d stage failure(s) isolated", len(c.Faults))
+		for _, f := range c.Faults {
+			fmt.Fprintf(&sb, " [%s]", f.Stage)
+		}
+		fmt.Fprintln(&sb)
+	}
 	st := c.Stats
 	fmt.Fprintf(&sb, "search:       Ω=%d examined=%d improvements=%d curtailed=%v\n",
 		st.OmegaCalls, st.SchedulesExamined, st.Improvements, st.Curtailed)
