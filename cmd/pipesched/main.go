@@ -15,7 +15,12 @@
 //	-timeout d       wall-clock compile budget, e.g. 500ms (0 = none)
 //	-registers n     architectural registers (0 = unlimited)
 //	-assign          enable the pipeline-assignment extension
-//	-stats           print search statistics to stderr
+//	-workers n       parallel search workers (0/1 = sequential)
+//	-stats           print search statistics (with per-prune breakdown,
+//	                 per-stage timings and the degradation reason)
+//	-stats-json f    write structured telemetry events as JSONL to f
+//	-metrics-addr a  serve /metrics, /debug/vars, /debug/pprof on a
+//	-trace-out f     write the search tree as Chrome trace_event JSON
 //
 // Exit status: 0 when the emitted schedule is provably optimal and no
 // stage failed; 2 when a legal schedule was emitted but degraded (the
@@ -26,15 +31,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"pipesched"
 	"pipesched/internal/dag"
 	"pipesched/internal/machine"
 	"pipesched/internal/sim"
+	"pipesched/internal/telemetry"
 )
 
 func main() {
@@ -55,7 +63,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "wall-clock compile budget (0 = none); on expiry the best schedule found so far is emitted with exit status 2")
 		registers = fs.Int("registers", 0, "architectural registers (0 = unlimited)")
 		assign    = fs.Bool("assign", false, "enable pipeline-assignment extension")
+		workers   = fs.Int("workers", 0, "parallel search workers (0 or 1 = sequential)")
 		stats     = fs.Bool("stats", false, "print search statistics")
+		statsJSON = fs.String("stats-json", "", "write telemetry events as JSON lines to this file")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+		traceOut  = fs.String("trace-out", "", "write the search tree as Chrome trace_event JSON to this file")
 		timeline  = fs.Bool("timeline", false, "print a tick-by-tick pipeline occupancy timeline")
 		explain   = fs.Bool("explain", false, "annotate delays with their binding constraint")
 		report    = fs.Bool("report", false, "print a full compilation report instead of bare assembly")
@@ -87,6 +99,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	// Observability: -stats, -stats-json and -metrics-addr all ride on
+	// the telemetry layer; it stays off (and costs ~nothing) otherwise.
+	var pm *pipesched.Telemetry
+	if *stats || *statsJSON != "" || *metrics != "" {
+		pm = pipesched.EnableTelemetry()
+		defer pipesched.DisableTelemetry()
+	}
+	if *statsJSON != "" {
+		f, err := os.Create(*statsJSON)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		pm.SetSink(pipesched.NewJSONLTelemetrySink(f))
+	}
+	if *metrics != "" {
+		bound, stop, err := pipesched.ServeTelemetry(*metrics, pm)
+		if err != nil {
+			return fail(err)
+		}
+		defer stop()
+		fmt.Fprintf(stderr, "telemetry: serving http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+	}
+	var trace *pipesched.SearchTrace
+	if *traceOut != "" {
+		trace = &pipesched.SearchTrace{Limit: 200_000}
+	}
+
 	opts := pipesched.Options{
 		Lambda:          *lambda,
 		Optimize:        *optimize,
@@ -94,6 +135,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Mode:            mode,
 		AssignPipelines: *assign,
 		ExplainNOPs:     *explain,
+		Workers:         *workers,
+		Trace:           trace,
 	}
 
 	degraded := func(err error) int {
@@ -102,6 +145,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "pipesched: degraded result: %v\n", err)
 		return 2
+	}
+
+	// finish runs the end-of-compilation observability outputs shared by
+	// both input paths: the Chrome search trace, the per-stage timing
+	// line, and the degraded-exit accounting.
+	finish := func(cerr error, label string) int {
+		if trace != nil {
+			if err := writeChromeTrace(*traceOut, trace, label); err != nil {
+				return fail(err)
+			}
+		}
+		if *stats && pm != nil {
+			printStageTimes(stderr, pm)
+		}
+		return degraded(cerr)
 	}
 
 	if *tuples {
@@ -116,14 +174,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *report {
 			fmt.Fprint(stdout, compiled.Report(m))
 		} else {
-			emit(stdout, stderr, compiled, m, *stats)
+			emit(stdout, stderr, compiled, m, *stats, degradationReason(cerr))
 		}
 		if *timeline {
 			if err := printTimeline(stderr, compiled, m); err != nil {
 				return fail(err)
 			}
 		}
-		return degraded(cerr)
+		return finish(cerr, compiled.Scheduled.Label)
 	}
 	// Multi-block sources are scheduled as a sequence with pipeline
 	// state threaded across the boundaries; plain sources produce one
@@ -132,11 +190,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if seq == nil {
 		return fail(cerr)
 	}
+	reason := degradationReason(cerr)
 	for _, c := range seq.Blocks {
 		if *report {
 			fmt.Fprint(stdout, c.Report(m))
 		} else {
-			emit(stdout, stderr, c, m, *stats)
+			emit(stdout, stderr, c, m, *stats, reason)
 		}
 		if *timeline {
 			if err := printTimeline(stderr, c, m); err != nil {
@@ -148,18 +207,78 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sequence: blocks=%d total-nops=%d total-ticks=%d optimal=%t quality=%s\n",
 			len(seq.Blocks), seq.TotalNOPs, seq.TotalTicks, seq.Optimal, seq.Quality)
 	}
-	return degraded(cerr)
+	label := "block"
+	if len(seq.Blocks) > 0 {
+		label = seq.Blocks[0].Scheduled.Label
+	}
+	return finish(cerr, label)
 }
 
-// emit prints one compiled block and, optionally, its statistics line.
-func emit(stdout, stderr io.Writer, c *pipesched.Compiled, m *pipesched.Machine, stats bool) {
+// emit prints one compiled block and, optionally, its statistics lines:
+// the summary (now carrying the degradation reason whenever the quality
+// rung is below optimal) and the per-prune breakdown.
+func emit(stdout, stderr io.Writer, c *pipesched.Compiled, m *pipesched.Machine, stats bool, reason string) {
 	fmt.Fprint(stdout, c.Assembly)
-	if stats {
-		fmt.Fprintf(stderr,
-			"machine=%s block=%s instructions=%d nops=%d ticks=%d optimal=%t quality=%s seed-nops=%d omega=%d elapsed=%s\n",
-			m.Name, c.Scheduled.Label, c.Scheduled.Len(), c.TotalNOPs, c.Ticks,
-			c.Optimal, c.Quality, c.InitialNOPs, c.Stats.OmegaCalls, c.Stats.Elapsed)
+	if !stats {
+		return
 	}
+	line := fmt.Sprintf(
+		"machine=%s block=%s instructions=%d nops=%d ticks=%d optimal=%t quality=%s",
+		m.Name, c.Scheduled.Label, c.Scheduled.Len(), c.TotalNOPs, c.Ticks,
+		c.Optimal, c.Quality)
+	if c.Quality != pipesched.Optimal && reason != "" {
+		line += " reason=" + reason
+	}
+	st := c.Stats
+	fmt.Fprintf(stderr, "%s seed-nops=%d omega=%d elapsed=%s\n", line,
+		c.InitialNOPs, st.OmegaCalls, st.Elapsed)
+	fmt.Fprintf(stderr,
+		"pruned: bounds=%d illegal=%d equivalence=%d strong=%d alphabeta=%d lowerbound=%d examined=%d improvements=%d\n",
+		st.PrunedBounds, st.PrunedIllegal, st.PrunedEquivalence, st.PrunedStrongEquiv,
+		st.PrunedAlphaBeta, st.PrunedLowerBound, st.SchedulesExamined, st.Improvements)
+}
+
+// degradationReason names the sentinel (or stage fault) behind a
+// degraded result, for the -stats summary line. Empty when err is nil.
+func degradationReason(err error) string {
+	var se *pipesched.StageError
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, pipesched.ErrCurtailed):
+		return "ErrCurtailed"
+	case errors.Is(err, pipesched.ErrDeadline):
+		return "ErrDeadline"
+	case errors.Is(err, pipesched.ErrCanceled):
+		return "ErrCanceled"
+	case errors.As(err, &se):
+		return "StageError:" + se.Stage
+	}
+	return "error"
+}
+
+// printStageTimes renders the cumulative wall time the telemetry layer
+// recorded per pipeline stage.
+func printStageTimes(w io.Writer, pm *pipesched.Telemetry) {
+	fmt.Fprintf(w, "stages:")
+	for _, st := range telemetry.Stages {
+		h := pm.StageDuration(st)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, " %s=%s", st, time.Duration(h.Sum())*time.Microsecond)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeChromeTrace converts the recorded search trace to Chrome
+// trace_event JSON and writes it to path.
+func writeChromeTrace(path string, tr *pipesched.SearchTrace, label string) error {
+	data, err := pipesched.ChromeTrace(tr, label)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func pickMachine(preset, file string) (*pipesched.Machine, error) {

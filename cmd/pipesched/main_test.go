@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -186,5 +187,129 @@ func TestDriverPathways(t *testing.T) {
 	}
 	if _, err := pipesched.Schedule(block, m, pipesched.Options{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunStatsBreakdown checks the extended -stats output: the per-prune
+// breakdown line always, and the degradation reason when not optimal.
+func TestRunStatsBreakdown(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "in.src")
+	if err := os.WriteFile(src, []byte(chainSource()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-stats", "-lambda", "10", src}, &stdout, &stderr); got != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr: %s)", got, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "reason=ErrCurtailed") {
+		t.Errorf("stats missing degradation reason: %s", out)
+	}
+	if !strings.Contains(out, "pruned: bounds=") || !strings.Contains(out, "alphabeta=") {
+		t.Errorf("stats missing prune breakdown: %s", out)
+	}
+	if !strings.Contains(out, "stages: ") {
+		t.Errorf("stats missing per-stage timings: %s", out)
+	}
+	// An optimal compile must not print a reason.
+	stdout.Reset()
+	stderr.Reset()
+	tiny := filepath.Join(dir, "tiny.src")
+	if err := os.WriteFile(tiny, []byte("a = b * c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"-stats", tiny}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, want 0", got)
+	}
+	if strings.Contains(stderr.String(), "reason=") {
+		t.Errorf("optimal compile printed a degradation reason: %s", stderr.String())
+	}
+}
+
+// TestRunTraceOut checks -trace-out writes loadable Chrome trace JSON.
+func TestRunTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "in.src")
+	if err := os.WriteFile(src, []byte(chainSource()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "trace.json")
+	var stdout, stderr bytes.Buffer
+	// chainSource may curtail under the default λ (exit 2); the trace is
+	// written either way.
+	if got := run([]string{"-trace-out", out, src}, &stdout, &stderr); got == 1 {
+		t.Fatalf("exit = %d (stderr: %s)", got, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("trace file not JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Error("trace file has no events")
+	}
+	// -trace-out composes with a parallel search (satellite: the trace
+	// buffer is mutex-guarded).
+	out2 := filepath.Join(dir, "trace2.json")
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-trace-out", out2, "-workers", "4", src}, &stdout, &stderr); got == 1 {
+		t.Fatalf("parallel trace exit = %d (stderr: %s)", got, stderr.String())
+	}
+	if _, err := os.Stat(out2); err != nil {
+		t.Errorf("parallel -trace-out wrote nothing: %v", err)
+	}
+}
+
+// TestRunStatsJSON checks -stats-json emits one JSON object per event.
+func TestRunStatsJSON(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "in.src")
+	if err := os.WriteFile(src, []byte("a = b * c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "events.jsonl")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-stats-json", out, src}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds["span"] == 0 || kinds["compile"] == 0 || kinds["search"] == 0 {
+		t.Errorf("event kinds = %v, want span+search+compile", kinds)
+	}
+}
+
+// TestRunMetricsAddr checks -metrics-addr binds and announces itself.
+func TestRunMetricsAddr(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "in.src")
+	if err := os.WriteFile(src, []byte("a = b * c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-metrics-addr", "127.0.0.1:0", src}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "telemetry: serving http://127.0.0.1:") {
+		t.Errorf("no bound-address announcement: %s", stderr.String())
 	}
 }

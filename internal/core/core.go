@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -594,25 +595,55 @@ func (e TraceEvent) String() string {
 // SearchTrace records the first Limit events of a search when attached
 // to Options.Trace. It exists for debugging and teaching: the recorded
 // prefix shows exactly how the pruning rules interact on a block.
+//
+// A SearchTrace is safe to share between the workers of a parallel
+// search: once the limit is reached, a lock-free full check keeps the
+// hot path cheap; until then recording takes a mutex, so worker events
+// interleave but never race. Read Events only after the search returns
+// (or via Snapshot, which locks).
 type SearchTrace struct {
 	Limit  int // maximum events kept (0 = 1000)
 	Events []TraceEvent
+
+	mu   sync.Mutex
+	full atomic.Bool
+}
+
+func (t *SearchTrace) limit() int {
+	if t.Limit <= 0 {
+		return 1000
+	}
+	return t.Limit
 }
 
 func (t *SearchTrace) add(e TraceEvent) {
-	limit := t.Limit
-	if limit <= 0 {
-		limit = 1000
+	if t.full.Load() {
+		return
 	}
-	if len(t.Events) < limit {
-		t.Events = append(t.Events, e)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.Events) >= t.limit() {
+		t.full.Store(true)
+		return
 	}
+	t.Events = append(t.Events, e)
+	if len(t.Events) >= t.limit() {
+		t.full.Store(true)
+	}
+}
+
+// Snapshot returns a copy of the recorded events, safe to call while a
+// search is still running.
+func (t *SearchTrace) Snapshot() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.Events...)
 }
 
 // String renders the recorded prefix, one event per line.
 func (t *SearchTrace) String() string {
 	var sb strings.Builder
-	for _, e := range t.Events {
+	for _, e := range t.Snapshot() {
 		sb.WriteString(e.String())
 		sb.WriteString("\n")
 	}
@@ -622,7 +653,7 @@ func (t *SearchTrace) String() string {
 // Count returns how many recorded events have the given action.
 func (t *SearchTrace) Count(a TraceAction) int {
 	n := 0
-	for _, e := range t.Events {
+	for _, e := range t.Snapshot() {
 		if e.Action == a {
 			n++
 		}

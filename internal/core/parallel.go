@@ -22,7 +22,8 @@ import (
 // search space is fixed; only its traversal interleaves), but WHICH
 // optimal schedule is returned may differ between runs and from Find
 // when several optima exist, and the Ω-call total varies with timing.
-// Options.Trace is ignored (per-worker traces would interleave).
+// Options.Trace is honored: SearchTrace is mutex-guarded, so worker
+// events interleave (in nondeterministic order) but never race.
 // workers <= 0 selects GOMAXPROCS.
 func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (*Schedule, error) {
 	if workers <= 0 {
@@ -31,7 +32,6 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 	if g.N == 0 {
 		return &Schedule{Optimal: true, Order: []int{}, Eta: []int{}, Pipes: []int{}}, nil
 	}
-	opts.Trace = nil
 
 	seed := opts.InitialOrder
 	if seed == nil {

@@ -36,12 +36,20 @@ func StdDev(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) by linear
-// interpolation over the sorted sample.
+// interpolation over the sorted sample. NaN samples are dropped before
+// ranking (sort.Float64s would otherwise scatter them and poison the
+// interpolation); a NaN p or an input with no non-NaN samples returns 0,
+// like the empty input.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 || math.IsNaN(p) {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]

@@ -42,6 +42,55 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileEdgeCases(t *testing.T) {
+	// Empty and all-NaN inputs are both "no samples".
+	if got := Percentile(nil, 0); got != 0 {
+		t.Errorf("P0 of empty = %v, want 0", got)
+	}
+	if got := Percentile([]float64{math.NaN(), math.NaN()}, 50); got != 0 {
+		t.Errorf("P50 of all-NaN = %v, want 0", got)
+	}
+	// A single sample is every percentile.
+	for _, p := range []float64{0, 37.5, 50, 100} {
+		if got := Percentile([]float64{42}, p); !almostEq(got, 42) {
+			t.Errorf("P%v of single sample = %v, want 42", p, got)
+		}
+	}
+	// p clamps at the extremes, including out-of-range requests.
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, -10); !almostEq(got, 1) {
+		t.Errorf("P(-10) = %v, want min", got)
+	}
+	if got := Percentile(xs, 0); !almostEq(got, 1) {
+		t.Errorf("P0 = %v, want min", got)
+	}
+	if got := Percentile(xs, 100); !almostEq(got, 3) {
+		t.Errorf("P100 = %v, want max", got)
+	}
+	if got := Percentile(xs, 250); !almostEq(got, 3) {
+		t.Errorf("P250 = %v, want max", got)
+	}
+}
+
+func TestPercentileNaNGuard(t *testing.T) {
+	// NaN samples are dropped, not sorted into the ranking.
+	xs := []float64{math.NaN(), 1, math.NaN(), 3, 2, math.NaN()}
+	if got := Percentile(xs, 50); !almostEq(got, 2) {
+		t.Errorf("P50 with NaN samples = %v, want 2", got)
+	}
+	if got := Percentile(xs, 100); !almostEq(got, 3) {
+		t.Errorf("P100 with NaN samples = %v, want 3", got)
+	}
+	// A NaN percentile request cannot rank anything.
+	if got := Percentile([]float64{1, 2, 3}, math.NaN()); got != 0 {
+		t.Errorf("P(NaN) = %v, want 0", got)
+	}
+	// The result is never NaN for inputs with at least one real sample.
+	if got := Percentile(xs, 50); math.IsNaN(got) {
+		t.Error("percentile of guarded input is NaN")
+	}
+}
+
 func TestMinMax(t *testing.T) {
 	min, max := MinMax([]float64{3, -1, 7, 0})
 	if min != -1 || max != 7 {

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pipesched/internal/core"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// consumed by chrome://tracing and https://ui.perfetto.dev).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace converts a recorded search trace into Chrome trace_event
+// JSON, so one block's search tree can be opened in chrome://tracing.
+//
+// The search has no wall-clock timestamps — events are steps — so the
+// converter uses the event index as a synthetic microsecond clock. Each
+// "place" opens a duration slice; the DFS structure is reconstructed
+// from the event depths, so the flame graph IS the explored search tree.
+// Prunes, improvements and the curtail point render as instant events
+// inside the slice that triggered them, with the node, η and μ values in
+// the event args.
+func ChromeTrace(t *core.SearchTrace, block string) ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("telemetry: nil search trace")
+	}
+	if block == "" {
+		block = "block"
+	}
+	const pid, tid = 1, 1
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents,
+		chromeEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": "pipesched branch-and-bound"}},
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": "search: " + block}},
+	)
+
+	// open holds the depths of currently-open "place" slices (a strictly
+	// increasing stack mirroring the DFS descent).
+	var open []int
+	ts := int64(0)
+	closeDownTo := func(depth int) {
+		for len(open) > 0 && open[len(open)-1] >= depth {
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "place", Ph: "E", Ts: ts, Pid: pid, Tid: tid})
+			open = open[:len(open)-1]
+		}
+	}
+	for _, e := range t.Events {
+		args := map[string]any{"depth": e.Depth, "node": e.Node, "eta": e.Eta, "mu": e.Mu}
+		switch e.Action {
+		case core.TracePlace:
+			closeDownTo(e.Depth)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("place n%d", e.Node), Cat: string(e.Action),
+				Ph: "B", Ts: ts, Pid: pid, Tid: tid, Args: args,
+			})
+			open = append(open, e.Depth)
+		case core.TraceImprove, core.TraceAlphaBeta, core.TraceLowerBound, core.TraceCurtail:
+			// Emitted inside the placement at the same depth: keep that
+			// slice open so the instant renders within it.
+			closeDownTo(e.Depth + 1)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("%s n%d", e.Action, e.Node), Cat: string(e.Action),
+				Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t", Args: args,
+			})
+		default:
+			// Candidate rejections happen while filling position Depth,
+			// i.e. inside the slice for Depth-1; the rejected candidate
+			// never opened a slice of its own.
+			closeDownTo(e.Depth)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("%s n%d", e.Action, e.Node), Cat: string(e.Action),
+				Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t", Args: args,
+			})
+		}
+		ts++
+	}
+	closeDownTo(0)
+	return json.MarshalIndent(out, "", " ")
+}

@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLSink writes every event as one JSON object per line — the
+// structured-event exporter for log shippers and offline analysis. It is
+// safe for concurrent Emit calls.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   int64
+}
+
+// NewJSONLSink wraps w in a line-delimited JSON event sink. The sink
+// does not buffer beyond w itself; pass a bufio.Writer (and flush it)
+// for high event rates.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line. Encoding errors are dropped — a broken
+// sink must not take the pipeline down.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(e); err == nil {
+		s.n++
+	}
+}
+
+// Count returns how many events were successfully written.
+func (s *JSONLSink) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

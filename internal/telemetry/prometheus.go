@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4). Families appear in
+// registration order; series within a family in first-use order.
+// Histograms are exported with cumulative le buckets whose boundaries
+// are the log2 bucket bounds scaled by the family's unit.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	f.mu.Lock()
+	labels := append([]string(nil), f.order...)
+	series := make([]any, len(labels))
+	for i, l := range labels {
+		series[i] = f.series[l]
+	}
+	f.mu.Unlock()
+
+	typ := map[kind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ); err != nil {
+		return err
+	}
+	for i, l := range labels {
+		switch s := series[i].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, l, s.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, l, s.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writeHistogram(w, f.name, l, s, f.unit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative bucket, sum and count series of
+// one histogram, merging the extra le label into the series labels.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram, unit float64) error {
+	withLE := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return strings.TrimSuffix(labels, "}") + fmt.Sprintf(",le=%q}", le)
+	}
+	var cum int64
+	for i := 0; i < h.NumBuckets(); i++ {
+		n := h.Bucket(i)
+		cum += n
+		if n == 0 && i < h.NumBuckets()-1 {
+			continue // sparse output: only emit boundaries that gained counts
+		}
+		bound := h.UpperBound(i)
+		le := "+Inf"
+		if !math.IsInf(bound, 1) {
+			le = formatFloat(bound * unit)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(float64(h.Sum())*unit)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%g", v), "0"), ".")
+}
+
+// Snapshot returns a flat name→value map of every counter and gauge plus
+// per-histogram count/sum entries, suitable for expvar publication and
+// tests. Keys are the family name plus rendered labels.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := map[string]int64{}
+	for _, f := range r.snapshotFamilies() {
+		f.mu.Lock()
+		for l, s := range f.series {
+			switch v := s.(type) {
+			case *Counter:
+				out[f.name+l] = v.Value()
+			case *Gauge:
+				out[f.name+l] = v.Value()
+			case *Histogram:
+				out[f.name+"_count"+l] = v.Count()
+				out[f.name+"_sum"+l] = v.Sum()
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// String renders the registry in Prometheus text format (for debugging).
+func (r *Registry) String() string {
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	return sb.String()
+}
+
+// sortedKeys is a small test/export helper.
+func sortedKeys(m map[string]int64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

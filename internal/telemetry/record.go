@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"time"
+
+	"pipesched/internal/core"
+)
+
+// RecordSearch folds one branch-and-bound run's statistics into the
+// metric set: every TraceAction kind becomes a counter increment —
+// place (Ω calls), improve, the prune classes, curtail — plus the
+// per-search Ω histogram. Called once per search, off the hot path, so
+// the inner loop pays nothing for metrics.
+func (m *Metrics) RecordSearch(block string, st core.Stats) {
+	if m == nil {
+		return
+	}
+	m.OmegaCalls.Add(st.OmegaCalls)
+	m.SeedOmega.Add(st.SeedOmegaCalls)
+	m.Schedules.Add(st.SchedulesExamined)
+	m.Improves.Add(st.Improvements)
+	m.searchOm.Observe(st.OmegaCalls)
+	for i, n := range []int64{
+		st.PrunedBounds, st.PrunedIllegal, st.PrunedEquivalence,
+		st.PrunedStrongEquiv, st.PrunedAlphaBeta, st.PrunedLowerBound,
+	} {
+		m.Prunes[i].Add(n)
+	}
+	if st.Curtailed {
+		m.Curtailed.Inc()
+	}
+	m.emit(Event{Kind: "search", Block: block, Nanos: st.Elapsed.Nanoseconds(), Fields: map[string]int64{
+		"omega":            st.OmegaCalls,
+		"seed_omega":       st.SeedOmegaCalls,
+		"schedules":        st.SchedulesExamined,
+		"improvements":     st.Improvements,
+		"prune_bounds":     st.PrunedBounds,
+		"prune_illegal":    st.PrunedIllegal,
+		"prune_equiv":      st.PrunedEquivalence,
+		"prune_strong":     st.PrunedStrongEquiv,
+		"prune_alphabeta":  st.PrunedAlphaBeta,
+		"prune_lowerbound": st.PrunedLowerBound,
+	}})
+}
+
+// RecordCompile folds one finished block into the metric set: the
+// degradation-ladder rung it landed on (rung indexes QualityRungs),
+// instruction and NOP counts versus the list-schedule seed, recovered
+// stage faults and end-to-end wall time.
+func (m *Metrics) RecordCompile(block string, rung int, instrs, seedNops, finalNops, faults int, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Compiles.Inc()
+	if rung >= 0 && rung < len(m.Quality) {
+		m.Quality[rung].Inc()
+	}
+	m.Instrs.Add(int64(instrs))
+	m.NopsSeed.Add(int64(seedNops))
+	m.NopsFinal.Add(int64(finalNops))
+	if saved := seedNops - finalNops; saved > 0 {
+		m.NopsSaved.Add(int64(saved))
+	}
+	m.StageFaults.Add(int64(faults))
+	if elapsed > 0 { // sequence blocks carry no per-block wall time
+		m.compileDur.Observe(elapsed.Microseconds())
+	}
+	name := ""
+	if rung >= 0 && rung < len(QualityRungs) {
+		name = QualityRungs[rung]
+	}
+	m.emit(Event{Kind: "compile", Block: block, Quality: name, Nanos: elapsed.Nanoseconds(), Fields: map[string]int64{
+		"instructions": int64(instrs),
+		"seed_nops":    int64(seedNops),
+		"final_nops":   int64(finalNops),
+		"faults":       int64(faults),
+	}})
+}

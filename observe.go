@@ -1,0 +1,92 @@
+// Observability surface: search tracing, the telemetry metric registry,
+// and the live introspection endpoints. Telemetry is off by default —
+// every instrumentation point in the pipeline costs one atomic pointer
+// load until EnableTelemetry is called (BenchmarkTelemetryDisabled
+// guards that overhead).
+//
+// Typical service setup:
+//
+//	t := pipesched.EnableTelemetry()
+//	addr, stop, _ := pipesched.ServeTelemetry(":9090", t)
+//	defer stop()
+//	// curl addr/metrics       → Prometheus text format
+//	// curl addr/debug/vars    → expvar JSON
+//	// curl addr/debug/pprof/  → live profiles
+//
+// Typical single-block search debugging:
+//
+//	tr := &pipesched.SearchTrace{Limit: 5000}
+//	c, _ := pipesched.Compile(src, m, pipesched.Options{Trace: tr})
+//	data, _ := pipesched.ChromeTrace(tr, c.Scheduled.Label)
+//	os.WriteFile("search.json", data, 0o644) // open in chrome://tracing
+package pipesched
+
+import (
+	"io"
+	"net/http"
+
+	"pipesched/internal/core"
+	"pipesched/internal/telemetry"
+)
+
+// SearchTrace records the first Limit events of one search when attached
+// to Options.Trace; safe to share with a parallel search.
+type SearchTrace = core.SearchTrace
+
+// TraceEvent is one recorded search step.
+type TraceEvent = core.TraceEvent
+
+// TraceAction labels one search event (place, improve, the prune
+// classes, curtail).
+type TraceAction = core.TraceAction
+
+// Telemetry is the pipeline's resolved metric set: counters for every
+// search action and quality rung, per-stage duration histograms, and the
+// structured-event sink registration point (SetSink).
+type Telemetry = telemetry.Metrics
+
+// TelemetryEvent is one structured observability event.
+type TelemetryEvent = telemetry.Event
+
+// TelemetrySink receives structured events (see NewJSONLTelemetrySink).
+type TelemetrySink = telemetry.Sink
+
+// EnableTelemetry installs a fresh metrics registry as the process-wide
+// pipeline telemetry and returns its metric set. All Compile/Schedule
+// variants in all goroutines record into it until DisableTelemetry.
+func EnableTelemetry() *Telemetry {
+	return telemetry.Install(telemetry.NewMetrics(telemetry.NewRegistry()))
+}
+
+// DisableTelemetry turns pipeline telemetry back off (the default).
+func DisableTelemetry() { telemetry.Uninstall() }
+
+// ActiveTelemetry returns the installed metric set, or nil when
+// telemetry is off.
+func ActiveTelemetry() *Telemetry { return telemetry.Active() }
+
+// TelemetryHandler exposes t's registry over HTTP: /metrics (Prometheus
+// text), /debug/vars (expvar), /debug/pprof/ and /healthz.
+func TelemetryHandler(t *Telemetry) http.Handler {
+	return telemetry.Handler(t.Registry())
+}
+
+// ServeTelemetry starts TelemetryHandler on addr in the background,
+// returning the bound address (useful with ":0") and a shutdown func.
+func ServeTelemetry(addr string, t *Telemetry) (bound string, shutdown func(), err error) {
+	return telemetry.Serve(addr, t.Registry())
+}
+
+// NewJSONLTelemetrySink returns a sink writing one JSON object per event
+// line to w; register it with Telemetry.SetSink.
+func NewJSONLTelemetrySink(w io.Writer) TelemetrySink {
+	return telemetry.NewJSONLSink(w)
+}
+
+// ChromeTrace converts a recorded search trace into Chrome trace_event
+// JSON: the flame graph is the explored search tree, with prunes and
+// incumbent improvements as instant events. Open the output in
+// chrome://tracing or https://ui.perfetto.dev.
+func ChromeTrace(t *SearchTrace, block string) ([]byte, error) {
+	return telemetry.ChromeTrace(t, block)
+}

@@ -135,6 +135,13 @@ type Options struct {
 	// of several equal-cost optima is returned may vary. 0 or 1 keeps
 	// the sequential search.
 	Workers int
+
+	// Trace, when non-nil, records the first Trace.Limit search events
+	// (placements, prunes by class, incumbent improvements, the curtail
+	// point) for inspection — see ChromeTrace for rendering the recorded
+	// search tree in chrome://tracing. The trace is mutex-guarded, so it
+	// works with Workers > 1; it does not affect the search result.
+	Trace *SearchTrace
 }
 
 // Compiled is the result of compiling or scheduling one block.

@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"pipesched/internal/codegen"
 	"pipesched/internal/core"
@@ -39,6 +40,7 @@ import (
 	"pipesched/internal/seqsched"
 	"pipesched/internal/sim"
 	"pipesched/internal/splitter"
+	"pipesched/internal/telemetry"
 	"pipesched/internal/tuplegen"
 )
 
@@ -46,17 +48,50 @@ import (
 // isolation. An injected fault or a recovered panic comes back as a
 // non-nil *StageError; an ordinary error from fn comes back as err and
 // keeps its legacy hard-failure semantics.
+//
+// Every call is also a telemetry span boundary: the stage's wall time
+// lands in the pipesched_stage_duration_seconds histogram and, when a
+// sink is registered, a "span" event is emitted. With telemetry off
+// (the default) this is one atomic load and nil-receiver calls.
 func runStage(stage faultinject.Stage, label string, fn func() error) (fault *StageError, err error) {
+	sp := telemetry.Active().StartSpan(string(stage), label)
 	defer func() {
 		if r := recover(); r != nil {
 			fault = &StageError{Stage: string(stage), Block: label, Panic: r, Stack: debug.Stack()}
 			err = nil
 		}
+		switch {
+		case fault != nil:
+			sp.Fail(fault)
+		case err != nil:
+			sp.Fail(err)
+		}
+		sp.End()
 	}()
 	if ferr := faultinject.Fire(stage); ferr != nil {
 		return &StageError{Stage: string(stage), Block: label, Err: ferr}, nil
 	}
 	return nil, fn()
+}
+
+// beginCompile opens the per-block telemetry accounting for one public
+// entry point; the returned func records the finished block. Both ends
+// collapse to atomic no-ops when telemetry is off.
+func beginCompile() func(*Compiled) {
+	pm := telemetry.Active()
+	if pm == nil {
+		return func(*Compiled) {}
+	}
+	pm.InFlight.Add(1)
+	start := time.Now()
+	return func(c *Compiled) {
+		pm.InFlight.Add(-1)
+		if c == nil || c.Scheduled == nil {
+			return
+		}
+		pm.RecordCompile(c.Scheduled.Label, int(c.Quality), c.Scheduled.Len(),
+			c.InitialNOPs, c.TotalNOPs, len(c.Faults), time.Since(start))
+	}
 }
 
 // isolate is runStage without the injection point: it only converts
@@ -119,6 +154,7 @@ func CompileCtx(ctx context.Context, src string, m *Machine, o Options) (*Compil
 	if err := validateMachine(m); err != nil {
 		return nil, err
 	}
+	done := beginCompile()
 	var block *Block
 	fault, err := runStage(faultinject.Frontend, "block", func() error {
 		var e error
@@ -126,9 +162,11 @@ func CompileCtx(ctx context.Context, src string, m *Machine, o Options) (*Compil
 		return e
 	})
 	if fault != nil {
+		done(nil)
 		return nil, fault // nothing to schedule: hard failure
 	}
 	if err != nil {
+		done(nil)
 		return nil, err
 	}
 	var faults []*StageError
@@ -152,6 +190,7 @@ func CompileCtx(ctx context.Context, src string, m *Machine, o Options) (*Compil
 	if c != nil {
 		c.Source = src
 	}
+	done(c)
 	return c, err
 }
 
@@ -164,7 +203,10 @@ func ScheduleCtx(ctx context.Context, block *Block, m *Machine, o Options) (*Com
 	if err := validateBlock(block); err != nil {
 		return nil, err
 	}
-	return scheduleCtx(ctx, block, m, o, nil)
+	done := beginCompile()
+	c, err := scheduleCtx(ctx, block, m, o, nil)
+	done(c)
+	return c, err
 }
 
 // scheduleCtx runs DAG construction and the branch-and-bound search with
@@ -192,6 +234,7 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 		AssignSearch:      o.AssignPipelines,
 		StrongEquivalence: o.StrongEquivalence,
 		SeedPriority:      listsched.ByHeight,
+		Trace:             o.Trace,
 	}
 	var sched *core.Schedule
 	fault, err = runStage(faultinject.Search, label, func() error {
@@ -209,6 +252,7 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 	if err != nil {
 		return nil, err
 	}
+	telemetry.Active().RecordSearch(label, sched.Stats)
 
 	quality := Optimal
 	if sched.Stopped != nil {
@@ -437,6 +481,7 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 	if err := validateBlock(block); err != nil {
 		return nil, err
 	}
+	done := beginCompile()
 	var g *dag.Graph
 	fault, err := runStage(faultinject.DAG, block.Label, func() error {
 		var e error
@@ -444,9 +489,12 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 		return e
 	})
 	if fault != nil {
-		return baselineCompiled(block, m, o, []*StageError{fault})
+		c, err := baselineCompiled(block, m, o, []*StageError{fault})
+		done(c)
+		return c, err
 	}
 	if err != nil {
+		done(nil)
 		return nil, err
 	}
 	var r *splitter.Result
@@ -458,9 +506,12 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 		return e
 	})
 	if fault != nil {
-		return heuristicCompiled(block, g, m, o, []*StageError{fault})
+		c, err := heuristicCompiled(block, g, m, o, []*StageError{fault})
+		done(c)
+		return c, err
 	}
 	if err != nil {
+		done(nil)
 		return nil, err
 	}
 	quality := Optimal
@@ -469,9 +520,13 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 	}
 	c, err := emit(block, g, m, o, r.Order, r.Eta, r.Pipes, quality, nil)
 	if err != nil {
+		done(nil)
 		return nil, err
 	}
 	c.Stats.OmegaCalls = r.OmegaCalls
+	telemetry.Active().RecordSearch(block.Label,
+		core.Stats{OmegaCalls: r.OmegaCalls, Curtailed: r.Stopped != nil})
+	done(c)
 	return c, degradationError(r.Stopped, c.Faults)
 }
 
@@ -501,6 +556,7 @@ func ScheduleSequenceCtx(ctx context.Context, blocks []*Block, m *Machine, o Opt
 		AssignSearch:      o.AssignPipelines,
 		StrongEquivalence: o.StrongEquivalence,
 		SeedPriority:      listsched.ByHeight,
+		Trace:             o.Trace,
 	}
 	heuristic := false
 	var faults []*StageError
@@ -519,7 +575,9 @@ func ScheduleSequenceCtx(ctx context.Context, blocks []*Block, m *Machine, o Opt
 			r, e = seqsched.ScheduleSeed(blocks, m, copts)
 			return e
 		}); f != nil || e != nil {
-			return sequenceBaseline(blocks, m, o, faults)
+			sr, serr := sequenceBaseline(blocks, m, o, faults)
+			recordSequence(sr)
+			return sr, serr
 		}
 	case err != nil:
 		return nil, err
@@ -545,7 +603,28 @@ func ScheduleSequenceCtx(ctx context.Context, blocks []*Block, m *Machine, o Opt
 		faults = append(faults, c.Faults...)
 		out.Blocks = append(out.Blocks, c)
 	}
+	recordSequence(out)
 	return out, degradationError(r.Stopped, faults)
+}
+
+// recordSequence folds every block of a finished sequence into the
+// telemetry metric set (no-op when telemetry is off). Per-block wall
+// time is not split out — the stage spans already cover the sequence.
+func recordSequence(r *SequenceResult) {
+	pm := telemetry.Active()
+	if pm == nil || r == nil {
+		return
+	}
+	for _, c := range r.Blocks {
+		if c == nil || c.Scheduled == nil {
+			continue
+		}
+		if c.Stats.OmegaCalls > 0 || c.Stats.SeedOmegaCalls > 0 {
+			pm.RecordSearch(c.Scheduled.Label, c.Stats)
+		}
+		pm.RecordCompile(c.Scheduled.Label, int(c.Quality), c.Scheduled.Len(),
+			c.InitialNOPs, c.TotalNOPs, len(c.Faults), 0)
+	}
 }
 
 // sequenceBaseline is the Baseline rung for a whole sequence: each block

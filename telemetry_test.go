@@ -1,0 +1,124 @@
+package pipesched
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"pipesched/internal/telemetry"
+)
+
+// benchSrc is the same expression block BenchmarkCompileEndToEnd uses, so
+// the telemetry overhead numbers are comparable to the end-to-end cost.
+const telemetrySrc = "t = x * x\nnum = t * a + x * b + c\nden = t + x * b + 1\ny = num / den\n"
+
+// TestTelemetryConcurrentCompiles shares one installed registry across
+// concurrent CompileCtx calls; run under -race it proves the metrics
+// path is data-race free and loses no counts.
+func TestTelemetryConcurrentCompiles(t *testing.T) {
+	pm := EnableTelemetry()
+	defer DisableTelemetry()
+
+	m := SimulationMachine()
+	const workers, rounds = 8, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c, err := CompileCtx(context.Background(), telemetrySrc, m, Options{Optimize: true})
+				if err != nil {
+					t.Errorf("CompileCtx: %v", err)
+					return
+				}
+				if c.Quality != Optimal {
+					t.Errorf("quality = %v, want optimal", c.Quality)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := pm.Compiles.Value(); got != workers*rounds {
+		t.Errorf("compiles counter = %d, want %d", got, workers*rounds)
+	}
+	if got := pm.Quality[0].Value(); got != workers*rounds {
+		t.Errorf("optimal-rung counter = %d, want %d", got, workers*rounds)
+	}
+	if pm.InFlight.Value() != 0 {
+		t.Errorf("in-flight gauge leaked: %d", pm.InFlight.Value())
+	}
+	if pm.OmegaCalls.Value() == 0 {
+		t.Error("no Ω calls recorded")
+	}
+	// Every stage span must have fired once per compile.
+	for _, stage := range telemetry.Stages {
+		if got := pm.StageDuration(stage).Count(); got != workers*rounds {
+			t.Errorf("stage %s spans = %d, want %d", stage, got, workers*rounds)
+		}
+	}
+	// The whole story must render as valid Prometheus text.
+	var sb strings.Builder
+	if err := pm.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pipesched_compiles_total 40") {
+		t.Error("registry text missing compile count")
+	}
+}
+
+// TestTelemetryParallelTrace shares one SearchTrace across a parallel
+// search (Workers > 1); under -race this proves the mutex-guarded trace
+// buffer is safe, which is what makes -trace-out usable with -workers.
+func TestTelemetryParallelTrace(t *testing.T) {
+	tr := &SearchTrace{Limit: 10_000}
+	c, err := Compile(telemetrySrc, SimulationMachine(), Options{Workers: 4, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Snapshot()
+	if len(events) == 0 {
+		t.Fatal("parallel search recorded no trace events")
+	}
+	data, err := ChromeTrace(tr, c.Scheduled.Label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) {
+		t.Error("ChromeTrace output malformed")
+	}
+}
+
+// BenchmarkTelemetryDisabled is the guard for the "nil-by-default"
+// contract: with no telemetry installed every instrumentation point must
+// reduce to one atomic pointer load. Compare against
+// BenchmarkTelemetryEnabled; the issue budget allows <=2% overhead vs
+// the pre-telemetry baseline.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	DisableTelemetry()
+	m := SimulationMachine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(telemetrySrc, m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryEnabled measures the full metrics path (no sink) for
+// comparison with BenchmarkTelemetryDisabled.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	EnableTelemetry()
+	defer DisableTelemetry()
+	m := SimulationMachine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(telemetrySrc, m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
