@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pipesched [flags] [file]           # default input: stdin
+//	pipesched serve [flags]            # long-running compile service (see serve.go)
 //
 //	-preset name     machine preset: simulation | example | unpipelined | deep
 //	-machine file    machine description file (overrides -preset)
@@ -51,6 +52,9 @@ func main() {
 
 // run is the testable driver body; it returns the process exit status.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(context.Background(), args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("pipesched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -116,12 +120,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pm.SetSink(pipesched.NewJSONLTelemetrySink(f))
 	}
 	if *metrics != "" {
-		bound, stop, err := pipesched.ServeTelemetry(*metrics, pm)
+		ts, err := pipesched.ServeTelemetry(*metrics, pm)
 		if err != nil {
 			return fail(err)
 		}
-		defer stop()
-		fmt.Fprintf(stderr, "telemetry: serving http://%s/metrics (also /debug/vars, /debug/pprof)\n", bound)
+		defer ts.Close()
+		fmt.Fprintf(stderr, "telemetry: serving http://%s/metrics (also /debug/vars, /debug/pprof)\n", ts.Addr())
 	}
 	var trace *pipesched.SearchTrace
 	if *traceOut != "" {

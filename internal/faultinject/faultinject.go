@@ -12,6 +12,7 @@
 package faultinject
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,21 +52,47 @@ type Plan struct {
 	// Times bounds how many boundary crossings fire this plan;
 	// 0 means every crossing (a persistent fault).
 	Times int
+	// Nth, when > 0, fires the plan only on the Nth crossing of the
+	// stage boundary (1-based) — exactly once, fully deterministic, so a
+	// chaos test reproduces the same fault at the same call every run.
+	// It overrides Prob; Times is ignored (an Nth plan fires once).
+	Nth int
+	// Prob, when in (0, 1), fires the plan on each crossing with this
+	// probability, drawn from the injector's seeded RNG (see Seed); the
+	// sequence of draws is deterministic for a given seed and crossing
+	// order. Prob = 0 (the default) means fire on every crossing; a
+	// Times budget still applies.
+	Prob float64
 }
 
 // Injector holds the per-stage fault plans of one chaos experiment.
 type Injector struct {
 	mu    sync.Mutex
 	plans map[Stage]*planEntry
+	rng   *rand.Rand
 }
 
 type planEntry struct {
-	plan  Plan
-	fired int
+	plan      Plan
+	fired     int
+	crossings int
 }
 
-// New returns an empty injector.
-func New() *Injector { return &Injector{plans: map[Stage]*planEntry{}} }
+// New returns an empty injector. Probabilistic plans draw from a fixed
+// default seed; call Seed to vary it.
+func New() *Injector {
+	return &Injector{plans: map[Stage]*planEntry{}, rng: rand.New(rand.NewSource(1))}
+}
+
+// Seed re-seeds the RNG behind probabilistic (Prob) plans and returns
+// the injector for chaining. Two runs with the same seed and the same
+// crossing order inject the same faults.
+func (in *Injector) Seed(seed int64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rng = rand.New(rand.NewSource(seed))
+	return in
+}
 
 // Plan installs (or replaces) the fault plan for a stage and returns the
 // injector for chaining.
@@ -86,8 +113,20 @@ func (in *Injector) Fired(stage Stage) int {
 	return 0
 }
 
+// Crossings reports how many times the stage's boundary has been
+// crossed while its plan was installed (fired or not).
+func (in *Injector) Crossings(stage Stage) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if e := in.plans[stage]; e != nil {
+		return e.crossings
+	}
+	return 0
+}
+
 // take consumes one firing of the stage's plan, or returns nil when no
-// plan applies (none installed, or its Times budget is spent).
+// plan applies: none installed, the Times budget is spent, this is not
+// the Nth crossing, or the probabilistic draw came up empty.
 func (in *Injector) take(stage Stage) *Plan {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -95,8 +134,23 @@ func (in *Injector) take(stage Stage) *Plan {
 	if e == nil {
 		return nil
 	}
-	if e.plan.Times > 0 && e.fired >= e.plan.Times {
-		return nil
+	e.crossings++
+	switch {
+	case e.plan.Nth > 0:
+		if e.crossings != e.plan.Nth {
+			return nil
+		}
+	case e.plan.Prob > 0:
+		if e.plan.Times > 0 && e.fired >= e.plan.Times {
+			return nil
+		}
+		if in.rng.Float64() >= e.plan.Prob {
+			return nil
+		}
+	default:
+		if e.plan.Times > 0 && e.fired >= e.plan.Times {
+			return nil
+		}
 	}
 	e.fired++
 	p := e.plan

@@ -71,3 +71,75 @@ func TestDelayAndCurtail(t *testing.T) {
 		t.Errorf("CurtailLambda consumed %d firings", n)
 	}
 }
+
+// TestNthDeterministic: an Nth plan fires on exactly the Nth crossing,
+// exactly once, regardless of Times.
+func TestNthDeterministic(t *testing.T) {
+	in := New().Plan(Search, Plan{Err: errInjected, Nth: 3, Times: 99})
+	defer Activate(in)()
+	for i := 1; i <= 6; i++ {
+		err := Fire(Search)
+		if i == 3 && err != errInjected {
+			t.Fatalf("crossing %d: err = %v, want the injected error", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("crossing %d: err = %v, want nil (Nth must fire once)", i, err)
+		}
+	}
+	if got := in.Fired(Search); got != 1 {
+		t.Errorf("Fired = %d, want 1", got)
+	}
+	if got := in.Crossings(Search); got != 6 {
+		t.Errorf("Crossings = %d, want 6", got)
+	}
+}
+
+// TestProbSeeded: a Prob plan fires a seed-deterministic subset of
+// crossings — same seed, same firings; the rate tracks the probability;
+// a Times budget still caps it.
+func TestProbSeeded(t *testing.T) {
+	pattern := func(seed int64, times int) []bool {
+		in := New().Seed(seed).Plan(Search, Plan{Err: errInjected, Prob: 0.3, Times: times})
+		defer Activate(in)()
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Fire(Search) != nil
+		}
+		return out
+	}
+	a, b := pattern(7, 0), pattern(7, 0)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("crossing %d differs across runs with the same seed", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired < 30 || fired > 90 { // 0.3 ± generous slack over 200 draws
+		t.Errorf("fired %d/200 with Prob 0.3", fired)
+	}
+	c := pattern(8, 0)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical firing patterns")
+	}
+	capped := 0
+	for _, f := range pattern(7, 5) {
+		if f {
+			capped++
+		}
+	}
+	if capped != 5 {
+		t.Errorf("Times=5 budget allowed %d firings", capped)
+	}
+}
+
+var errInjected = errors.New("injected")

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerDecision is what the circuit breaker allows one request to do.
+type breakerDecision int
+
+const (
+	// allowFull: run the full branch-and-bound search.
+	allowFull breakerDecision = iota
+	// allowProbe: the circuit is half-open; this request is the single
+	// probe that decides whether the circuit closes again.
+	allowProbe
+	// allowFastPath: the circuit is open; skip the search and serve the
+	// Heuristic rung immediately (fail fast, stay legal).
+	allowFastPath
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-fingerprint circuit breaker over search-budget
+// failures. A block×machine key whose searches repeatedly blow their
+// budget (λ curtailment or deadline expiry) stops being worth full
+// searches: after threshold consecutive failures the circuit opens and
+// requests for that key skip straight to the Heuristic rung. After
+// cooldown the circuit goes half-open and admits exactly one probe
+// search; a clean probe closes the circuit, a failed one re-opens it.
+type breaker struct {
+	threshold  int
+	cooldown   time.Duration
+	maxEntries int
+	now        func() time.Time
+	// onTransition observes state changes (for the transition counters);
+	// called with the target state name while the lock is held, so it
+	// must not call back into the breaker.
+	onTransition func(to string)
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	state     breakerState
+	fails     int // consecutive budget failures while closed
+	openedAt  time.Time
+	probing   bool // half-open: a probe is in flight
+	lastTouch time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, maxEntries int, now func() time.Time, onTransition func(string)) *breaker {
+	if onTransition == nil {
+		onTransition = func(string) {}
+	}
+	return &breaker{
+		threshold:    threshold,
+		cooldown:     cooldown,
+		maxEntries:   maxEntries,
+		now:          now,
+		onTransition: onTransition,
+		entries:      map[string]*breakerEntry{},
+	}
+}
+
+// allow decides what a request for key may do right now.
+func (b *breaker) allow(key string) breakerDecision {
+	if b.threshold <= 0 {
+		return allowFull // breaker disabled
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(key, now)
+	e.lastTouch = now
+	switch e.state {
+	case stateClosed:
+		return allowFull
+	case stateOpen:
+		if now.Sub(e.openedAt) < b.cooldown {
+			return allowFastPath
+		}
+		e.state = stateHalfOpen
+		e.probing = true
+		b.onTransition("half_open")
+		return allowProbe
+	default: // half-open
+		if e.probing {
+			return allowFastPath
+		}
+		e.probing = true
+		return allowProbe
+	}
+}
+
+// record reports the outcome of a non-fast-path request: failure is
+// true when the search blew its budget (ErrCurtailed/ErrDeadline),
+// probe when allow returned allowProbe for this request.
+func (b *breaker) record(key string, failure, probe bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(key, now)
+	e.lastTouch = now
+	if probe || e.state == stateHalfOpen {
+		e.probing = false
+		if failure {
+			e.state = stateOpen
+			e.openedAt = now
+			e.fails = b.threshold
+			b.onTransition("open")
+		} else {
+			e.state = stateClosed
+			e.fails = 0
+			b.onTransition("closed")
+		}
+		return
+	}
+	if e.state != stateClosed {
+		return // late result from before the circuit opened; ignore
+	}
+	if !failure {
+		e.fails = 0
+		return
+	}
+	e.fails++
+	if e.fails >= b.threshold {
+		e.state = stateOpen
+		e.openedAt = now
+		b.onTransition("open")
+	}
+}
+
+// state returns the current circuit state for key (closed for unknown
+// keys) — introspection for tests and the stats endpoint.
+func (b *breaker) stateOf(key string) breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[key]; e != nil {
+		return e.state
+	}
+	return stateClosed
+}
+
+// entry returns the tracked entry for key, creating it (and evicting
+// the least recently touched entry when the table is full) on demand.
+// Caller holds b.mu.
+func (b *breaker) entry(key string, now time.Time) *breakerEntry {
+	e := b.entries[key]
+	if e != nil {
+		return e
+	}
+	if b.maxEntries > 0 && len(b.entries) >= b.maxEntries {
+		var oldestKey string
+		var oldest time.Time
+		for k, cand := range b.entries {
+			if oldestKey == "" || cand.lastTouch.Before(oldest) {
+				oldestKey, oldest = k, cand.lastTouch
+			}
+		}
+		delete(b.entries, oldestKey)
+	}
+	e = &breakerEntry{state: stateClosed, lastTouch: now}
+	b.entries[key] = e
+	return e
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestBreakerLifecycle walks the full circuit: closed → open after
+// threshold consecutive failures → half-open after the cooldown → one
+// probe → closed on probe success.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	var transitions []string
+	b := newBreaker(3, time.Minute, 16, clock.now, func(to string) { transitions = append(transitions, to) })
+	key := "k1"
+
+	// Closed: full searches allowed; failures accumulate.
+	for i := 0; i < 2; i++ {
+		if got := b.allow(key); got != allowFull {
+			t.Fatalf("closed allow #%d = %v, want allowFull", i, got)
+		}
+		b.record(key, true, false)
+		if st := b.stateOf(key); st != stateClosed {
+			t.Fatalf("state after %d failures = %v, want closed", i+1, st)
+		}
+	}
+
+	// Third consecutive failure trips the circuit.
+	b.allow(key)
+	b.record(key, true, false)
+	if st := b.stateOf(key); st != stateOpen {
+		t.Fatalf("state after threshold failures = %v, want open", st)
+	}
+
+	// Open: fail fast until the cooldown elapses.
+	if got := b.allow(key); got != allowFastPath {
+		t.Fatalf("open allow = %v, want allowFastPath", got)
+	}
+	clock.advance(59 * time.Second)
+	if got := b.allow(key); got != allowFastPath {
+		t.Fatalf("open allow before cooldown = %v, want allowFastPath", got)
+	}
+
+	// Cooldown over: half-open, exactly one probe; everyone else still
+	// takes the fast path.
+	clock.advance(2 * time.Second)
+	if got := b.allow(key); got != allowProbe {
+		t.Fatalf("allow after cooldown = %v, want allowProbe", got)
+	}
+	if st := b.stateOf(key); st != stateHalfOpen {
+		t.Fatalf("state after probe admitted = %v, want half_open", st)
+	}
+	if got := b.allow(key); got != allowFastPath {
+		t.Fatalf("second allow during probe = %v, want allowFastPath", got)
+	}
+
+	// Probe success closes the circuit and resets the failure count.
+	b.record(key, false, true)
+	if st := b.stateOf(key); st != stateClosed {
+		t.Fatalf("state after probe success = %v, want closed", st)
+	}
+	if got := b.allow(key); got != allowFull {
+		t.Fatalf("allow after recovery = %v, want allowFull", got)
+	}
+	// One failure must not re-open a freshly closed circuit.
+	b.record(key, true, false)
+	if st := b.stateOf(key); st != stateClosed {
+		t.Fatalf("state after single post-recovery failure = %v, want closed", st)
+	}
+
+	want := []string{"open", "half_open", "closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed half-open probe re-opens the
+// circuit and restarts the cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(2, time.Minute, 16, clock.now, nil)
+	key := "k"
+	for i := 0; i < 2; i++ {
+		b.allow(key)
+		b.record(key, true, false)
+	}
+	if st := b.stateOf(key); st != stateOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	clock.advance(time.Minute)
+	if got := b.allow(key); got != allowProbe {
+		t.Fatalf("allow = %v, want allowProbe", got)
+	}
+	b.record(key, true, true) // probe fails
+	if st := b.stateOf(key); st != stateOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	// Cooldown restarted: still fast path right away...
+	if got := b.allow(key); got != allowFastPath {
+		t.Fatalf("allow after failed probe = %v, want allowFastPath", got)
+	}
+	// ...and a new probe is admitted after another full cooldown.
+	clock.advance(time.Minute)
+	if got := b.allow(key); got != allowProbe {
+		t.Fatalf("allow after second cooldown = %v, want allowProbe", got)
+	}
+}
+
+// TestBreakerSuccessResetsFailureStreak: the failure count is
+// *consecutive* — a success in between starts the streak over.
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(2, time.Minute, 16, clock.now, nil)
+	key := "k"
+	b.allow(key)
+	b.record(key, true, false)
+	b.allow(key)
+	b.record(key, false, false) // success resets
+	b.allow(key)
+	b.record(key, true, false)
+	if st := b.stateOf(key); st != stateClosed {
+		t.Fatalf("state = %v, want closed (streak was broken)", st)
+	}
+}
+
+// TestBreakerKeysAreIndependent: one key tripping must not affect
+// another.
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Minute, 16, clock.now, nil)
+	b.allow("bad")
+	b.record("bad", true, false)
+	if st := b.stateOf("bad"); st != stateOpen {
+		t.Fatalf("bad key state = %v, want open", st)
+	}
+	if got := b.allow("good"); got != allowFull {
+		t.Fatalf("good key allow = %v, want allowFull", got)
+	}
+}
+
+// TestBreakerEviction: the entry table stays bounded, evicting the
+// least recently touched key.
+func TestBreakerEviction(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Minute, 2, clock.now, nil)
+	b.allow("a")
+	clock.advance(time.Second)
+	b.allow("b")
+	clock.advance(time.Second)
+	b.allow("c") // evicts a
+	b.mu.Lock()
+	n := len(b.entries)
+	_, hasA := b.entries["a"]
+	b.mu.Unlock()
+	if n != 2 || hasA {
+		t.Fatalf("entries = %d (hasA=%v), want 2 without a", n, hasA)
+	}
+}
+
+// TestBreakerDisabled: a negative threshold turns the breaker off.
+func TestBreakerDisabled(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(-1, time.Minute, 2, clock.now, nil)
+	for i := 0; i < 10; i++ {
+		if got := b.allow("k"); got != allowFull {
+			t.Fatalf("allow = %v, want allowFull", got)
+		}
+		b.record("k", true, false)
+	}
+	if st := b.stateOf("k"); st != stateClosed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"pipesched"
+)
+
+// cache is a mutex-guarded LRU of finished compilations, keyed by the
+// content fingerprint. Only clean optimal results are stored (see
+// cacheable): compilation is deterministic on those, so a hit is
+// byte-identical to a fresh run. Cached *Compiled values are shared
+// between callers and must be treated as immutable.
+type cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	c   *pipesched.Compiled
+}
+
+// newCache returns an LRU holding at most max entries; max <= 0
+// disables caching (every get misses, every put drops).
+func newCache(max int) *cache {
+	return &cache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *cache) get(key string) (*pipesched.Compiled, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).c, true
+}
+
+func (c *cache) put(key string, v *pipesched.Compiled) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).c = v
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, c: v})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheable reports whether a finished response may enter the cache:
+// a clean, provably optimal schedule with no isolated stage faults.
+// Degraded results are never cached — a later attempt (after a breaker
+// recovery, or without an injected fault) may do better.
+func cacheable(r *Response) bool {
+	return r.Err == nil && r.Compiled != nil &&
+		r.Compiled.Quality == pipesched.Optimal && len(r.Compiled.Faults) == 0
+}

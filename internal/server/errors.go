@@ -1,0 +1,77 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pipesched"
+)
+
+// Typed sentinel errors of the service layer, usable with errors.Is.
+// Together with the pipesched sentinels (ErrCurtailed, ErrDeadline,
+// ErrCanceled, ErrInvalidMachine, ErrInvalidBlock, *StageError) they
+// form the complete failure taxonomy of the compile service: every
+// Submit call terminates with a legal schedule, one of these, or both
+// (anytime semantics — a degraded result travels WITH its reason).
+var (
+	// ErrOverloaded: admission control rejected the request — the queue
+	// is full, or the observed p95 queue wait already exceeds the
+	// request's compile budget so queueing it could only waste capacity.
+	// Wrapped in an *OverloadError carrying the suggested retry delay.
+	ErrOverloaded = errors.New("server: overloaded")
+	// ErrDraining: the server is shutting down and no longer admits work.
+	ErrDraining = errors.New("server: draining, not admitting requests")
+	// ErrInvalidRequest wraps malformed requests: no input, both source
+	// and tuples, an unknown machine preset, or an unparsable machine
+	// description or tuple block.
+	ErrInvalidRequest = errors.New("server: invalid request")
+	// ErrInternal: a panic escaped the compilation pipeline's own stage
+	// isolation and was caught by the worker's last-resort recover.
+	ErrInternal = errors.New("server: internal error")
+)
+
+// OverloadError is the concrete error behind ErrOverloaded; RetryAfter
+// is the server's estimate of when capacity will free up (the observed
+// p95 queue wait), surfaced as the HTTP Retry-After header.
+type OverloadError struct {
+	Reason     string // "queue full" | "deadline cannot cover queue wait"
+	RetryAfter time.Duration
+}
+
+// Error renders the reason and the suggested retry delay.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v: %s (retry after %s)", ErrOverloaded, e.Reason, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// ErrorCode maps any error of the service taxonomy onto a stable wire
+// code for the JSON API (and "" for nil). Unknown errors map to "error".
+func ErrorCode(err error) string {
+	var se *pipesched.StageError
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrInvalidRequest),
+		errors.Is(err, pipesched.ErrInvalidMachine),
+		errors.Is(err, pipesched.ErrInvalidBlock):
+		return "invalid_request"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	case errors.Is(err, pipesched.ErrCurtailed):
+		return "curtailed"
+	case errors.Is(err, pipesched.ErrDeadline):
+		return "deadline"
+	case errors.Is(err, pipesched.ErrCanceled):
+		return "canceled"
+	case errors.As(err, &se):
+		return "stage_failure"
+	}
+	return "error"
+}

@@ -1,0 +1,31 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"pipesched"
+)
+
+// fingerprint content-addresses one unit of compilation work: the block
+// (source or tuple text), the machine (its canonical table rendering —
+// two structurally identical machines hash alike regardless of how they
+// were specified), and every option that can change the emitted
+// schedule. It keys both the result cache / singleflight dedup and the
+// circuit breaker, so "the same block on the same machine" collapses to
+// one search and accumulates one failure history.
+func fingerprint(source, tuples string, m *pipesched.Machine, o pipesched.Options) string {
+	h := sha256.New()
+	io.WriteString(h, "src\x00")
+	io.WriteString(h, source)
+	io.WriteString(h, "\x00tuples\x00")
+	io.WriteString(h, tuples)
+	io.WriteString(h, "\x00machine\x00")
+	io.WriteString(h, m.String())
+	fmt.Fprintf(h, "\x00opts\x00%d|%t|%t|%d|%d|%t|%t|%t",
+		o.Lambda, o.Optimize, o.Reassociate, o.Registers, o.Mode,
+		o.ExplainNOPs, o.AssignPipelines, o.StrongEquivalence)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"pipesched"
+	"pipesched/internal/telemetry"
+)
+
+// maxBodyBytes bounds one request body; oversized bodies are a typed
+// 400, not an OOM.
+const maxBodyBytes = 4 << 20
+
+// WireResponse is the JSON shape of one compiled block on the wire.
+type WireResponse struct {
+	ID       string `json:"id,omitempty"`
+	Assembly string `json:"assembly,omitempty"`
+	Quality  string `json:"quality,omitempty"`
+	NOPs     int    `json:"nops"`
+	Ticks    int    `json:"ticks"`
+	Optimal  bool   `json:"optimal"`
+	Degraded bool   `json:"degraded,omitempty"` // legal result + typed reason in error
+	Cached   bool   `json:"cached,omitempty"`
+	Deduped  bool   `json:"deduped,omitempty"`
+	FastPath bool   `json:"fast_path,omitempty"`
+	Retries  int    `json:"retries,omitempty"`
+	Error    *WireError `json:"error,omitempty"`
+}
+
+// WireError is the JSON shape of a typed failure.
+type WireError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// wireBatch is the batch request/response envelope.
+type wireBatch struct {
+	Requests []*Request `json:"requests"`
+}
+
+type wireBatchResponse struct {
+	Responses []*WireResponse `json:"responses"`
+}
+
+// toWire flattens a Submit outcome into the wire shape.
+func toWire(id string, resp *Response, err error) *WireResponse {
+	w := &WireResponse{ID: id}
+	if resp != nil {
+		w.Cached = resp.Cached
+		w.Deduped = resp.Deduped
+		w.FastPath = resp.FastPath
+		w.Retries = resp.Retries
+		if id == "" {
+			w.ID = resp.ID
+		}
+		if c := resp.Compiled; c != nil {
+			w.Assembly = c.Assembly
+			w.Quality = c.Quality.String()
+			w.NOPs = c.TotalNOPs
+			w.Ticks = c.Ticks
+			w.Optimal = c.Optimal
+		}
+		if err == nil {
+			err = resp.Err
+		}
+	}
+	if err != nil {
+		w.Error = &WireError{Code: ErrorCode(err), Message: err.Error()}
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			w.Error.RetryAfterMS = oe.RetryAfter.Milliseconds()
+		}
+		w.Degraded = resp != nil && resp.Compiled != nil
+	}
+	return w
+}
+
+// httpStatus maps one outcome onto an HTTP status for the single-
+// request endpoint. Degraded-but-legal results are 200: the caller got
+// a schedule; the error field explains the rung.
+func httpStatus(resp *Response, err error) int {
+	if err == nil || (resp != nil && resp.Compiled != nil) {
+		return http.StatusOK
+	}
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrInvalidRequest),
+		errors.Is(err, pipesched.ErrInvalidMachine),
+		errors.Is(err, pipesched.ErrInvalidBlock):
+		return http.StatusBadRequest
+	case errors.Is(err, pipesched.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, pipesched.ErrCanceled):
+		return 499 // client closed request (nginx convention)
+	}
+	return http.StatusInternalServerError
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /compile   one request object, or {"requests": [...]} for a batch
+//	GET  /healthz   "ok", or 503 "draining" once shutdown has begun
+//
+// When the server was built with telemetry (Config.Metrics), the
+// introspection endpoints (/metrics, /debug/vars, /debug/pprof/) are
+// mounted too. Batch responses are always 200 with per-item errors;
+// the single-request form maps its one outcome onto the HTTP status
+// (503 + Retry-After on overload/drain, 400 on invalid input).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	if reg := s.cfg.Metrics.Registry(); reg != nil {
+		mux.Handle("/", telemetry.Handler(reg))
+	}
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	// A body with a "requests" array is a batch; anything else is a
+	// single request object.
+	var probe struct {
+		Requests json.RawMessage `json:"requests"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "invalid_request", "malformed JSON: "+err.Error())
+		return
+	}
+	if probe.Requests != nil {
+		var batch wireBatch
+		if err := json.Unmarshal(body, &batch); err != nil {
+			writeJSONError(w, http.StatusBadRequest, "invalid_request", "malformed batch: "+err.Error())
+			return
+		}
+		s.serveBatch(w, r, batch.Requests)
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "invalid_request", "malformed request: "+err.Error())
+		return
+	}
+	resp, serr := s.Submit(r.Context(), &req)
+	status := httpStatus(resp, serr)
+	var oe *OverloadError
+	if errors.As(serr, &oe) {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(oe.RetryAfter.Seconds()+0.999), 10))
+	}
+	writeJSON(w, status, toWire(req.ID, resp, serr))
+}
+
+// serveBatch fans the batch out through Submit concurrently — each
+// request passes admission control individually, so a batch cannot
+// bypass the queue bound — and answers 200 with per-item outcomes.
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, reqs []*Request) {
+	out := wireBatchResponse{Responses: make([]*WireResponse, len(reqs))}
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		if req == nil {
+			out.Responses[i] = &WireResponse{Error: &WireError{Code: "invalid_request", Message: "null request"}}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req *Request) {
+			defer wg.Done()
+			resp, err := s.Submit(r.Context(), req)
+			out.Responses[i] = toWire(req.ID, resp, err)
+		}(i, req)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, &WireResponse{Error: &WireError{Code: code, Message: msg}})
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sync"
+
+	"pipesched/internal/stats"
+	"pipesched/internal/telemetry"
+)
+
+// serverMetrics is the service-layer metric set, resolved once against
+// the telemetry registry backing the pipeline metrics. With no registry
+// (telemetry off) every field stays nil and all updates are no-ops —
+// the same nil-by-default discipline as the pipeline itself.
+type serverMetrics struct {
+	admitted     *telemetry.Counter   // pipesched_server_admitted_total
+	completed    *telemetry.Counter   // pipesched_server_completed_total
+	shed         map[string]*telemetry.Counter // pipesched_server_shed_total{reason=...}
+	queueDepth   *telemetry.Gauge     // pipesched_server_queue_depth
+	waitHist     *telemetry.Histogram // pipesched_server_queue_wait_seconds (µs native)
+	retries      *telemetry.Counter   // pipesched_server_retries_total
+	cacheHits    *telemetry.Counter   // pipesched_server_cache_hits_total
+	cacheMisses  *telemetry.Counter   // pipesched_server_cache_misses_total
+	dedup        *telemetry.Counter   // pipesched_server_dedup_joined_total
+	fastPath     *telemetry.Counter   // pipesched_server_breaker_fastpath_total
+	panics       *telemetry.Counter   // pipesched_server_worker_panics_total
+	transitions  map[string]*telemetry.Counter // pipesched_server_breaker_transitions_total{to=...}
+}
+
+// shedReasons and breakerStates pre-register every label value so the
+// hot path never touches the registry lock.
+var (
+	shedReasons   = []string{"full", "deadline", "draining"}
+	breakerStates = []string{"open", "half_open", "closed"}
+)
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	m := &serverMetrics{
+		shed:        map[string]*telemetry.Counter{},
+		transitions: map[string]*telemetry.Counter{},
+	}
+	if reg == nil {
+		return m
+	}
+	m.admitted = reg.Counter("pipesched_server_admitted_total", "Requests accepted into the work queue.")
+	m.completed = reg.Counter("pipesched_server_completed_total", "Requests that terminated (result or typed error).")
+	m.queueDepth = reg.Gauge("pipesched_server_queue_depth", "Requests waiting in the bounded queue.")
+	m.waitHist = reg.Histogram("pipesched_server_queue_wait_seconds", "Queue wait per executed request.", 1e-6)
+	m.retries = reg.Counter("pipesched_server_retries_total", "Transient stage faults retried with backoff.")
+	m.cacheHits = reg.Counter("pipesched_server_cache_hits_total", "Requests served from the result cache.")
+	m.cacheMisses = reg.Counter("pipesched_server_cache_misses_total", "Requests that missed the result cache.")
+	m.dedup = reg.Counter("pipesched_server_dedup_joined_total", "Requests collapsed onto an identical in-flight compilation.")
+	m.fastPath = reg.Counter("pipesched_server_breaker_fastpath_total", "Requests served the Heuristic rung because their circuit was open.")
+	m.panics = reg.Counter("pipesched_server_worker_panics_total", "Panics caught by the worker's last-resort recover.")
+	for _, r := range shedReasons {
+		m.shed[r] = reg.Counter("pipesched_server_shed_total", "Requests rejected by admission control.", "reason", r)
+	}
+	for _, st := range breakerStates {
+		m.transitions[st] = reg.Counter("pipesched_server_breaker_transitions_total", "Circuit breaker state transitions.", "to", st)
+	}
+	return m
+}
+
+// waitWindow keeps a sliding window of recent queue-wait samples and
+// answers "what is the p95 wait right now?" for deadline-aware load
+// shedding. minSamples guards the cold start: with too few samples the
+// estimate is 0 and shedding stays off.
+type waitWindow struct {
+	mu  sync.Mutex
+	buf []float64 // seconds, ring buffer
+	n   int       // samples stored (<= len(buf))
+	i   int       // next write position
+}
+
+const waitWindowSize = 128
+const waitWindowMinSamples = 8
+
+func newWaitWindow() *waitWindow {
+	return &waitWindow{buf: make([]float64, waitWindowSize)}
+}
+
+func (w *waitWindow) observe(seconds float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.i] = seconds
+	w.i = (w.i + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// p95 returns the 95th-percentile wait in seconds, or 0 while fewer
+// than minSamples samples have been observed.
+func (w *waitWindow) p95() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < waitWindowMinSamples {
+		return 0
+	}
+	xs := make([]float64, w.n)
+	copy(xs, w.buf[:w.n])
+	return stats.Percentile(xs, 95)
+}

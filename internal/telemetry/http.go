@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -56,17 +57,45 @@ func Handler(reg *Registry) http.Handler {
 	return mux
 }
 
+// Server is a running introspection endpoint with an explicit shutdown
+// path, so a long-running service can drain its metrics listener along
+// with everything else instead of leaking it.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listener address — useful with port 0.
+func (s *Server) Addr() string { return s.addr }
+
+// Close immediately closes the listener and any active connections.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Shutdown gracefully stops the server: the listener closes at once,
+// in-flight scrapes finish, then the server exits — or ctx expires and
+// remaining connections are cut.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
 // Serve starts the introspection endpoints on addr (e.g. ":9090" or
-// "127.0.0.1:0") in a background goroutine. It returns the bound
-// listener address — useful with port 0 — and a shutdown function that
-// closes the listener. Serving errors after a successful bind are
-// dropped: observability must never take the pipeline down.
-func Serve(addr string, reg *Registry) (bound string, shutdown func(), err error) {
+// "127.0.0.1:0") in a background goroutine and returns the running
+// server handle. Serving errors after a successful bind are dropped:
+// observability must never take the pipeline down.
+func Serve(addr string, reg *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(reg)}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	return &Server{srv: srv, addr: ln.Addr().String()}, nil
 }

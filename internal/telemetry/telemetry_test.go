@@ -2,8 +2,11 @@ package telemetry
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -357,17 +360,48 @@ func TestHandlerEndpoints(t *testing.T) {
 
 func TestServe(t *testing.T) {
 	r := NewRegistry()
-	bound, stop, err := Serve("127.0.0.1:0", r)
+	srv, err := Serve("127.0.0.1:0", r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer stop()
-	if bound == "" || !strings.Contains(bound, ":") {
-		t.Errorf("bound address %q", bound)
+	defer srv.Close()
+	if srv.Addr() == "" || !strings.Contains(srv.Addr(), ":") {
+		t.Errorf("bound address %q", srv.Addr())
 	}
-	// Binding the same port again must fail with a wrapped error.
-	if _, _, err := Serve(bound, r); err == nil {
+	// Binding the same port again must fail with a wrapped error. (The
+	// old test discarded the second handle, leaking its listener if the
+	// bind unexpectedly succeeded; closing it plugs that.)
+	if dup, err := Serve(srv.Addr(), r); err == nil {
+		dup.Close()
 		t.Error("double bind accepted")
+	}
+}
+
+// TestServeShutdown exercises the graceful shutdown path: after
+// Shutdown returns, the address no longer accepts connections and a
+// second Shutdown/Close is a safe no-op.
+func TestServeShutdown(t *testing.T) {
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz before shutdown: %v", err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Errorf("Close after Shutdown: %v", err)
 	}
 }
 

@@ -7,8 +7,9 @@
 // Typical service setup:
 //
 //	t := pipesched.EnableTelemetry()
-//	addr, stop, _ := pipesched.ServeTelemetry(":9090", t)
-//	defer stop()
+//	ts, _ := pipesched.ServeTelemetry(":9090", t)
+//	defer ts.Close() // or ts.Shutdown(ctx) to drain scrapes
+//	// ts.Addr() is the bound address (useful with ":0")
 //	// curl addr/metrics       → Prometheus text format
 //	// curl addr/debug/vars    → expvar JSON
 //	// curl addr/debug/pprof/  → live profiles
@@ -71,9 +72,14 @@ func TelemetryHandler(t *Telemetry) http.Handler {
 	return telemetry.Handler(t.Registry())
 }
 
-// ServeTelemetry starts TelemetryHandler on addr in the background,
-// returning the bound address (useful with ":0") and a shutdown func.
-func ServeTelemetry(addr string, t *Telemetry) (bound string, shutdown func(), err error) {
+// TelemetryServer is a running introspection endpoint; it exposes the
+// bound address (Addr), an immediate Close and a graceful Shutdown so
+// services can drain the metrics listener alongside their own work.
+type TelemetryServer = telemetry.Server
+
+// ServeTelemetry starts TelemetryHandler on addr in the background and
+// returns the running server handle (Addr/Close/Shutdown).
+func ServeTelemetry(addr string, t *Telemetry) (*TelemetryServer, error) {
 	return telemetry.Serve(addr, t.Registry())
 }
 

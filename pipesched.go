@@ -129,6 +129,14 @@ type Options struct {
 	// search further than the paper's [5c]).
 	StrongEquivalence bool
 
+	// HeuristicOnly skips the branch-and-bound search entirely and
+	// returns the Heuristic rung directly: the list-schedule seed priced
+	// by the NOP-insertion analysis. The result is legal and fast but
+	// carries no optimality proof (Compiled.Quality == Heuristic).
+	// Services use it as the fail-fast path for blocks whose search has
+	// repeatedly blown its budget (see internal/server's circuit breaker).
+	HeuristicOnly bool
+
 	// Workers > 1 runs the branch-and-bound in parallel: first-level
 	// subtrees fan out across goroutines sharing one atomic incumbent
 	// bound. The cost and optimality verdict stay deterministic; which

@@ -227,6 +227,12 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 		return nil, err
 	}
 
+	if o.HeuristicOnly {
+		// Fail-fast path: the caller has decided (e.g. via the server's
+		// circuit breaker) that this block should not pay for a search.
+		return heuristicCompiled(block, g, m, o, faults)
+	}
+
 	copts := core.Options{
 		Lambda:            normLambda(o.Lambda),
 		Ctx:               ctx,
