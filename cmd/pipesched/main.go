@@ -6,6 +6,7 @@
 //
 //	pipesched [flags] [file]           # default input: stdin
 //	pipesched serve [flags]            # long-running compile service (see serve.go)
+//	pipesched verify [flags]           # differential-oracle soak (see verify.go)
 //
 //	-preset name     machine preset: simulation | example | unpipelined | deep
 //	-machine file    machine description file (overrides -preset)
@@ -54,6 +55,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(context.Background(), args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "verify" {
+		return runVerify(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("pipesched", flag.ContinueOnError)
 	fs.SetOutput(stderr)

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVerifyCleanRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runVerify([]string{"-blocks", "10", "-machines", "3", "-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "pairs=10") || !strings.Contains(got, "divergences=0") {
+		t.Errorf("unexpected summary: %q", got)
+	}
+}
+
+func TestVerifyProgressAndFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runVerify([]string{
+		"-blocks", "5", "-machines", "2", "-seed", "9",
+		"-no-metamorphic", "-no-exhaustive", "-workers", "2",
+		"-lambda", "50000", "-max-statements", "4", "-progress",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "5/5 blocks checked") {
+		t.Errorf("progress not reported: %q", errb.String())
+	}
+}
+
+func TestVerifyOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "failures.jsonl")
+	var out, errb bytes.Buffer
+	code := runVerify([]string{"-blocks", "5", "-machines", "2", "-seed", "3", "-out", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("artifact file not created: %v", err)
+	}
+	if len(data) != 0 {
+		t.Errorf("clean run wrote artifacts: %q", data)
+	}
+}
+
+func TestVerifyBadUsage(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"unexpected-positional"},
+		{"-out", filepath.Join(t.TempDir(), "missing-dir", "x", "y.jsonl")},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := runVerify(args, &out, &errb); code != 1 {
+			t.Errorf("args %v: exit %d, want 1", args, code)
+		}
+	}
+}
+
+func TestVerifySubcommandDispatch(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"verify", "-blocks", "3", "-machines", "2", "-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("dispatch exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "divergences=0") {
+		t.Errorf("unexpected output: %q", out.String())
+	}
+}

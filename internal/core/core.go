@@ -473,9 +473,38 @@ func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
 // σ(ξ) = ∅ ∧ ρ(ξ) = ∅ ∧ σ(κ) = ∅ ∧ ρ(κ) = ∅ — both instructions use no
 // pipeline and depend on nothing, so exchanging them cannot change any
 // NOP count.
+//
+// (The bare paper condition is not sound in this DFS realization: the
+// cost-equivalence witness is "the same completion with κ and ξ
+// exchanged", and when the two instructions feed *different* consumers
+// that witness can violate a flow edge — a consumer of ξ may sit between
+// the two positions — so it was never explored and the skipped subtree
+// can hold the only optimum. Requiring identical immediate-successor
+// structure restores the bijection: the exchanged completion satisfies
+// exactly the same ordering constraints, and since neither instruction
+// occupies a pipeline the exchange perturbs no issue tick. Differential
+// soaking against the exhaustive reference caught the unstrengthened
+// rule claiming optimality one to two NOPs above the true optimum.)
 func (s *searcher) equivalentSwap(kappa, xi int) bool {
 	return s.noPipe(xi) && len(s.g.Preds[xi]) == 0 &&
-		s.noPipe(kappa) && len(s.g.Preds[kappa]) == 0
+		s.noPipe(kappa) && len(s.g.Preds[kappa]) == 0 &&
+		sameSuccs(s.g, kappa, xi)
+}
+
+// sameSuccs reports whether u and v have identical immediate-successor
+// dependence structure (same nodes, same edge kinds). Succs lists are
+// kept sorted by dag.Build, so element-wise comparison suffices.
+func sameSuccs(g *dag.Graph, u, v int) bool {
+	su, sv := g.Succs[u], g.Succs[v]
+	if len(su) != len(sv) {
+		return false
+	}
+	for i := range su {
+		if su[i] != sv[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *searcher) noPipe(u int) bool {

@@ -75,19 +75,26 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 	}
 
 	// Depth-0 candidates: source nodes, in seed order, with the paper's
-	// [5c] filter applied among themselves (two no-pipe no-pred
-	// candidates are interchangeable — keep the first).
+	// [5c] filter applied among themselves: two no-pipe candidates are
+	// interchangeable only when they also share identical successor
+	// structure (see equivalentSwap for why the bare no-pipe/no-pred
+	// condition over-prunes) — keep the first of each such group.
 	var candidates []int
-	noPipeSeen := false
 	for _, u := range seed {
 		if len(g.Preds[u]) > 0 {
 			continue
 		}
 		if len(m.PipelinesFor(g.Block.Tuples[u].Op)) == 0 && !opts.DisableEquivalence {
-			if noPipeSeen {
+			dup := false
+			for _, v := range candidates {
+				if len(m.PipelinesFor(g.Block.Tuples[v].Op)) == 0 && sameSuccs(g, v, u) {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			noPipeSeen = true
 		}
 		candidates = append(candidates, u)
 	}

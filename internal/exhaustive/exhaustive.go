@@ -15,12 +15,17 @@ package exhaustive
 
 import (
 	"context"
+	"errors"
 	"math/big"
 
 	"pipesched/internal/dag"
 	"pipesched/internal/machine"
 	"pipesched/internal/nopins"
 )
+
+// ErrBudget is the stop reason recorded in Result.Stopped when the call
+// budget ended a search.
+var ErrBudget = errors.New("exhaustive: call budget exhausted")
 
 // ctxCheckEvery is how many evaluations pass between cooperative
 // cancellation checks in the baseline searches.
@@ -32,12 +37,38 @@ func expired(ctx context.Context, calls int64) bool {
 	return ctx != nil && calls%ctxCheckEvery == 1 && ctx.Err() != nil
 }
 
+// checkStop decides, after one evaluation, whether the search continues.
+// The budget is tested before the context so that a budget exhausted and
+// a cancellation arriving at the same evaluation report deterministically
+// (Stopped == ErrBudget, never a timing-dependent choice); the context
+// check polls only every ctxCheckEvery-th call, so the budget comparison
+// is the only per-call cost. It returns true to keep searching.
+func (res *Result) checkStop(ctx context.Context, budget int64) bool {
+	if budget > 0 && res.Calls >= budget {
+		res.Stopped = ErrBudget
+		return false
+	}
+	if expired(ctx, res.Calls) {
+		res.Stopped = ctx.Err()
+		return false
+	}
+	return true
+}
+
 // Result summarizes one baseline search.
 type Result struct {
 	Best      nopins.Result // best legal schedule found (zero if none)
 	Found     bool          // whether any legal schedule was evaluated
 	Calls     int64         // evaluations performed (Q invocations)
-	Exhausted bool          // true if the call budget stopped the search
+	Exhausted bool          // true if the search stopped before completing
+	// Stopped records deterministically WHY the search stopped early: nil
+	// for a complete enumeration, ErrBudget when the call budget ran out,
+	// or the context's error for a cooperative cancellation. When the
+	// budget runs out and the context is canceled at the same evaluation,
+	// the budget wins: it is checked first, because the budget comparison
+	// is exact per call while the context is only polled every
+	// ctxCheckEvery-th call. Exhausted == (Stopped != nil).
+	Stopped error
 }
 
 // Factorial returns n! exactly.
@@ -80,10 +111,7 @@ func SearchExhaustiveCtx(ctx context.Context, g *dag.Graph, m *machine.Machine, 
 					best = r.TotalNOPs
 				}
 			}
-			if expired(ctx, res.Calls) {
-				return false
-			}
-			return budget <= 0 || res.Calls < budget
+			return res.checkStop(ctx, budget)
 		}
 		for i := k; i < g.N; i++ {
 			perm[k], perm[i] = perm[i], perm[k]
@@ -125,10 +153,7 @@ func SearchLegalCtx(ctx context.Context, g *dag.Graph, m *machine.Machine, budge
 				res.Found = true
 				best = e.TotalNOPs()
 			}
-			if expired(ctx, res.Calls) {
-				return false
-			}
-			return budget <= 0 || res.Calls < budget
+			return res.checkStop(ctx, budget)
 		}
 		for u := 0; u < g.N; u++ {
 			if e.Scheduled(u) || !e.Ready(u) {

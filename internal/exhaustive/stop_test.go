@@ -1,0 +1,115 @@
+package exhaustive
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pipesched/internal/dag"
+	"pipesched/internal/ir"
+	"pipesched/internal/machine"
+)
+
+// stopTestGraph builds a small block with several legal orders, so both
+// searches run long enough to hit any stop condition.
+func stopTestGraph(t *testing.T) *dag.Graph {
+	t.Helper()
+	b, err := ir.ParseBlock(`stop:
+  1: Load #a
+  2: Mul @1, @1
+  3: Load #b
+  4: Add @3, @3
+  5: Store #c, @2
+  6: Store #d, @4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStopReasonBudget(t *testing.T) {
+	g := stopTestGraph(t)
+	m := machine.SimulationMachine()
+	for name, search := range map[string]func(context.Context, *dag.Graph, *machine.Machine, int64) Result{
+		"exhaustive": SearchExhaustiveCtx,
+		"legal":      SearchLegalCtx,
+	} {
+		res := search(context.Background(), g, m, 1)
+		if !res.Exhausted {
+			t.Errorf("%s: budget 1 did not exhaust the search", name)
+		}
+		if !errors.Is(res.Stopped, ErrBudget) {
+			t.Errorf("%s: Stopped = %v, want ErrBudget", name, res.Stopped)
+		}
+		if res.Calls != 1 {
+			t.Errorf("%s: Calls = %d, want exactly 1 under budget 1", name, res.Calls)
+		}
+	}
+}
+
+func TestStopReasonCancellation(t *testing.T) {
+	g := stopTestGraph(t)
+	m := machine.SimulationMachine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the search starts
+
+	for name, search := range map[string]func(context.Context, *dag.Graph, *machine.Machine, int64) Result{
+		"exhaustive": SearchExhaustiveCtx,
+		"legal":      SearchLegalCtx,
+	} {
+		res := search(ctx, g, m, 0)
+		if !res.Exhausted {
+			t.Errorf("%s: cancellation did not stop the search", name)
+		}
+		if !errors.Is(res.Stopped, context.Canceled) {
+			t.Errorf("%s: Stopped = %v, want context.Canceled", name, res.Stopped)
+		}
+	}
+}
+
+// TestStopPrecedenceBudgetBeatsCancellation pins the contract the oracle
+// relies on for deterministic replay: when the budget runs out at the
+// same evaluation where a cancellation would be observed, the budget is
+// reported. The context poll fires on calls ≡ 1 (mod 1024), the same
+// evaluation where budget 1 exhausts — so with both conditions active
+// the outcome must still be ErrBudget, on every run.
+func TestStopPrecedenceBudgetBeatsCancellation(t *testing.T) {
+	g := stopTestGraph(t)
+	m := machine.SimulationMachine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for name, search := range map[string]func(context.Context, *dag.Graph, *machine.Machine, int64) Result{
+		"exhaustive": SearchExhaustiveCtx,
+		"legal":      SearchLegalCtx,
+	} {
+		for i := 0; i < 16; i++ { // the point is determinism: repeat
+			res := search(ctx, g, m, 1)
+			if !errors.Is(res.Stopped, ErrBudget) {
+				t.Fatalf("%s run %d: Stopped = %v, want ErrBudget (budget must win over cancellation)",
+					name, i, res.Stopped)
+			}
+		}
+	}
+}
+
+func TestStopReasonNilOnCompleteEnumeration(t *testing.T) {
+	g := stopTestGraph(t)
+	m := machine.SimulationMachine()
+	for name, res := range map[string]Result{
+		"exhaustive": SearchExhaustive(g, m, 0),
+		"legal":      SearchLegal(g, m, 0),
+	} {
+		if res.Exhausted || res.Stopped != nil {
+			t.Errorf("%s: complete enumeration reported a stop: Exhausted=%t Stopped=%v",
+				name, res.Exhausted, res.Stopped)
+		}
+		if !res.Found {
+			t.Errorf("%s: no schedule found", name)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSeedMachines returns the corpus machines for the codec fuzzers:
+// every preset plus a couple of fuzzed descriptions.
+func fuzzSeedMachines() []*Machine {
+	ms := []*Machine{
+		SimulationMachine(),
+		ExampleMachine(),
+		UnpipelinedMachine(),
+		DeepMachine(),
+		Random(rand.New(rand.NewSource(1)), Params{}),
+		Random(rand.New(rand.NewSource(2)), Params{SingleAssignment: true}),
+	}
+	return ms
+}
+
+// FuzzMachineJSON feeds arbitrary bytes through the JSON codec: inputs
+// that decode must validate and survive a marshal→unmarshal round trip
+// byte-identically; no input may panic the decoder.
+func FuzzMachineJSON(f *testing.F) {
+	for _, m := range fuzzSeedMachines() {
+		data, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","pipelines":[{"function":"f","id":1,"latency":0}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseJSON(data)
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ParseJSON accepted an invalid machine: %v\ninput: %s", err, data)
+		}
+		out1, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted machine does not marshal: %v", err)
+		}
+		m2, err := ParseJSON(out1)
+		if err != nil {
+			t.Fatalf("round trip does not parse: %v\nencoded: %s", err, out1)
+		}
+		out2, err := json.Marshal(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("round trip not stable:\nfirst:  %s\nsecond: %s", out1, out2)
+		}
+	})
+}
+
+// FuzzMachineText feeds arbitrary text through the table-format parser:
+// no input may panic it, and accepted machines must validate and survive
+// the JSON round trip.
+func FuzzMachineText(f *testing.F) {
+	for _, m := range fuzzSeedMachines() {
+		f.Add(m.String())
+	}
+	f.Add("")
+	f.Add("machine m\npipe 1 loader latency=2 enqueue=1\nop Load -> {1}\n")
+	f.Add("pipe broken\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ParseString accepted an invalid machine: %v\ninput: %q", err, text)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted machine does not marshal: %v", err)
+		}
+		if _, err := ParseJSON(data); err != nil {
+			t.Fatalf("accepted machine does not re-parse from JSON: %v", err)
+		}
+	})
+}

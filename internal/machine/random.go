@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipesched/internal/ir"
+)
+
+// Params bounds the random machine generator. The zero value selects the
+// defaults shown on each field.
+type Params struct {
+	// MinPipelines..MaxPipelines bounds the pipeline-table size.
+	MinPipelines int // default 1
+	MaxPipelines int // default 5
+
+	// MaxLatency bounds every pipeline's latency; enqueue times are drawn
+	// in [1, latency], so a generated machine always satisfies Validate's
+	// enqueue ≤ latency constraint by construction.
+	MaxLatency int // default 8
+
+	// SingleAssignment forces singleton op→pipeline sets (the paper's core
+	// model, footnote 3). When false, ops may map to several pipelines,
+	// exercising the assignment extension.
+	SingleAssignment bool
+
+	// NoPipePercent is the percentage chance (0..100) that a schedulable
+	// operation maps to no pipeline at all (σ(ζ) = ∅), like Store and
+	// Const in the paper's simulations. Default 12.
+	NoPipePercent int
+}
+
+func (p Params) withDefaults() Params {
+	if p.MinPipelines <= 0 {
+		p.MinPipelines = 1
+	}
+	if p.MaxPipelines <= 0 {
+		p.MaxPipelines = 5
+	}
+	if p.MaxPipelines < p.MinPipelines {
+		p.MaxPipelines = p.MinPipelines
+	}
+	if p.MaxLatency <= 0 {
+		p.MaxLatency = 8
+	}
+	if p.NoPipePercent <= 0 {
+		p.NoPipePercent = 12
+	}
+	return p
+}
+
+// randomFunctions names the pipeline rows; repeats model multiple units
+// of the same function, as in the paper's Tables 2 and 3.
+var randomFunctions = []string{"loader", "adder", "multiplier", "divider", "shifter", "fpu"}
+
+// Random draws a structurally valid machine description from rng: every
+// pipeline has latency ≥ 1 and 1 ≤ enqueue ≤ latency, IDs are unique and
+// positive, and the op map names only existing pipelines — so the result
+// always passes Validate. The generator is deterministic in the rng
+// stream, which is what lets a differential soak replay any machine from
+// its seed alone. It is the machine-model half of the oracle's fuzz
+// surface (internal/oracle pairs it with synth-generated blocks).
+func Random(rng *rand.Rand, p Params) *Machine {
+	p = p.withDefaults()
+	n := p.MinPipelines + rng.Intn(p.MaxPipelines-p.MinPipelines+1)
+	pipes := make([]Pipeline, n)
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		lat := 1 + rng.Intn(p.MaxLatency)
+		pipes[i] = Pipeline{
+			Function: randomFunctions[rng.Intn(len(randomFunctions))],
+			ID:       i + 1,
+			Latency:  lat,
+			Enqueue:  1 + rng.Intn(lat),
+		}
+		ids[i] = i + 1
+	}
+
+	// Every operation the synthetic generator can emit gets a mapping:
+	// usually a pipeline subset, occasionally σ = ∅ (the op issues in one
+	// tick and never conflicts). Const and Store stay unmapped, as in
+	// every preset.
+	opMap := map[ir.Op][]int{}
+	for _, op := range []ir.Op{ir.Load, ir.Add, ir.Sub, ir.Neg, ir.Mul, ir.Div, ir.Mod} {
+		if rng.Intn(100) < p.NoPipePercent {
+			continue
+		}
+		size := 1
+		if !p.SingleAssignment && n > 1 && rng.Intn(2) == 0 {
+			size = 1 + rng.Intn(n)
+		}
+		perm := rng.Perm(n)
+		set := make([]int, size)
+		for k := 0; k < size; k++ {
+			set[k] = ids[perm[k]]
+		}
+		opMap[op] = set
+	}
+
+	m, err := New(fmt.Sprintf("fuzz-%08x", rng.Uint32()), pipes, opMap)
+	if err != nil {
+		// Unreachable by construction; a panic here is a generator bug.
+		panic(fmt.Sprintf("machine: Random produced invalid description: %v", err))
+	}
+	return m
+}

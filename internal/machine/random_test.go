@@ -1,0 +1,67 @@
+package machine
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomAlwaysValid(t *testing.T) {
+	cases := []Params{
+		{},
+		{SingleAssignment: true},
+		{MinPipelines: 3, MaxPipelines: 3},
+		{MaxPipelines: 1, MaxLatency: 1},
+		{MaxLatency: 20, NoPipePercent: 100},
+		{NoPipePercent: 1},
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		p := cases[seed%int64(len(cases))]
+		m := Random(rand.New(rand.NewSource(seed)), p)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d params %+v: invalid machine: %v", seed, p, err)
+		}
+		d := p.withDefaults()
+		if n := len(m.Pipelines); n < d.MinPipelines || n > d.MaxPipelines {
+			t.Fatalf("seed %d: %d pipelines outside [%d, %d]", seed, n, d.MinPipelines, d.MaxPipelines)
+		}
+		for _, pipe := range m.Pipelines {
+			if pipe.Latency < 1 || pipe.Latency > d.MaxLatency {
+				t.Fatalf("seed %d: latency %d outside [1, %d]", seed, pipe.Latency, d.MaxLatency)
+			}
+			if pipe.Enqueue < 1 || pipe.Enqueue > pipe.Latency {
+				t.Fatalf("seed %d: enqueue %d outside [1, %d]", seed, pipe.Enqueue, pipe.Latency)
+			}
+		}
+		for op, ids := range m.OpMap {
+			if p.SingleAssignment && len(ids) > 1 {
+				t.Fatalf("seed %d: %s maps to %d pipelines under SingleAssignment", seed, op, ids)
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	enc := func(seed int64) string {
+		m := Random(rand.New(rand.NewSource(seed)), Params{})
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if enc(42) != enc(42) {
+		t.Error("same seed produced different machines")
+	}
+	if enc(42) == enc(43) {
+		t.Error("different seeds produced identical machines")
+	}
+}
+
+func TestRandomNoPipePercentZeroValueMeansDefault(t *testing.T) {
+	// With NoPipePercent forced to 100 every schedulable op is σ = ∅.
+	m := Random(rand.New(rand.NewSource(1)), Params{NoPipePercent: 100})
+	if len(m.OpMap) != 0 {
+		t.Errorf("NoPipePercent=100 still mapped ops: %v", m.OpMap)
+	}
+}

@@ -1,0 +1,172 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/ir"
+	"pipesched/internal/machine"
+)
+
+// The metamorphic invariants: transformations of the block or the
+// machine description that provably cannot change the optimal NOP cost.
+// A scheduler that accidentally depends on tuple reference numbers,
+// operand order of commutative operations, pipeline-table row order, or
+// the spelling of pipeline identifiers will diverge here even on blocks
+// too large for the exhaustive reference.
+
+// RenumberTuples returns a copy of b whose tuple IDs are replaced by
+// fresh random unique positive IDs (references remapped to match).
+// Positions, operations and dependences are untouched, so the dependence
+// DAG — and therefore the optimal cost — is identical.
+func RenumberTuples(b *ir.Block, rng *rand.Rand) *ir.Block {
+	remap := make(map[int]int, len(b.Tuples))
+	used := make(map[int]bool, len(b.Tuples))
+	for _, t := range b.Tuples {
+		for {
+			id := 1 + rng.Intn(1_000_000)
+			if !used[id] {
+				used[id] = true
+				remap[t.ID] = id
+				break
+			}
+		}
+	}
+	nb := &ir.Block{Label: b.Label, Tuples: make([]ir.Tuple, len(b.Tuples))}
+	for i, t := range b.Tuples {
+		nt := t
+		nt.ID = remap[t.ID]
+		if nt.A.Kind == ir.RefOperand {
+			nt.A.Ref = remap[nt.A.Ref]
+		}
+		if nt.B.Kind == ir.RefOperand {
+			nt.B.Ref = remap[nt.B.Ref]
+		}
+		nb.Tuples[i] = nt
+	}
+	return nb
+}
+
+// SwapCommutativeOperands returns a copy of b with the operands of a
+// random subset of commutative tuples (Add, Mul) exchanged. The value
+// computed and the dependence edges are identical, so the optimal cost
+// must not move.
+func SwapCommutativeOperands(b *ir.Block, rng *rand.Rand) *ir.Block {
+	nb := b.Clone()
+	for i, t := range nb.Tuples {
+		if t.Op.IsCommutative() && rng.Intn(2) == 0 {
+			nb.Tuples[i].A, nb.Tuples[i].B = t.B, t.A
+		}
+	}
+	return nb
+}
+
+// PermutePipelines returns a machine whose pipeline-table rows are
+// reordered (identifiers, latencies and the op map untouched). Every
+// lookup is by pipeline ID, so row order is presentation only.
+func PermutePipelines(m *machine.Machine, rng *rand.Rand) (*machine.Machine, error) {
+	perm := rng.Perm(len(m.Pipelines))
+	pipes := make([]machine.Pipeline, len(m.Pipelines))
+	for i, j := range perm {
+		pipes[i] = m.Pipelines[j]
+	}
+	opMap := make(map[ir.Op][]int, len(m.OpMap))
+	for op, ids := range m.OpMap {
+		opMap[op] = append([]int(nil), ids...)
+	}
+	return machine.New(m.Name+"-rowperm", pipes, opMap)
+}
+
+// RelabelPipelines returns a machine with pipeline identifiers renamed
+// by a random bijection, applied consistently to the pipeline table and
+// the op map (preserving each op's list order, so fixed-assignment
+// choices stay on the same physical pipeline). Identifier spelling
+// carries no timing information, so the optimal cost is invariant.
+func RelabelPipelines(m *machine.Machine, rng *rand.Rand) (*machine.Machine, error) {
+	n := len(m.Pipelines)
+	perm := rng.Perm(n)
+	relabel := make(map[int]int, n)
+	for i, p := range m.Pipelines {
+		relabel[p.ID] = perm[i] + 1
+	}
+	pipes := make([]machine.Pipeline, n)
+	for i, p := range m.Pipelines {
+		np := p
+		np.ID = relabel[p.ID]
+		pipes[i] = np
+	}
+	opMap := make(map[ir.Op][]int, len(m.OpMap))
+	for op, ids := range m.OpMap {
+		nids := make([]int, len(ids))
+		for i, id := range ids {
+			if id == machine.NoPipeline {
+				nids[i] = id
+				continue
+			}
+			nids[i] = relabel[id]
+		}
+		opMap[op] = nids
+	}
+	return machine.New(m.Name+"-relabel", pipes, opMap)
+}
+
+// CheckMetamorphic runs the metamorphic invariants on one (block,
+// machine) pair: it establishes the baseline optimal cost, applies each
+// cost-preserving transformation, re-runs the search, and reports any
+// cost movement. Pairs whose baseline search is curtailed are skipped —
+// without an optimality proof a cost difference is inconclusive.
+func CheckMetamorphic(g *dag.Graph, m *machine.Machine, cfg Config, rng *rand.Rand) []Divergence {
+	cfg = cfg.withDefaults()
+	base, err := core.Find(g, m, core.Options{Lambda: cfg.Lambda})
+	if err != nil || !base.Optimal {
+		return nil
+	}
+
+	var divs []Divergence
+	check := func(name string, b2 *ir.Block, m2 *machine.Machine) {
+		g2, err := dag.Build(b2)
+		if err != nil {
+			divs = append(divs, Divergence{
+				Check:  "metamorphic-" + name,
+				Detail: fmt.Sprintf("transformed block is invalid: %v", err),
+			})
+			return
+		}
+		s2, err := core.Find(g2, m2, core.Options{Lambda: cfg.Lambda})
+		if err != nil {
+			divs = append(divs, Divergence{
+				Check:  "metamorphic-" + name,
+				Detail: fmt.Sprintf("search failed on transformed pair: %v", err),
+			})
+			return
+		}
+		if !s2.Optimal {
+			return // budget asymmetry: inconclusive, not a divergence
+		}
+		if s2.TotalNOPs != base.TotalNOPs {
+			divs = append(divs, Divergence{
+				Check: "metamorphic-" + name,
+				Detail: fmt.Sprintf("optimal cost moved from %d to %d under a cost-preserving transformation",
+					base.TotalNOPs, s2.TotalNOPs),
+			})
+		}
+	}
+
+	check("renumber", RenumberTuples(g.Block, rng), m)
+	check("commute", SwapCommutativeOperands(g.Block, rng), m)
+	if mp, err := PermutePipelines(m, rng); err == nil {
+		check("pipe-order", g.Block, mp)
+	} else {
+		divs = append(divs, Divergence{Check: "metamorphic-pipe-order",
+			Detail: fmt.Sprintf("row permutation produced invalid machine: %v", err)})
+	}
+	if mr, err := RelabelPipelines(m, rng); err == nil {
+		check("pipe-relabel", g.Block, mr)
+	} else {
+		divs = append(divs, Divergence{Check: "metamorphic-pipe-relabel",
+			Detail: fmt.Sprintf("relabeling produced invalid machine: %v", err)})
+	}
+	return divs
+}

@@ -1,0 +1,288 @@
+// Package oracle is the differential-testing and metamorphic-invariant
+// subsystem that proves the schedulers agree with their own ground
+// truths. The paper's central claim is provable optimality; this package
+// is the machinery that keeps the implementation honest about it, so the
+// search hot path (pruning rules, traversal order, parallel work
+// stealing) can be refactored freely and every change gated on a
+// differential soak.
+//
+// One unit of work is a (block, machine) pair. The check suite:
+//
+//   - optimality differential: several independently-configured searches
+//     (sequential, parallel, ablated pruning, extended pruning) must
+//     agree on the optimal NOP cost whenever they claim optimality, and
+//     the exhaustive reference enumerations must confirm that cost on
+//     blocks small enough to enumerate;
+//   - upper bound: no search may ever return a schedule costlier than
+//     the priced list-scheduling seed it started from;
+//   - legality/semantics: every emitted schedule must be a topological
+//     order of the DAG, hazard-free under all three architectural delay
+//     mechanisms, and simulate to exactly the cost the search claimed
+//     (sim.Verify);
+//   - metamorphic invariants (metamorphic.go): cost-preserving
+//     transformations of the block and the machine description must
+//     leave the optimal cost unchanged.
+//
+// Run (run.go) drives the suite at scale over synth-generated blocks and
+// machine.Random machines, shrinking failures to minimal counterexamples
+// and emitting JSONL repro artifacts.
+package oracle
+
+import (
+	"fmt"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/exhaustive"
+	"pipesched/internal/listsched"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+	"pipesched/internal/sim"
+)
+
+// Divergence is one oracle finding: a named check that failed on a
+// (block, machine) pair, with enough detail to understand the mismatch.
+// The repro context (block text, machine JSON, seed) is attached by the
+// Run driver, which sees the generators.
+type Divergence struct {
+	Check     string `json:"check"`               // which oracle check failed
+	Candidate string `json:"candidate,omitempty"` // offending scheduler, when one is implicated
+	Detail    string `json:"detail"`              // human-readable mismatch description
+}
+
+func (d Divergence) String() string {
+	if d.Candidate != "" {
+		return fmt.Sprintf("%s[%s]: %s", d.Check, d.Candidate, d.Detail)
+	}
+	return fmt.Sprintf("%s: %s", d.Check, d.Detail)
+}
+
+// Candidate is one scheduler under test. All candidates must agree on
+// the optimal cost whenever they claim optimality; adding a candidate
+// (a new traversal order, a new pruning rule) puts it under the same
+// contract automatically.
+type Candidate struct {
+	Name string
+	Run  func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error)
+}
+
+// Config tunes the per-pair check suite. The zero value selects the
+// defaults shown on each field.
+type Config struct {
+	// Lambda is the per-candidate search budget (Ω invocations). A
+	// curtailed candidate keeps its legality checks but abstains from the
+	// optimality differential. Default 200 000.
+	Lambda int64
+
+	// Workers is the fan-out of the parallel search candidate. Default 4.
+	Workers int
+
+	// ExhaustiveOrders caps the legal-schedule enumeration used as the
+	// optimality reference: blocks with more topological orders than this
+	// skip the exhaustive differential (the search candidates still
+	// cross-check each other). Default 20 000.
+	ExhaustiveOrders int64
+
+	// ExhaustivePermutations caps the block size for the full n!
+	// permutation search (the paper's naive baseline). Default 7 (5 040
+	// permutations).
+	ExhaustivePermutations int
+
+	// DisableExhaustive skips both reference enumerations.
+	DisableExhaustive bool
+
+	// Candidates overrides the scheduler set under test; nil selects
+	// DefaultCandidates(Lambda, Workers). Tests inject broken schedulers
+	// here to prove the oracle catches them.
+	Candidates []Candidate
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lambda <= 0 {
+		c.Lambda = 200_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.ExhaustiveOrders <= 0 {
+		c.ExhaustiveOrders = 20_000
+	}
+	if c.ExhaustivePermutations <= 0 {
+		c.ExhaustivePermutations = 7
+	}
+	return c
+}
+
+func (c Config) candidates() []Candidate {
+	if c.Candidates != nil {
+		return c.Candidates
+	}
+	return DefaultCandidates(c.Lambda, c.Workers)
+}
+
+// DefaultCandidates returns the standard differential set: the plain
+// sequential search, the parallel search (shared incumbent, work fanned
+// across goroutines), the paper-faithful search with the critical-path
+// lower bound disabled, and the search with the extended strong
+// equivalence filter. Each explores the space differently; all must land
+// on the same optimal cost.
+func DefaultCandidates(lambda int64, workers int) []Candidate {
+	opts := func(mut func(*core.Options)) core.Options {
+		o := core.Options{Lambda: lambda}
+		if mut != nil {
+			mut(&o)
+		}
+		return o
+	}
+	return []Candidate{
+		{Name: "find", Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			return core.Find(g, m, opts(nil))
+		}},
+		{Name: "find-parallel", Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			return core.FindParallel(g, m, opts(nil), workers)
+		}},
+		{Name: "find-nolowerbound", Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			return core.Find(g, m, opts(func(o *core.Options) { o.DisableLowerBound = true }))
+		}},
+		{Name: "find-strongequiv", Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			return core.Find(g, m, opts(func(o *core.Options) { o.StrongEquivalence = true }))
+		}},
+	}
+}
+
+// CheckPair runs the full differential suite on one (block, machine)
+// pair and returns every divergence found (nil/empty means the pair is
+// clean). The block is taken through g; it must already be validated
+// (dag.Build validates).
+func CheckPair(g *dag.Graph, m *machine.Machine, cfg Config) []Divergence {
+	cfg = cfg.withDefaults()
+	var divs []Divergence
+
+	// The list-scheduling seed is the upper bound: the search starts from
+	// it, so returning anything costlier is a hard bug (the incumbent can
+	// only improve).
+	seedOrder := listsched.Schedule(g, listsched.ByHeight)
+	seed, err := nopins.NewEvaluator(g, m, nopins.AssignFixed).EvaluateOrder(seedOrder)
+	if err != nil {
+		return append(divs, Divergence{
+			Check:  "seed-illegal",
+			Detail: fmt.Sprintf("list schedule is not a legal order: %v", err),
+		})
+	}
+
+	type outcome struct {
+		name string
+		s    *core.Schedule
+	}
+	var outs []outcome
+	for _, c := range cfg.candidates() {
+		s, err := c.Run(g, m)
+		if err != nil {
+			divs = append(divs, Divergence{
+				Check: "candidate-error", Candidate: c.Name,
+				Detail: err.Error(),
+			})
+			continue
+		}
+		outs = append(outs, outcome{c.Name, s})
+		divs = append(divs, checkSchedule(g, m, c.Name, s)...)
+		if s.TotalNOPs > seed.TotalNOPs {
+			divs = append(divs, Divergence{
+				Check: "upper-bound", Candidate: c.Name,
+				Detail: fmt.Sprintf("schedule costs %d NOPs, list-schedule seed costs %d",
+					s.TotalNOPs, seed.TotalNOPs),
+			})
+		}
+	}
+
+	// Optimality differential: candidates claiming optimality must agree,
+	// and a curtailed candidate must never beat a proven optimum.
+	bestOpt, bestName := -1, ""
+	for _, o := range outs {
+		if !o.s.Optimal {
+			continue
+		}
+		if bestOpt < 0 {
+			bestOpt, bestName = o.s.TotalNOPs, o.name
+			continue
+		}
+		if o.s.TotalNOPs != bestOpt {
+			divs = append(divs, Divergence{
+				Check: "optimal-agree", Candidate: o.name,
+				Detail: fmt.Sprintf("claims optimal cost %d, %s claims optimal cost %d",
+					o.s.TotalNOPs, bestName, bestOpt),
+			})
+		}
+	}
+	if bestOpt >= 0 {
+		for _, o := range outs {
+			if !o.s.Optimal && o.s.TotalNOPs < bestOpt {
+				divs = append(divs, Divergence{
+					Check: "optimal-beaten", Candidate: o.name,
+					Detail: fmt.Sprintf("curtailed schedule costs %d, below the proven optimum %d of %s",
+						o.s.TotalNOPs, bestOpt, bestName),
+				})
+			}
+		}
+	}
+
+	// Exhaustive reference: on blocks small enough to enumerate, the
+	// best legal schedule (and, smaller still, the best of all n!
+	// permutations) must cost exactly the claimed optimum.
+	if bestOpt >= 0 && !cfg.DisableExhaustive {
+		if n := exhaustive.CountLegal(g, cfg.ExhaustiveOrders+1); n <= cfg.ExhaustiveOrders {
+			ref := exhaustive.SearchLegal(g, m, cfg.ExhaustiveOrders+1)
+			if ref.Found && !ref.Exhausted && ref.Best.TotalNOPs != bestOpt {
+				divs = append(divs, Divergence{
+					Check: "exhaustive-legal", Candidate: bestName,
+					Detail: fmt.Sprintf("search claims optimal cost %d, exhaustive legal enumeration finds %d over %d orders",
+						bestOpt, ref.Best.TotalNOPs, n),
+				})
+			}
+		}
+		if g.N <= cfg.ExhaustivePermutations {
+			ref := exhaustive.SearchExhaustive(g, m, 0)
+			if ref.Found && ref.Best.TotalNOPs != bestOpt {
+				divs = append(divs, Divergence{
+					Check: "exhaustive-perm", Candidate: bestName,
+					Detail: fmt.Sprintf("search claims optimal cost %d, full permutation search finds %d",
+						bestOpt, ref.Best.TotalNOPs),
+				})
+			}
+		}
+	}
+	return divs
+}
+
+// checkSchedule proves one emitted schedule legal and semantically
+// consistent: shape, topological legality, hazard-freedom under all
+// three delay mechanisms, and cost exactly as claimed.
+func checkSchedule(g *dag.Graph, m *machine.Machine, name string, s *core.Schedule) []Divergence {
+	var divs []Divergence
+	bad := func(format string, args ...any) {
+		divs = append(divs, Divergence{
+			Check: "schedule-legal", Candidate: name,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	if len(s.Order) != g.N || len(s.Eta) != g.N || len(s.Pipes) != g.N {
+		bad("schedule shape %d/%d/%d does not match block size %d",
+			len(s.Order), len(s.Eta), len(s.Pipes), g.N)
+		return divs
+	}
+	if !g.IsLegalOrder(s.Order) {
+		bad("order %v violates dependences", s.Order)
+		return divs
+	}
+	if s.Optimal != (s.Stopped == nil) {
+		bad("Optimal=%t inconsistent with Stopped=%v", s.Optimal, s.Stopped)
+	}
+	in := sim.Input{Graph: g, M: m, Order: s.Order, Eta: s.Eta, Pipes: s.Pipes}
+	if err := sim.Verify(in, s.TotalNOPs, s.Ticks); err != nil {
+		divs = append(divs, Divergence{
+			Check: "sim-verify", Candidate: name,
+			Detail: err.Error(),
+		})
+	}
+	return divs
+}

@@ -1,0 +1,362 @@
+package oracle
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/ir"
+	"pipesched/internal/listsched"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+)
+
+// mustGraph parses and builds a block, failing the test on error.
+func mustGraph(t *testing.T, text string) *dag.Graph {
+	t.Helper()
+	b, err := ir.ParseBlock(text)
+	if err != nil {
+		t.Fatalf("parse block: %v", err)
+	}
+	g, err := dag.Build(b)
+	if err != nil {
+		t.Fatalf("build dag: %v", err)
+	}
+	return g
+}
+
+// suboptimalSeedPair returns a (graph, machine) pair on which the
+// ByHeight list schedule is strictly costlier than the optimum, so a
+// scheduler that just prices the seed and claims optimality is wrong.
+// The two stores are WAW-ordered and the Mul's latency shadow is only
+// hidden when the search floats the second dependence chain first.
+func suboptimalSeedPair(t *testing.T) (*dag.Graph, *machine.Machine) {
+	t.Helper()
+	g := mustGraph(t, `repro:
+  1: Const 57
+  2: Store #v0, @1
+  3: Const 95
+  5: Mul @3, @3
+  6: Store #v0, @5`)
+	m := machine.SimulationMachine()
+
+	seedOrder := listsched.Schedule(g, listsched.ByHeight)
+	seed, err := nopins.NewEvaluator(g, m, nopins.AssignFixed).EvaluateOrder(seedOrder)
+	if err != nil {
+		t.Fatalf("seed order illegal: %v", err)
+	}
+	opt, err := core.Find(g, m, core.Options{})
+	if err != nil {
+		t.Fatalf("find: %v", err)
+	}
+	if !opt.Optimal || seed.TotalNOPs <= opt.TotalNOPs {
+		t.Fatalf("test pair needs a suboptimal seed: seed=%d optimal=%d (optimal=%t)",
+			seed.TotalNOPs, opt.TotalNOPs, opt.Optimal)
+	}
+	return g, m
+}
+
+// findCandidate is the honest reference candidate.
+func findCandidate() Candidate {
+	return Candidate{Name: "find", Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+		return core.Find(g, m, core.Options{})
+	}}
+}
+
+// hasCheck reports whether divs contains a finding with the given check
+// name implicating the given candidate ("" matches any candidate).
+func hasCheck(divs []Divergence, check, candidate string) bool {
+	for _, d := range divs {
+		if d.Check == check && (candidate == "" || d.Candidate == candidate) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckPairCleanOnPresets(t *testing.T) {
+	blocks := []string{
+		`chain:
+  1: Load #a
+  2: Mul @1, @1
+  3: Add @2, 4
+  4: Store #b, @3`,
+		`two-chains:
+  1: Const 57
+  2: Store #v0, @1
+  3: Const 95
+  5: Mul @3, @3
+  6: Store #v0, @5`,
+		`single:
+  1: Load #x`,
+	}
+	machines := []*machine.Machine{
+		machine.SimulationMachine(),
+		machine.ExampleMachine(),
+		machine.UnpipelinedMachine(),
+		machine.DeepMachine(),
+	}
+	for _, text := range blocks {
+		g := mustGraph(t, text)
+		for _, m := range machines {
+			if divs := CheckPair(g, m, Config{}); len(divs) != 0 {
+				t.Errorf("%s on %s: unexpected divergences %v", g.Block.Label, m.Name, divs)
+			}
+		}
+	}
+}
+
+func TestCheckPairCatchesFalseOptimalityClaim(t *testing.T) {
+	g, m := suboptimalSeedPair(t)
+
+	// The broken scheduler prices the list-schedule seed honestly but
+	// claims the result is optimal. Legality and simulation agree with
+	// the claim, so only the differential can catch it.
+	seedClaimsOptimal := Candidate{Name: "seed-claims-optimal",
+		Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			order := listsched.Schedule(g, listsched.ByHeight)
+			r, err := nopins.NewEvaluator(g, m, nopins.AssignFixed).EvaluateOrder(order)
+			if err != nil {
+				return nil, err
+			}
+			return &core.Schedule{
+				Order: r.Order, Eta: r.Eta, Pipes: r.Pipes,
+				TotalNOPs: r.TotalNOPs, Ticks: r.Ticks, Optimal: true,
+			}, nil
+		}}
+
+	divs := CheckPair(g, m, Config{Candidates: []Candidate{findCandidate(), seedClaimsOptimal}})
+	if !hasCheck(divs, "optimal-agree", "seed-claims-optimal") {
+		t.Fatalf("false optimality claim not caught: %v", divs)
+	}
+}
+
+func TestCheckPairCatchesIllegalOrder(t *testing.T) {
+	g, m := suboptimalSeedPair(t)
+
+	reversed := Candidate{Name: "reversed",
+		Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			s, err := core.Find(g, m, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			n := len(s.Order)
+			rev := &core.Schedule{
+				Order: make([]int, n), Eta: make([]int, n), Pipes: make([]int, n),
+				TotalNOPs: s.TotalNOPs, Ticks: s.Ticks, Optimal: s.Optimal,
+			}
+			for i := 0; i < n; i++ {
+				rev.Order[i] = s.Order[n-1-i]
+				rev.Eta[i] = s.Eta[n-1-i]
+				rev.Pipes[i] = s.Pipes[n-1-i]
+			}
+			return rev, nil
+		}}
+
+	divs := CheckPair(g, m, Config{Candidates: []Candidate{findCandidate(), reversed}})
+	if !hasCheck(divs, "schedule-legal", "reversed") {
+		t.Fatalf("illegal order not caught: %v", divs)
+	}
+}
+
+func TestCheckPairCatchesWrongCostClaim(t *testing.T) {
+	g, m := suboptimalSeedPair(t)
+
+	inflated := Candidate{Name: "inflated",
+		Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			s, err := core.Find(g, m, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			s.TotalNOPs++ // claimed cost no longer matches the simulator
+			s.Ticks++
+			return s, nil
+		}}
+
+	divs := CheckPair(g, m, Config{Candidates: []Candidate{inflated}})
+	if !hasCheck(divs, "sim-verify", "inflated") {
+		t.Fatalf("wrong cost claim not caught: %v", divs)
+	}
+}
+
+func TestCheckPairCatchesOptimalBeaten(t *testing.T) {
+	g, m := suboptimalSeedPair(t)
+
+	// A curtailed candidate claiming a cost below the proven optimum is
+	// impossible; either the claim or the optimality proof is broken.
+	underclaims := Candidate{Name: "underclaims",
+		Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			s, err := core.Find(g, m, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			s.TotalNOPs--
+			s.Ticks--
+			s.Optimal = false
+			s.Stopped = errors.New("fake curtailment")
+			return s, nil
+		}}
+
+	divs := CheckPair(g, m, Config{Candidates: []Candidate{findCandidate(), underclaims}})
+	if !hasCheck(divs, "optimal-beaten", "underclaims") {
+		t.Fatalf("impossible sub-optimum claim not caught: %v", divs)
+	}
+}
+
+func TestCheckPairCatchesUpperBoundViolation(t *testing.T) {
+	g, m := suboptimalSeedPair(t)
+
+	// Claim a (simulator-consistent) schedule costlier than the seed by
+	// pricing the seed order and padding the final instruction. The extra
+	// η is real padding — the simulator accepts over-padded schedules
+	// only under the NOP mechanism, so sim-verify fires too, but the
+	// upper-bound check must flag it independently.
+	costlier := Candidate{Name: "costlier",
+		Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			order := listsched.Schedule(g, listsched.ByHeight)
+			r, err := nopins.NewEvaluator(g, m, nopins.AssignFixed).EvaluateOrder(order)
+			if err != nil {
+				return nil, err
+			}
+			eta := append([]int(nil), r.Eta...)
+			eta[len(eta)-1] += 2
+			return &core.Schedule{
+				Order: r.Order, Eta: eta, Pipes: r.Pipes,
+				TotalNOPs: r.TotalNOPs + 2, Ticks: r.Ticks + 2, Optimal: true,
+			}, nil
+		}}
+
+	divs := CheckPair(g, m, Config{Candidates: []Candidate{costlier}})
+	if !hasCheck(divs, "upper-bound", "costlier") {
+		t.Fatalf("upper-bound violation not caught: %v", divs)
+	}
+}
+
+func TestCheckPairReportsCandidateError(t *testing.T) {
+	g, m := suboptimalSeedPair(t)
+	failing := Candidate{Name: "failing",
+		Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			return nil, errors.New("boom")
+		}}
+	divs := CheckPair(g, m, Config{Candidates: []Candidate{failing}})
+	if !hasCheck(divs, "candidate-error", "failing") {
+		t.Fatalf("candidate error not reported: %v", divs)
+	}
+}
+
+func TestRunCleanSoak(t *testing.T) {
+	var buf bytes.Buffer
+	sum, err := Run(RunConfig{Blocks: 25, Machines: 4, Seed: 11, Artifacts: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Pairs != 25 {
+		t.Errorf("pairs = %d, want 25", sum.Pairs)
+	}
+	if sum.Tuples == 0 {
+		t.Error("no tuples counted")
+	}
+	if sum.Divergences != 0 {
+		t.Errorf("unexpected divergences: %s", sum.Checks())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("clean run wrote artifacts: %q", buf.String())
+	}
+	if got := sum.Checks(); got != "none" {
+		t.Errorf("Checks() = %q, want none", got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() *Summary {
+		sum, err := Run(RunConfig{Blocks: 10, Machines: 3, Seed: 99, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(), run()
+	if a.Pairs != b.Pairs || a.Tuples != b.Tuples || a.Divergences != b.Divergences {
+		t.Errorf("two runs with the same seed disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunCatchesBrokenSchedulerAndEmitsArtifacts(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := RunConfig{
+		Blocks: 30, Machines: 2, Seed: 5,
+		DisableMetamorphic: true,
+		Artifacts:          &buf,
+		Check: Config{
+			DisableExhaustive: true,
+			Candidates: []Candidate{
+				findCandidate(),
+				{Name: "seed-claims-optimal",
+					Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+						order := listsched.Schedule(g, listsched.ByHeight)
+						r, err := nopins.NewEvaluator(g, m, nopins.AssignFixed).EvaluateOrder(order)
+						if err != nil {
+							return nil, err
+						}
+						return &core.Schedule{
+							Order: r.Order, Eta: r.Eta, Pipes: r.Pipes,
+							TotalNOPs: r.TotalNOPs, Ticks: r.Ticks, Optimal: true,
+						}, nil
+					}},
+			},
+		},
+	}
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Divergences == 0 {
+		t.Fatal("broken scheduler survived the soak")
+	}
+	if len(sum.Artifacts) != sum.Divergences {
+		t.Errorf("artifacts %d != divergences %d", len(sum.Artifacts), sum.Divergences)
+	}
+
+	// Every artifact line must be a self-contained JSON repro.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != sum.Divergences {
+		t.Fatalf("JSONL lines %d != divergences %d", len(lines), sum.Divergences)
+	}
+	for _, line := range lines {
+		var a Artifact
+		if err := json.Unmarshal([]byte(line), &a); err != nil {
+			t.Fatalf("artifact line does not parse: %v\n%s", err, line)
+		}
+		if a.Seed != 5 {
+			t.Errorf("artifact seed = %d, want 5", a.Seed)
+		}
+		full, err := ir.ParseBlock(a.BlockText)
+		if err != nil {
+			t.Fatalf("artifact block text does not parse: %v", err)
+		}
+		shrunk, err := ir.ParseBlock(a.ShrunkText)
+		if err != nil {
+			t.Fatalf("artifact shrunk text does not parse: %v", err)
+		}
+		if shrunk.Len() > full.Len() {
+			t.Errorf("shrunk block (%d tuples) larger than original (%d)", shrunk.Len(), full.Len())
+		}
+		var m machine.Machine
+		if err := json.Unmarshal(a.MachineJSON, &m); err != nil {
+			t.Fatalf("artifact machine JSON does not parse: %v", err)
+		}
+
+		// The shrunken counterexample must still trigger the same check.
+		g, err := dag.Build(shrunk)
+		if err != nil {
+			t.Fatalf("shrunk block does not build: %v", err)
+		}
+		if !hasCheck(CheckPair(g, &m, cfg.Check), a.Check, "") {
+			t.Errorf("shrunk repro no longer triggers %s:\n%s", a.Check, a.ShrunkText)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package oracle
+
+import (
+	"testing"
+
+	"pipesched/internal/ir"
+)
+
+func parseBlock(t *testing.T, text string) *ir.Block {
+	t.Helper()
+	b, err := ir.ParseBlock(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestShrinkToSingleTuple(t *testing.T) {
+	b := parseBlock(t, `big:
+  1: Load #a
+  2: Add @1, 1
+  3: Store #b, @2
+  4: Mul 2, 3
+  5: Store #c, @4`)
+	containsMul := func(cand *ir.Block) bool {
+		for _, tp := range cand.Tuples {
+			if tp.Op == ir.Mul {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(b, containsMul)
+	if min.Len() != 1 || min.Tuples[0].Op != ir.Mul {
+		t.Errorf("shrink did not reach the 1-tuple minimum:\n%s", min)
+	}
+	if b.Len() != 5 {
+		t.Error("Shrink mutated its input block")
+	}
+}
+
+func TestShrinkRespectsReferences(t *testing.T) {
+	// The Mul references the Const, so the Const can never be deleted
+	// while the predicate still needs the Mul: the minimum is two tuples.
+	b := parseBlock(t, `refs:
+  1: Load #a
+  2: Store #b, @1
+  3: Const 9
+  4: Mul @3, @3
+  5: Store #c, @4`)
+	containsMul := func(cand *ir.Block) bool {
+		for _, tp := range cand.Tuples {
+			if tp.Op == ir.Mul {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(b, containsMul)
+	if min.Len() != 2 {
+		t.Fatalf("want 2-tuple minimum (Const + Mul), got:\n%s", min)
+	}
+	if min.Tuples[0].Op != ir.Const || min.Tuples[1].Op != ir.Mul {
+		t.Errorf("wrong survivors:\n%s", min)
+	}
+	if err := min.Validate(); err != nil {
+		t.Errorf("shrunk block invalid: %v", err)
+	}
+}
+
+func TestShrinkStopsWhenNothingDeletable(t *testing.T) {
+	b := parseBlock(t, `fixed:
+  1: Load #a
+  2: Neg @1
+  3: Store #b, @2`)
+	// The predicate demands the full block, so no deletion survives.
+	full := func(cand *ir.Block) bool { return cand.Len() == 3 }
+	if min := Shrink(b, full); min.Len() != 3 {
+		t.Errorf("shrink deleted below the predicate's floor:\n%s", min)
+	}
+}

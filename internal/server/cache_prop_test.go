@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"pipesched"
+)
+
+// canonicalCompiled renders a Compiled for byte comparison: everything
+// except the search statistics, which carry wall-clock timings and are
+// legitimately run-dependent. Every schedule-bearing field (orders, η,
+// pipes, registers, assembly) participates.
+func canonicalCompiled(t *testing.T, c *pipesched.Compiled) []byte {
+	t.Helper()
+	if c == nil {
+		t.Fatal("nil Compiled")
+	}
+	cc := *c
+	cc.Stats = pipesched.SearchStats{}
+	data, err := json.Marshal(&cc)
+	if err != nil {
+		t.Fatalf("marshal compiled: %v", err)
+	}
+	return data
+}
+
+// TestCacheMatchesFreshCompile is the cache-correctness property: for
+// the same fingerprint, a cache hit must be byte-identical (modulo
+// timing stats) to a fresh compilation by an independent server. A
+// divergence would mean the fingerprint under-keys the request (two
+// different compilations sharing a cache slot) or the pipeline is
+// nondeterministic (the cache would then mask real output changes).
+func TestCacheMatchesFreshCompile(t *testing.T) {
+	reqs := []*Request{
+		{ID: "plain", Tuples: tupleBlock(1), Machine: MachineSpec{Preset: "simulation"}},
+		{ID: "deep", Tuples: tupleBlock(2), Machine: MachineSpec{Preset: "deep"}},
+		{ID: "opts", Tuples: tupleBlock(3), Machine: MachineSpec{Preset: "example"},
+			Options: RequestOptions{Registers: 8, AssignPipelines: true}},
+		{ID: "source", Source: "a = 1 + 2 * 3\nb = a * a\n", Machine: MachineSpec{Preset: "simulation"},
+			Options: RequestOptions{Optimize: true}},
+	}
+
+	warm := New(testConfig())
+	defer warm.Close()
+	fresh := New(testConfig())
+	defer fresh.Close()
+
+	clone := func(r *Request, id string) *Request {
+		c := *r
+		c.ID = id
+		return &c
+	}
+
+	for _, req := range reqs {
+		t.Run(req.ID, func(t *testing.T) {
+			ctx := context.Background()
+			first, err := warm.Submit(ctx, clone(req, req.ID+"-1"))
+			if err != nil || first.Err != nil {
+				t.Fatalf("first submit: %v / %v", err, first.Err)
+			}
+			if first.Cached {
+				t.Fatal("first submit reported a cache hit")
+			}
+			hit, err := warm.Submit(ctx, clone(req, req.ID+"-2"))
+			if err != nil || hit.Err != nil {
+				t.Fatalf("second submit: %v / %v", err, hit.Err)
+			}
+			if !hit.Cached {
+				t.Fatal("second submit with the same fingerprint missed the cache")
+			}
+			ref, err := fresh.Submit(ctx, clone(req, req.ID+"-3"))
+			if err != nil || ref.Err != nil {
+				t.Fatalf("fresh submit: %v / %v", err, ref.Err)
+			}
+			if ref.Cached {
+				t.Fatal("fresh server reported a cache hit")
+			}
+
+			got := canonicalCompiled(t, hit.Compiled)
+			want := canonicalCompiled(t, ref.Compiled)
+			if !bytes.Equal(got, want) {
+				t.Errorf("cached result differs from fresh compile\ncached: %s\nfresh:  %s", got, want)
+			}
+		})
+	}
+}
+
+// TestCacheKeysOnContent proves distinct fingerprints never share a
+// cache entry: requests differing only in block content, machine or
+// options must all compile fresh.
+func TestCacheKeysOnContent(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	ctx := context.Background()
+
+	variants := []*Request{
+		{Tuples: tupleBlock(10), Machine: MachineSpec{Preset: "simulation"}},
+		{Tuples: tupleBlock(11), Machine: MachineSpec{Preset: "simulation"}},
+		{Tuples: tupleBlock(10), Machine: MachineSpec{Preset: "deep"}},
+		{Tuples: tupleBlock(10), Machine: MachineSpec{Preset: "simulation"},
+			Options: RequestOptions{StrongEquivalence: true}},
+	}
+	for i, req := range variants {
+		req.ID = fmt.Sprintf("variant-%d", i)
+		resp, err := s.Submit(ctx, req)
+		if err != nil || resp.Err != nil {
+			t.Fatalf("variant %d: %v / %v", i, err, resp.Err)
+		}
+		if resp.Cached {
+			t.Errorf("variant %d: distinct fingerprint served from cache", i)
+		}
+	}
+}

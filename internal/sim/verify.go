@@ -1,0 +1,31 @@
+package sim
+
+import "fmt"
+
+// Verify proves one emitted schedule correct against the machine model:
+// the order must be a legal topological order, the compiler-specified
+// delays must clear every latency and enqueue constraint under NOP
+// padding and explicit interlocks, all three delay mechanisms must agree
+// on total execution time (so the η values are minimal for this order —
+// an interlock would have stalled less otherwise), and the simulated
+// delay and tick totals must equal what the scheduler claimed.
+//
+// It is the semantic half of the differential oracle (internal/oracle):
+// any schedule a search emits, however the search was pruned or
+// curtailed, has to survive Verify unchanged.
+func Verify(in Input, claimedNOPs, claimedTicks int) error {
+	traces, err := RunAll(in)
+	if err != nil {
+		return err
+	}
+	nop := traces[NOPPadding]
+	if nop.Delays != claimedNOPs {
+		return fmt.Errorf("sim: schedule claims %d NOPs but simulates to %d",
+			claimedNOPs, nop.Delays)
+	}
+	if nop.TotalTicks != claimedTicks {
+		return fmt.Errorf("sim: schedule claims %d ticks but simulates to %d",
+			claimedTicks, nop.TotalTicks)
+	}
+	return nil
+}

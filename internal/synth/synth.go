@@ -179,6 +179,45 @@ func GenerateWithTuples(rng *rand.Rand, tuples int, p Params, maxTries int) (*Bl
 	return nil, fmt.Errorf("synth: could not hit %d tuples in %d tries", tuples, maxTries)
 }
 
+// RandomParams draws a generator configuration spanning the structural
+// space the differential oracle fuzzes over: a small variable pool
+// forces memory-carried serialization (WAR/WAW chains through few
+// names), a large one exposes independent parallelism; randomized mix
+// weights retarget the statement-shape and operator blend away from the
+// paper's Table 6 reconstruction. maxStatements bounds the block size
+// (0 selects 7, which keeps most blocks inside exhaustive-search range
+// after the ~2.5-3x tuple expansion). The result always validates.
+func RandomParams(rng *rand.Rand, maxStatements int) Params {
+	if maxStatements <= 0 {
+		maxStatements = 7
+	}
+	p := Params{
+		Statements: 1 + rng.Intn(maxStatements),
+		Variables:  1 + rng.Intn(6),
+		Constants:  1 + rng.Intn(4),
+		Optimize:   rng.Intn(2) == 0,
+		Mix: Mix{
+			ConstAssign: rng.Intn(5),
+			CopyAssign:  rng.Intn(5),
+			BinOpVars:   rng.Intn(8),
+			BinOpConst:  rng.Intn(5),
+			Add:         rng.Intn(6),
+			Sub:         rng.Intn(4),
+			Mul:         rng.Intn(6),
+			Div:         rng.Intn(3),
+		},
+	}
+	// Keep both weight groups usable: an all-zero draw collapses onto the
+	// dominant shape instead of failing validation.
+	if p.Mix.ConstAssign+p.Mix.CopyAssign+p.Mix.BinOpVars+p.Mix.BinOpConst == 0 {
+		p.Mix.BinOpVars = 1
+	}
+	if p.Mix.Add+p.Mix.Sub+p.Mix.Mul+p.Mix.Div == 0 {
+		p.Mix.Add = 1
+	}
+	return p
+}
+
 // SizeDistribution draws per-run statement counts whose resulting tuple
 // blocks reproduce the shape of the paper's Figure 5: most blocks near
 // the mean (≈20 tuples) with a tail past 40. The returned counts are
