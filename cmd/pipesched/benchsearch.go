@@ -1,0 +1,306 @@
+// The bench-search subcommand: a deterministic search-effort benchmark
+// over a pinned synthetic corpus, measuring what the lower-bound engine
+// and the dominance memo buy the branch-and-bound search.
+//
+//	pipesched bench-search -out BENCH_search.json          # regenerate the baseline
+//	pipesched bench-search -check BENCH_search.json        # CI smoke: fail on regression
+//
+// Each corpus block is solved to proven optimality twice per machine —
+// once with the bound engine and memo table disabled (the paper's prune
+// set) and once with both enabled — and the runs must agree on every
+// optimal cost. Nodes expanded (Ω invocations) is the gating metric: it
+// is deterministic for the sequential search, so -check can fail a pull
+// request on >10% regression without flaky timing thresholds. Wall time
+// is recorded for context only.
+//
+// Exit status: 0 clean, 1 on regression, measurement error, or I/O
+// failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"pipesched/internal/core"
+	"pipesched/internal/dag"
+	"pipesched/internal/machine"
+	"pipesched/internal/synth"
+)
+
+// maxNodesRegression is the -check gate: the bounds-on search may not
+// expand more than 10% more nodes than the committed baseline.
+const maxNodesRegression = 1.10
+
+// minNodesReductionPct is the -check floor on what the bound engine and
+// memo must deliver versus the ablated search on the same corpus.
+const minNodesReductionPct = 30.0
+
+// benchCorpus pins the generated input set; -check re-derives the exact
+// corpus from the baseline file's copy of these parameters.
+type benchCorpus struct {
+	Seed       int64 `json:"seed"`
+	Blocks     int   `json:"blocks"`
+	Statements int   `json:"statements"`
+	Variables  int   `json:"variables"`
+	Constants  int   `json:"constants"`
+	Tuples     int   `json:"tuples"` // total tuples, informational
+}
+
+// benchRun is one (machine, configuration) measurement summed over the
+// corpus.
+type benchRun struct {
+	NodesExpanded     int64            `json:"nodes_expanded"` // Ω invocations
+	SchedulesExamined int64            `json:"schedules_examined"`
+	NsPerBlock        int64            `json:"ns_per_block"` // wall time, informational
+	Prunes            map[string]int64 `json:"prunes"`
+}
+
+// benchMachine is the off/on comparison on one machine model.
+type benchMachine struct {
+	Machine           string   `json:"machine"`
+	Tables            string   `json:"tables"` // which paper tables the model backs
+	BoundsOff         benchRun `json:"bounds_off"`
+	BoundsOn          benchRun `json:"bounds_on"`
+	NodesReductionPct float64  `json:"nodes_reduction_pct"`
+	TotalOptimalNops  int      `json:"total_optimal_nops"`
+}
+
+// benchReport is the BENCH_search.json document.
+type benchReport struct {
+	Description string         `json:"description"`
+	Corpus      benchCorpus    `json:"corpus"`
+	Machines    []benchMachine `json:"machines"`
+}
+
+// benchMachines returns the measured machine models: the worked-example
+// machine behind Tables 2/3 and the simulation study machine behind
+// Tables 4/5.
+func benchMachines() []struct {
+	name, tables string
+	m            *machine.Machine
+} {
+	return []struct {
+		name, tables string
+		m            *machine.Machine
+	}{
+		{"example", "2/3", machine.ExampleMachine()},
+		{"simulation", "4/5", machine.SimulationMachine()},
+	}
+}
+
+// runBenchSearch is the testable body of `pipesched bench-search`.
+func runBenchSearch(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pipesched bench-search", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		blocks = fs.Int("blocks", 60, "corpus blocks to generate")
+		stmts  = fs.Int("statements", 6, "statements per block (larger blocks make the ablated bounds-off run intractable)")
+		seed   = fs.Int64("seed", 1, "corpus RNG seed")
+		out    = fs.String("out", "", "write the baseline JSON here (default stdout)")
+		check  = fs.String("check", "", "compare against this committed baseline instead of writing one")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pipesched bench-search: unexpected arguments %v\n", fs.Args())
+		return 1
+	}
+
+	corpus := benchCorpus{Seed: *seed, Blocks: *blocks, Statements: *stmts, Variables: 8, Constants: 6}
+	var baseline *benchReport
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintf(stderr, "pipesched bench-search: %v\n", err)
+			return 1
+		}
+		baseline = &benchReport{}
+		if err := json.Unmarshal(data, baseline); err != nil {
+			fmt.Fprintf(stderr, "pipesched bench-search: parse %s: %v\n", *check, err)
+			return 1
+		}
+		corpus = baseline.Corpus // measure the exact committed corpus
+		corpus.Tuples = 0
+	}
+
+	report, err := measureBench(corpus)
+	if err != nil {
+		fmt.Fprintf(stderr, "pipesched bench-search: %v\n", err)
+		return 1
+	}
+
+	if baseline != nil {
+		ok := true
+		for _, fail := range compareBench(baseline, report) {
+			fmt.Fprintf(stderr, "pipesched bench-search: FAIL %s\n", fail)
+			ok = false
+		}
+		for _, m := range report.Machines {
+			fmt.Fprintf(stdout, "bench-search: %s nodes off=%d on=%d (-%.1f%%) ns/block on=%d\n",
+				m.Machine, m.BoundsOff.NodesExpanded, m.BoundsOn.NodesExpanded,
+				m.NodesReductionPct, m.BoundsOn.NsPerBlock)
+		}
+		if !ok {
+			return 1
+		}
+		fmt.Fprintln(stdout, "bench-search: ok")
+		return 0
+	}
+
+	enc := json.NewEncoder(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "pipesched bench-search: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(stderr, "pipesched bench-search: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// measureBench generates the corpus and solves every block to proven
+// optimality on every machine, bounds off and on.
+func measureBench(corpus benchCorpus) (*benchReport, error) {
+	rng := rand.New(rand.NewSource(corpus.Seed))
+	graphs := make([]*dag.Graph, 0, corpus.Blocks)
+	tuples := 0
+	for i := 0; i < corpus.Blocks; i++ {
+		b, err := synth.Generate(rng, synth.Params{
+			Statements: corpus.Statements,
+			Variables:  corpus.Variables,
+			Constants:  corpus.Constants,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("generate block %d: %w", i, err)
+		}
+		g, err := dag.Build(b.IR)
+		if err != nil {
+			return nil, fmt.Errorf("build block %d: %w", i, err)
+		}
+		graphs = append(graphs, g)
+		tuples += g.N
+	}
+	corpus.Tuples = tuples
+
+	report := &benchReport{
+		Description: "Search-effort baselines over a pinned synthetic corpus (pipesched bench-search). " +
+			"Nodes expanded (deterministic) gates CI; ns/block is informational. " +
+			"Regenerate with: go run ./cmd/pipesched bench-search -out BENCH_search.json",
+		Corpus: corpus,
+	}
+	for _, mm := range benchMachines() {
+		off, offCosts, err := measureConfig(graphs, mm.m, core.Options{DisableLowerBound: true, DisableMemo: true})
+		if err != nil {
+			return nil, fmt.Errorf("%s bounds-off: %w", mm.name, err)
+		}
+		on, onCosts, err := measureConfig(graphs, mm.m, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s bounds-on: %w", mm.name, err)
+		}
+		total := 0
+		for i := range offCosts {
+			if offCosts[i] != onCosts[i] {
+				return nil, fmt.Errorf("%s block %d: bounds changed the optimal cost: off=%d on=%d",
+					mm.name, i, offCosts[i], onCosts[i])
+			}
+			total += onCosts[i]
+		}
+		entry := benchMachine{
+			Machine: mm.name, Tables: mm.tables,
+			BoundsOff: off, BoundsOn: on,
+			TotalOptimalNops: total,
+		}
+		if off.NodesExpanded > 0 {
+			entry.NodesReductionPct = 100 * float64(off.NodesExpanded-on.NodesExpanded) / float64(off.NodesExpanded)
+		}
+		report.Machines = append(report.Machines, entry)
+	}
+	return report, nil
+}
+
+// measureConfig solves every graph with the given options, requiring
+// proven optimality, and returns the summed run plus per-block costs.
+func measureConfig(graphs []*dag.Graph, m *machine.Machine, opts core.Options) (benchRun, []int, error) {
+	run := benchRun{Prunes: map[string]int64{}}
+	costs := make([]int, len(graphs))
+	start := time.Now()
+	for i, g := range graphs {
+		s, err := core.Find(g, m, opts)
+		if err != nil {
+			return run, nil, fmt.Errorf("block %d: %w", i, err)
+		}
+		if !s.Optimal {
+			return run, nil, fmt.Errorf("block %d: search curtailed (%v); the corpus must solve to optimality", i, s.Stopped)
+		}
+		costs[i] = s.TotalNOPs
+		run.NodesExpanded += s.Stats.OmegaCalls
+		run.SchedulesExamined += s.Stats.SchedulesExamined
+		run.Prunes["bounds"] += s.Stats.PrunedBounds
+		run.Prunes["illegal"] += s.Stats.PrunedIllegal
+		run.Prunes["equivalence"] += s.Stats.PrunedEquivalence
+		run.Prunes["strong"] += s.Stats.PrunedStrongEquiv
+		run.Prunes["alphabeta"] += s.Stats.PrunedAlphaBeta
+		run.Prunes["lowerbound"] += s.Stats.PrunedLowerBound
+		run.Prunes["resource"] += s.Stats.PrunedResource
+		run.Prunes["memo"] += s.Stats.MemoHits
+	}
+	if len(graphs) > 0 {
+		run.NsPerBlock = time.Since(start).Nanoseconds() / int64(len(graphs))
+	}
+	return run, costs, nil
+}
+
+// compareBench gates the current measurement against the committed
+// baseline and returns every violation.
+func compareBench(baseline, cur *benchReport) []string {
+	var fails []string
+	base := map[string]benchMachine{}
+	for _, m := range baseline.Machines {
+		base[m.Machine] = m
+	}
+	for _, m := range cur.Machines {
+		b, ok := base[m.Machine]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: no baseline entry; regenerate BENCH_search.json", m.Machine))
+			continue
+		}
+		if limit := int64(float64(b.BoundsOn.NodesExpanded) * maxNodesRegression); m.BoundsOn.NodesExpanded > limit {
+			fails = append(fails, fmt.Sprintf("%s: nodes expanded %d exceeds baseline %d by more than %.0f%%",
+				m.Machine, m.BoundsOn.NodesExpanded, b.BoundsOn.NodesExpanded, (maxNodesRegression-1)*100))
+		}
+		if m.NodesReductionPct < minNodesReductionPct {
+			fails = append(fails, fmt.Sprintf("%s: bound engine + memo reduce nodes by only %.1f%%, floor is %.0f%%",
+				m.Machine, m.NodesReductionPct, minNodesReductionPct))
+		}
+		if m.TotalOptimalNops != b.TotalOptimalNops {
+			fails = append(fails, fmt.Sprintf("%s: total optimal cost %d differs from baseline %d",
+				m.Machine, m.TotalOptimalNops, b.TotalOptimalNops))
+		}
+	}
+	for name := range base {
+		found := false
+		for _, m := range cur.Machines {
+			if m.Machine == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fails = append(fails, fmt.Sprintf("%s: baseline entry no longer measured", name))
+		}
+	}
+	return fails
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchArgs is a small corpus that still exercises both machines.
+func benchArgs(extra ...string) []string {
+	return append([]string{"-blocks", "8", "-statements", "5", "-seed", "2"}, extra...)
+}
+
+func TestBenchSearchGenerateAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_search.json")
+
+	var out, errb bytes.Buffer
+	if code := runBenchSearch(benchArgs("-out", path), &out, &errb); code != 0 {
+		t.Fatalf("generate exit = %d, stderr: %s", code, errb.String())
+	}
+	var report benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("baseline is not JSON: %v", err)
+	}
+	if len(report.Machines) != 2 {
+		t.Fatalf("machines = %d, want 2", len(report.Machines))
+	}
+	for _, m := range report.Machines {
+		if m.BoundsOn.NodesExpanded > m.BoundsOff.NodesExpanded {
+			t.Errorf("%s: bounds on expanded more nodes (%d) than off (%d)",
+				m.Machine, m.BoundsOn.NodesExpanded, m.BoundsOff.NodesExpanded)
+		}
+		if m.BoundsOff.Prunes["lowerbound"] != 0 || m.BoundsOff.Prunes["memo"] != 0 {
+			t.Errorf("%s: ablated run still pruned via the bound engine: %v", m.Machine, m.BoundsOff.Prunes)
+		}
+	}
+
+	// Self-check against the file just written must pass: the corpus is
+	// pinned and nodes expanded is deterministic.
+	out.Reset()
+	errb.Reset()
+	if code := runBenchSearch([]string{"-check", path}, &out, &errb); code != 0 {
+		t.Fatalf("self-check exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "bench-search: ok") {
+		t.Errorf("check output missing ok line: %s", out.String())
+	}
+}
+
+func TestBenchSearchCheckCatchesRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_search.json")
+	var out, errb bytes.Buffer
+	if code := runBenchSearch(benchArgs("-out", path), &out, &errb); code != 0 {
+		t.Fatalf("generate exit = %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+
+	// A baseline claiming far fewer nodes than the current code expands
+	// simulates a search regression; -check must fail.
+	for i := range report.Machines {
+		report.Machines[i].BoundsOn.NodesExpanded /= 2
+	}
+	tampered, _ := json.Marshal(report)
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := runBenchSearch([]string{"-check", path}, &out, &errb); code != 1 {
+		t.Fatalf("check against tampered baseline exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "nodes expanded") {
+		t.Errorf("failure output does not name the regressed metric: %s", errb.String())
+	}
+}
+
+func TestBenchSearchCommittedBaseline(t *testing.T) {
+	// The committed BENCH_search.json must self-check clean — this is
+	// exactly what the CI bench-smoke job runs.
+	if testing.Short() {
+		t.Skip("committed-baseline check runs the full corpus")
+	}
+	var out, errb bytes.Buffer
+	if code := runBenchSearch([]string{"-check", "../../BENCH_search.json"}, &out, &errb); code != 0 {
+		t.Fatalf("committed baseline check exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+func TestBenchSearchBadUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runBenchSearch([]string{"-check", "does-not-exist.json"}, &out, &errb); code != 1 {
+		t.Errorf("missing baseline exit = %d, want 1", code)
+	}
+	if code := runBenchSearch([]string{"stray"}, &out, &errb); code != 1 {
+		t.Errorf("stray argument exit = %d, want 1", code)
+	}
+}

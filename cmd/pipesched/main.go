@@ -7,6 +7,7 @@
 //	pipesched [flags] [file]           # default input: stdin
 //	pipesched serve [flags]            # long-running compile service (see serve.go)
 //	pipesched verify [flags]           # differential-oracle soak (see verify.go)
+//	pipesched bench-search [flags]     # search-effort benchmark (see benchsearch.go)
 //
 //	-preset name     machine preset: simulation | example | unpipelined | deep
 //	-machine file    machine description file (overrides -preset)
@@ -18,8 +19,11 @@
 //	-registers n     architectural registers (0 = unlimited)
 //	-assign          enable the pipeline-assignment extension
 //	-workers n       parallel search workers (0/1 = sequential)
+//	-prove           demand a proof: degraded results whose certified
+//	                 optimality gap is not 0 exit 3 instead of 2
 //	-stats           print search statistics (with per-prune breakdown,
-//	                 per-stage timings and the degradation reason)
+//	                 the certified gap, per-stage timings and the
+//	                 degradation reason)
 //	-stats-json f    write structured telemetry events as JSONL to f
 //	-metrics-addr a  serve /metrics, /debug/vars, /debug/pprof on a
 //	-trace-out f     write the search tree as Chrome trace_event JSON
@@ -27,8 +31,10 @@
 // Exit status: 0 when the emitted schedule is provably optimal and no
 // stage failed; 2 when a legal schedule was emitted but degraded (the
 // curtail point λ or the -timeout budget cut the search short, or a
-// stage failure was recovered — the reason is printed to stderr); 1 on
-// hard failure with nothing emitted.
+// stage failure was recovered — the reason is printed to stderr); 3
+// instead of 2 when -prove is set and the degraded result's certified
+// optimality gap is nonzero or unknown (the schedule may genuinely be
+// suboptimal); 1 on hard failure with nothing emitted.
 package main
 
 import (
@@ -59,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "verify" {
 		return runVerify(args[1:], stdout, stderr)
 	}
+	if len(args) > 0 && args[0] == "bench-search" {
+		return runBenchSearch(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("pipesched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -72,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		registers = fs.Int("registers", 0, "architectural registers (0 = unlimited)")
 		assign    = fs.Bool("assign", false, "enable pipeline-assignment extension")
 		workers   = fs.Int("workers", 0, "parallel search workers (0 or 1 = sequential)")
+		prove     = fs.Bool("prove", false, "exit 3 on degraded results without a gap=0 optimality certificate")
 		stats     = fs.Bool("stats", false, "print search statistics")
 		statsJSON = fs.String("stats-json", "", "write telemetry events as JSON lines to this file")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
@@ -147,18 +157,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Trace:           trace,
 	}
 
-	degraded := func(err error) int {
+	degraded := func(err error, gap int) int {
 		if err == nil {
 			return 0
 		}
 		fmt.Fprintf(stderr, "pipesched: degraded result: %v\n", err)
+		if *prove && gap != 0 {
+			// The caller demanded a proof and this result has none: the
+			// incumbent is a certified gap (or an unknown distance) away
+			// from the optimum.
+			fmt.Fprintf(stderr, "pipesched: -prove: no optimality certificate (gap %s)\n", gapString(gap))
+			return 3
+		}
 		return 2
 	}
 
 	// finish runs the end-of-compilation observability outputs shared by
 	// both input paths: the Chrome search trace, the per-stage timing
 	// line, and the degraded-exit accounting.
-	finish := func(cerr error, label string) int {
+	finish := func(cerr error, label string, gap int) int {
 		if trace != nil {
 			if err := writeChromeTrace(*traceOut, trace, label); err != nil {
 				return fail(err)
@@ -167,7 +184,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *stats && pm != nil {
 			printStageTimes(stderr, pm)
 		}
-		return degraded(cerr)
+		return degraded(cerr, gap)
 	}
 
 	if *tuples {
@@ -189,7 +206,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 		}
-		return finish(cerr, compiled.Scheduled.Label)
+		return finish(cerr, compiled.Scheduled.Label, compiled.Gap)
 	}
 	// Multi-block sources are scheduled as a sequence with pipeline
 	// state threaded across the boundaries; plain sources produce one
@@ -219,7 +236,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(seq.Blocks) > 0 {
 		label = seq.Blocks[0].Scheduled.Label
 	}
-	return finish(cerr, label)
+	return finish(cerr, label, worstGap(seq.Blocks))
+}
+
+// worstGap folds per-block gap certificates into one sequence-level
+// verdict: unknown if any block lacks a certificate, else the largest
+// certified gap.
+func worstGap(blocks []*pipesched.Compiled) int {
+	worst := 0
+	for _, c := range blocks {
+		if c.Gap == pipesched.GapUnknown {
+			return pipesched.GapUnknown
+		}
+		if c.Gap > worst {
+			worst = c.Gap
+		}
+	}
+	return worst
+}
+
+// gapString renders a gap certificate for human eyes: a number, or
+// "unknown" when no certificate exists.
+func gapString(gap int) string {
+	if gap == pipesched.GapUnknown {
+		return "unknown"
+	}
+	return fmt.Sprintf("%d", gap)
 }
 
 // emit prints one compiled block and, optionally, its statistics lines:
@@ -238,12 +280,13 @@ func emit(stdout, stderr io.Writer, c *pipesched.Compiled, m *pipesched.Machine,
 		line += " reason=" + reason
 	}
 	st := c.Stats
-	fmt.Fprintf(stderr, "%s seed-nops=%d omega=%d elapsed=%s\n", line,
-		c.InitialNOPs, st.OmegaCalls, st.Elapsed)
+	fmt.Fprintf(stderr, "%s seed-nops=%d omega=%d gap=%s root-lb=%d elapsed=%s\n", line,
+		c.InitialNOPs, st.OmegaCalls, gapString(c.Gap), c.RootLB, st.Elapsed)
 	fmt.Fprintf(stderr,
-		"pruned: bounds=%d illegal=%d equivalence=%d strong=%d alphabeta=%d lowerbound=%d examined=%d improvements=%d\n",
+		"pruned: bounds=%d illegal=%d equivalence=%d strong=%d alphabeta=%d lowerbound=%d resource=%d memo=%d examined=%d improvements=%d\n",
 		st.PrunedBounds, st.PrunedIllegal, st.PrunedEquivalence, st.PrunedStrongEquiv,
-		st.PrunedAlphaBeta, st.PrunedLowerBound, st.SchedulesExamined, st.Improvements)
+		st.PrunedAlphaBeta, st.PrunedLowerBound, st.PrunedResource, st.MemoHits,
+		st.SchedulesExamined, st.Improvements)
 }
 
 // degradationReason names the sentinel (or stage fault) behind a

@@ -128,6 +128,10 @@ func TestRunExitCodes(t *testing.T) {
 		{"hard-failure", []string{bad}, 1, false},
 		{"bad-flag", []string{"-no-such-flag"}, 1, false},
 		{"bad-preset", []string{"-preset", "bogus", src}, 1, false},
+		// -prove turns an unproven degraded result into exit 3 but
+		// leaves proven-optimal compiles at 0.
+		{"prove-unproven", []string{"-prove", "-lambda", "10", src}, 3, true},
+		{"prove-optimal", []string{"-prove", tiny}, 0, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -141,6 +145,9 @@ func TestRunExitCodes(t *testing.T) {
 			}
 			if tc.want == 2 && !strings.Contains(stderr.String(), "degraded") {
 				t.Errorf("degraded exit should explain itself on stderr, got: %s", stderr.String())
+			}
+			if tc.want == 3 && !strings.Contains(stderr.String(), "no optimality certificate") {
+				t.Errorf("-prove exit should name the missing certificate, got: %s", stderr.String())
 			}
 		})
 	}
@@ -208,6 +215,12 @@ func TestRunStatsBreakdown(t *testing.T) {
 	}
 	if !strings.Contains(out, "pruned: bounds=") || !strings.Contains(out, "alphabeta=") {
 		t.Errorf("stats missing prune breakdown: %s", out)
+	}
+	if !strings.Contains(out, "resource=") || !strings.Contains(out, "memo=") {
+		t.Errorf("stats missing bound-engine prune classes: %s", out)
+	}
+	if !strings.Contains(out, "gap=") || !strings.Contains(out, "root-lb=") {
+		t.Errorf("stats missing optimality-gap line: %s", out)
 	}
 	if !strings.Contains(out, "stages: ") {
 		t.Errorf("stats missing per-stage timings: %s", out)

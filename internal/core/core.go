@@ -40,10 +40,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pipesched/internal/bound"
 	"pipesched/internal/dag"
 	"pipesched/internal/gross"
 	"pipesched/internal/listsched"
 	"pipesched/internal/machine"
+	"pipesched/internal/memo"
 	"pipesched/internal/nopins"
 )
 
@@ -95,11 +97,24 @@ type Options struct {
 	// schedule when InitialOrder is nil.
 	SeedPriority listsched.Priority
 
-	// DisableLowerBound turns off the critical-path lower bound used to
-	// strengthen α–β pruning (an optimality-preserving extension: the
-	// bound is admissible, so only branches provably unable to beat the
-	// incumbent are cut). Disable for a paper-faithful search (ablation).
+	// DisableLowerBound turns off the lower-bound engine's per-state
+	// pruning — the critical-path/height bound and the per-pipeline
+	// enqueue-occupancy bound (internal/bound) used to strengthen α–β
+	// (an optimality-preserving extension: both bounds are admissible,
+	// so only branches provably unable to beat the incumbent are cut).
+	// Disable for a paper-faithful search (ablation).
 	DisableLowerBound bool
+
+	// DisableMemo turns off the dominance/transposition table
+	// (internal/memo): revisited search states whose recorded
+	// cost-so-far dominates are no longer pruned. Disable for a
+	// paper-faithful search (ablation).
+	DisableMemo bool
+
+	// MemoEntries bounds the dominance table (entries per searcher, one
+	// table per worker in a parallel search). Zero selects
+	// memo.DefaultCap.
+	MemoEntries int
 
 	// DisableGreedySeed stops the search from also pricing the
 	// Gross-style greedy schedule and seeding with the cheaper of the two
@@ -137,6 +152,8 @@ type Stats struct {
 	PrunedStrongEquiv int64 // candidates removed by the extension filter
 	PrunedAlphaBeta   int64 // placements abandoned by α–β
 	PrunedLowerBound  int64 // placements abandoned by the critical-path bound
+	PrunedResource    int64 // placements abandoned by the enqueue-occupancy bound
+	MemoHits          int64 // placements abandoned by dominance (revisited state)
 	Curtailed         bool  // search stopped early (λ, deadline or cancellation)
 	Elapsed           time.Duration
 }
@@ -150,6 +167,15 @@ type Schedule struct {
 	Ticks       int   // total issue ticks (instructions + NOPs)
 	InitialNOPs int   // μ of the seed schedule, before searching
 	Optimal     bool  // true iff the search ran to completion (rule [1])
+	// RootLB is the admissible root lower bound on TotalNOPs computed by
+	// internal/bound before the search (0 when the bound engine is fully
+	// disabled — then it is the trivial bound).
+	RootLB int
+	// Gap is the certified optimality gap: 0 when the result is proven
+	// optimal, otherwise TotalNOPs − RootLB — a proof that the true
+	// optimum lies within Gap NOPs of the returned schedule, attached to
+	// every curtailed result.
+	Gap int
 	// Stopped records why the search ended early: nil when it ran to
 	// completion, ErrBudget when λ was exhausted, or the context's
 	// error (context.Canceled / context.DeadlineExceeded) when
@@ -172,11 +198,43 @@ type searcher struct {
 	curtail   bool
 	stopErr   error // why the search stopped early (ErrBudget or ctx error)
 
-	equivClass []int // StrongEquivalence: canonical representative per node
-	tails      []int // admissible latency-weighted height per node
-	startTick  int   // entry-state clock offset (0 for cold starts)
+	equivClass []int         // StrongEquivalence: canonical representative per node
+	bnd        *bound.Engine // lower-bound engine (nil when fully disabled)
+	rootLB     int           // admissible lower bound of the empty schedule
+	table      *memo.Table   // dominance table (nil when disabled)
+	canon      memo.Canon    // reusable key builder for table lookups
+	pipeRes    []int         // scratch for per-pipeline residuals
+	startTick  int           // entry-state clock offset (0 for cold starts)
+	done       bool          // incumbent reached rootLB: provably optimal, stop
 
 	shared *sharedBound // non-nil when part of a parallel search
+}
+
+// attachEngines builds the lower-bound engine and dominance table the
+// options ask for. The engine is needed by BOTH features (the table's
+// canonical keys read its per-pipeline enqueue state), so it is built
+// unless both are disabled — the pure paper-faithful configuration.
+func (s *searcher) attachEngines() {
+	if s.opts.DisableLowerBound && s.opts.DisableMemo {
+		return
+	}
+	s.bnd = bound.New(s.g, s.m, boundConfig(s.opts))
+	s.rootLB = s.bnd.Root()
+	if !s.opts.DisableMemo {
+		s.table = memo.NewTable(s.opts.MemoEntries)
+	}
+}
+
+// boundConfig translates search options into the bound engine's view of
+// the assignment semantics and entry state.
+func boundConfig(opts Options) bound.Config {
+	cfg := bound.Config{FixedAssign: opts.Assign == nopins.AssignFixed}
+	if opts.Entry != nil {
+		cfg.StartTick = opts.Entry.StartTick
+		cfg.PipeLast = opts.Entry.PipeLast
+		cfg.ReadyTick = opts.Entry.ReadyTick
+	}
+	return cfg
 }
 
 // sharedBound is the cross-worker state of a parallel search: the best
@@ -281,9 +339,7 @@ func Find(g *dag.Graph, m *machine.Machine, opts Options) (*Schedule, error) {
 	if opts.StrongEquivalence {
 		s.equivClass = equivalenceClasses(g, m)
 	}
-	if !opts.DisableLowerBound {
-		s.tails = latencyTails(g, m)
-	}
+	s.attachEngines()
 	if opts.Entry != nil {
 		s.startTick = opts.Entry.StartTick
 	}
@@ -317,8 +373,10 @@ func Find(g *dag.Graph, m *machine.Machine, opts Options) (*Schedule, error) {
 	}
 
 	// Steps [2]–[8]: depth-first search over swaps, unless the seed is
-	// already provably optimal (zero NOPs cannot be beaten).
-	if s.bestTotal > 0 {
+	// already provably optimal — zero NOPs cannot be beaten, and a seed
+	// matching the root lower bound cannot be beaten either (the bound
+	// engine's optimality certificate; skipping the search costs nothing).
+	if s.bestTotal > 0 && (s.bnd == nil || s.bestTotal > s.rootLB) {
 		s.eval.Reset()
 		s.dfs(0)
 	}
@@ -333,9 +391,25 @@ func Find(g *dag.Graph, m *machine.Machine, opts Options) (*Schedule, error) {
 		Ticks:       s.best.Ticks,
 		InitialNOPs: seedRes.TotalNOPs,
 		Optimal:     !s.curtail,
+		RootLB:      s.rootLB,
+		Gap:         certifiedGap(s.curtail, s.best.TotalNOPs, s.rootLB),
 		Stopped:     s.stopErr,
 		Stats:       s.stats,
 	}, nil
+}
+
+// certifiedGap computes Schedule.Gap: zero for a completed (provably
+// optimal) search, incumbent − rootLB for a curtailed one. The bound is
+// admissible, so the difference is never negative; the clamp only guards
+// against future bound bugs turning into negative user-facing gaps.
+func certifiedGap(curtailed bool, incumbent, rootLB int) int {
+	if !curtailed {
+		return 0
+	}
+	if g := incumbent - rootLB; g > 0 {
+		return g
+	}
+	return 0
 }
 
 // trace records a search event when tracing is attached.
@@ -422,23 +496,32 @@ func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
 		eta = s.eval.Push(xi)
 	}
 	defer s.eval.Pop()
+	if s.bnd != nil {
+		pos := s.eval.Len() - 1
+		s.bnd.Push(xi, s.eval.PipeAt(pos), s.eval.IssueAt(pos))
+		defer s.bnd.Pop(xi)
+	}
 	s.trace(TracePlace, i, xi, eta, s.eval.TotalNOPs())
 
-	// Critical-path lower bound: from the just-issued tick, the schedule
-	// cannot finish before every remaining instruction has issued, nor
-	// before the placed instruction's longest dependent chain has drained.
-	// Final NOPs = final issue tick − instructions − entry offset, so a
-	// bound on the final tick bounds the final cost; if even the bound
-	// cannot beat the incumbent, the branch is hopeless.
-	if s.tails != nil && s.eval.TotalNOPs() < s.bound() {
-		last := s.eval.IssueAt(s.eval.Len() - 1)
-		lbFinal := last + (s.g.N - s.eval.Len())
-		if t := last + s.tails[xi]; t > lbFinal {
-			lbFinal = t
-		}
-		if lbFinal-s.g.N-s.startTick >= s.bound() {
-			s.stats.PrunedLowerBound++
-			s.trace(TraceLowerBound, i, xi, 0, s.eval.TotalNOPs())
+	// Lower-bound engine: from the just-issued tick, the schedule cannot
+	// finish before the longest scheduled dependent chain has drained
+	// (critical-path bound) nor before every pipeline has accepted its
+	// remaining forced instructions (resource bound). Final NOPs = final
+	// issue tick − instructions − entry offset, so a bound on the final
+	// tick bounds the final cost; if even an admissible bound cannot beat
+	// the incumbent, the branch is hopeless. The α–β class keeps branches
+	// already at incumbent cost (the outer guard), so each prune is
+	// attributed to exactly one class.
+	if s.bnd != nil && !s.opts.DisableLowerBound && s.eval.TotalNOPs() < s.bound() {
+		cp, res := s.bnd.Lower(s.eval.IssueAt(s.eval.Len() - 1))
+		if b := s.bound(); cp >= b || res >= b {
+			if cp >= b {
+				s.stats.PrunedLowerBound++
+				s.trace(TraceLowerBound, i, xi, 0, s.eval.TotalNOPs())
+			} else {
+				s.stats.PrunedResource++
+				s.trace(TraceResource, i, xi, 0, s.eval.TotalNOPs())
+			}
 			return !s.curtail
 		}
 	}
@@ -454,12 +537,38 @@ func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
 			s.bestTotal = s.best.TotalNOPs
 			s.publish(s.bestTotal)
 			s.trace(TraceImprove, i, xi, eta, s.bestTotal)
+			if s.bnd != nil && s.bestTotal <= s.rootLB {
+				// The incumbent meets the root lower bound: provably
+				// optimal, nothing left to search. Unwind without
+				// marking a curtailment.
+				s.done = true
+				return false
+			}
 		} else {
 			if s.curtail {
 				return false
 			}
+			// Dominance: if this exact residual scheduling problem was
+			// already fully explored at an equal-or-lower cost-so-far,
+			// this visit cannot improve on what that one saw (or pruned
+			// against a then-no-tighter incumbent).
+			var key string
+			if s.table != nil {
+				key = s.memoKey()
+				if s.table.Dominated(key, s.eval.TotalNOPs()) {
+					s.stats.MemoHits++
+					s.trace(TraceMemo, i, xi, 0, s.eval.TotalNOPs())
+					return !s.curtail
+				}
+			}
 			if !s.dfs(i + 1) {
 				return false
+			}
+			// Record only FULLY explored subtrees (a curtailed or
+			// stopped subtree returned false above): dominance from a
+			// partially searched state could prune the only optimum.
+			if s.table != nil {
+				s.table.Store(key, s.eval.TotalNOPs())
 			}
 		}
 	} else {
@@ -467,6 +576,44 @@ func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
 		s.trace(TraceAlphaBeta, i, xi, eta, s.eval.TotalNOPs())
 	}
 	return !s.curtail
+}
+
+// memoKey builds the canonical dominance key of the CURRENT evaluator
+// state: scheduled set, per-pipeline enqueue residuals, in-flight flow
+// producers (issue + latency still binding a future consumer), and
+// unsatisfied external ready times — everything Ω consults when pricing
+// any completion, encoded relative to the last issue tick so revisits at
+// different absolute times collide (internal/memo has the full argument).
+func (s *searcher) memoKey() string {
+	c := &s.canon
+	c.Begin(s.g.N)
+	n := s.eval.Len()
+	last := s.eval.IssueAt(n - 1)
+	for pos := 0; pos < n; pos++ {
+		c.MarkScheduled(s.eval.NodeAt(pos))
+	}
+	s.pipeRes = s.bnd.PipeResiduals(last, s.pipeRes)
+	c.Pipes(s.pipeRes)
+	for pos := 0; pos < n; pos++ {
+		u := s.eval.NodeAt(pos)
+		for _, d := range s.g.Succs[u] {
+			if d.Kind.CarriesLatency() && !s.eval.Scheduled(d.Node) {
+				lat := s.m.Latency(s.eval.PipeAt(pos))
+				c.Pair(u, memo.Residual(s.eval.IssueAt(pos)+lat, last))
+				break
+			}
+		}
+	}
+	c.SealPairs()
+	if s.opts.Entry != nil && s.opts.Entry.ReadyTick != nil {
+		for v := 0; v < s.g.N; v++ {
+			if !s.eval.Scheduled(v) {
+				c.Pair(v, memo.Residual(s.opts.Entry.ReadyTick[v], last))
+			}
+		}
+	}
+	c.SealPairs()
+	return c.Key()
 }
 
 // equivalentSwap implements the paper's [5c]: the swap is skipped when
@@ -555,42 +702,6 @@ func equivalenceClasses(g *dag.Graph, m *machine.Machine) []int {
 	return class
 }
 
-// latencyTails returns, per node, an admissible lower bound on the ticks
-// between the node's issue and the final issue of any schedule: the
-// longest path to a sink where a flow edge from u costs the MINIMUM
-// latency of u's allowed pipelines (admissible under every assignment
-// mode) and an ordering edge costs one tick.
-func latencyTails(g *dag.Graph, m *machine.Machine) []int {
-	minLat := make([]int, g.N)
-	for u := 0; u < g.N; u++ {
-		set := m.PipelinesFor(g.Block.Tuples[u].Op)
-		if len(set) == 0 {
-			minLat[u] = 0
-			continue
-		}
-		min := m.Latency(set[0])
-		for _, p := range set[1:] {
-			if l := m.Latency(p); l < min {
-				min = l
-			}
-		}
-		minLat[u] = min
-	}
-	tails := make([]int, g.N)
-	for u := g.N - 1; u >= 0; u-- {
-		for _, d := range g.Succs[u] {
-			w := 1
-			if d.Kind.CarriesLatency() && minLat[u] > 1 {
-				w = minLat[u]
-			}
-			if t := w + tails[d.Node]; t > tails[u] {
-				tails[u] = t
-			}
-		}
-	}
-	return tails
-}
-
 // TraceAction labels one search event.
 type TraceAction string
 
@@ -604,6 +715,8 @@ const (
 	TraceStrong     TraceAction = "prune-strong"      // extension filter rejected
 	TraceAlphaBeta  TraceAction = "prune-alphabeta"   // cost cutoff after placement
 	TraceLowerBound TraceAction = "prune-lowerbound"  // critical-path cutoff
+	TraceResource   TraceAction = "prune-resource"    // enqueue-occupancy cutoff
+	TraceMemo       TraceAction = "prune-memo"        // dominance table hit
 	TraceCurtail    TraceAction = "curtail"           // λ reached
 )
 

@@ -5,10 +5,12 @@ import (
 	"sync"
 	"time"
 
+	"pipesched/internal/bound"
 	"pipesched/internal/dag"
 	"pipesched/internal/gross"
 	"pipesched/internal/listsched"
 	"pipesched/internal/machine"
+	"pipesched/internal/memo"
 	"pipesched/internal/nopins"
 )
 
@@ -25,6 +27,13 @@ import (
 // Options.Trace is honored: SearchTrace is mutex-guarded, so worker
 // events interleave (in nondeterministic order) but never race.
 // workers <= 0 selects GOMAXPROCS.
+//
+// The lower-bound engine and dominance table are private per worker:
+// each worker owns one bound.Engine per subtree and ONE memo.Table for
+// its lifetime, so no counter or table access crosses goroutines.
+// Cross-subtree dominance within a worker is sound because the shared
+// incumbent only tightens over time. Per-worker Stats are folded into
+// the aggregate exactly once, after the WaitGroup barrier.
 func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (*Schedule, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -44,7 +53,10 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 	start := time.Now()
 
 	// Price the incumbent exactly as Find does (list seed, optionally
-	// improved by the greedy baseline).
+	// improved by the greedy baseline), counting only Ω work that was
+	// actually performed: the greedy order is priced — and charged —
+	// only when the seed is not already free and no caller-fixed order
+	// suppresses it.
 	incumbentEval := nopins.NewEvaluator(g, m, opts.Assign)
 	if opts.Entry != nil {
 		incumbentEval.SetEntryState(opts.Entry)
@@ -54,23 +66,36 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 		return nil, err
 	}
 	best := seedRes
+	agg := Stats{
+		SeedOmegaCalls:    int64(g.N),
+		SchedulesExamined: 1,
+	}
 	if opts.InitialOrder == nil && !opts.DisableGreedySeed && best.TotalNOPs > 0 {
 		greedyOrder := gross.Schedule(g, m, opts.Assign).Order
-		if greedyRes, err := incumbentEval.EvaluateOrder(greedyOrder); err == nil &&
-			greedyRes.TotalNOPs < best.TotalNOPs {
-			best = greedyRes
+		if greedyRes, err := incumbentEval.EvaluateOrder(greedyOrder); err == nil {
+			agg.SeedOmegaCalls += int64(g.N)
+			agg.SchedulesExamined++
+			if greedyRes.TotalNOPs < best.TotalNOPs {
+				best = greedyRes
+			}
 		}
 	}
-	agg := Stats{
-		SeedOmegaCalls:    2 * int64(g.N),
-		SchedulesExamined: 2,
+
+	// Root lower bound: shared by every worker (the empty schedule is the
+	// same everywhere) and the basis of the seed-optimality certificate
+	// and the Gap of a curtailed result.
+	rootLB := 0
+	haveEngine := !opts.DisableLowerBound || !opts.DisableMemo
+	if haveEngine {
+		rootLB = bound.New(g, m, boundConfig(opts)).Root()
 	}
-	if best.TotalNOPs == 0 {
+	if best.TotalNOPs == 0 || (haveEngine && best.TotalNOPs <= rootLB) {
 		agg.Elapsed = time.Since(start)
 		return &Schedule{
 			Order: best.Order, Eta: best.Eta, Pipes: best.Pipes,
-			TotalNOPs: 0, Ticks: best.Ticks,
-			InitialNOPs: seedRes.TotalNOPs, Optimal: true, Stats: agg,
+			TotalNOPs: best.TotalNOPs, Ticks: best.Ticks,
+			InitialNOPs: seedRes.TotalNOPs, Optimal: true,
+			RootLB: rootLB, Stats: agg,
 		}, nil
 	}
 
@@ -117,7 +142,19 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One dominance table per worker, reused across this worker's
+			// subtrees: states recur between subtrees, and reuse is sound
+			// because the shared incumbent is monotone.
+			var table *memo.Table
+			if !opts.DisableMemo {
+				table = memo.NewTable(opts.MemoEntries)
+			}
 			for idx := range jobs {
+				if haveEngine && int(shared.best.Load()) <= rootLB {
+					// A sibling already proved the incumbent optimal;
+					// remaining subtrees cannot improve on it.
+					continue
+				}
 				cand := candidates[idx]
 				s := &searcher{
 					g:    g,
@@ -129,6 +166,11 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 					// stays empty until this subtree improves on it.
 					bestTotal: 1 << 30,
 					shared:    shared,
+					table:     table,
+					rootLB:    rootLB,
+				}
+				if haveEngine {
+					s.bnd = bound.New(g, m, boundConfig(opts))
 				}
 				if opts.Entry != nil {
 					s.eval.SetEntryState(opts.Entry)
@@ -136,9 +178,6 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 				}
 				if opts.StrongEquivalence {
 					s.equivClass = equivalenceClasses(g, m)
-				}
-				if !opts.DisableLowerBound {
-					s.tails = latencyTails(g, m)
 				}
 				// Move the candidate to the front of Π and search its
 				// subtree.
@@ -183,6 +222,8 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 		agg.PrunedStrongEquiv += r.stats.PrunedStrongEquiv
 		agg.PrunedAlphaBeta += r.stats.PrunedAlphaBeta
 		agg.PrunedLowerBound += r.stats.PrunedLowerBound
+		agg.PrunedResource += r.stats.PrunedResource
+		agg.MemoHits += r.stats.MemoHits
 		curtailed = curtailed || r.curtail
 		if r.found && r.best.TotalNOPs < best.TotalNOPs {
 			best = r.best
@@ -199,6 +240,8 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 		Ticks:       best.Ticks,
 		InitialNOPs: seedRes.TotalNOPs,
 		Optimal:     !curtailed,
+		RootLB:      rootLB,
+		Gap:         certifiedGap(curtailed, best.TotalNOPs, rootLB),
 		Stopped:     stopped,
 		Stats:       agg,
 	}, nil

@@ -1,0 +1,218 @@
+// Package memo is the search's transposition/dominance table. Different
+// branches of the B&B permutation tree frequently reach the SAME residual
+// scheduling problem — the same set of instructions scheduled, the same
+// pipelines busy for the same number of future ticks, the same producers
+// still in flight — having paid different NOP costs to get there. The
+// minimum cost of COMPLETING such a state depends only on the state, so
+// once one branch has fully explored it, any later branch arriving with
+// an equal-or-worse cost-so-far is dominated and can be pruned.
+//
+// The table is keyed by a canonical encoding of the state (package-level
+// Canon builder) designed so that two states with identical completion
+// spaces collide:
+//
+//   - All timing is RELATIVE to the last issue tick. Two occurrences of
+//     the same residual problem at different absolute ticks — "renumbered"
+//     states, the common case along permuted prefixes — produce the same
+//     key, because a completion's tick count beyond lastIssue is
+//     translation-invariant.
+//   - Expired constraints vanish. A pipeline whose enqueue conflict has
+//     drained, or an in-flight producer whose result is already
+//     available, contributes nothing, so states differing only in dead
+//     history collide.
+//   - Live constraints are encoded exactly. Distinct residual pipeline
+//     states, in-flight latencies, or external ready times produce
+//     distinct keys (the encoding is section-length-prefixed and
+//     prefix-unambiguous), so dominance is never claimed across states
+//     with different futures.
+//
+// Soundness of the prune (DESIGN.md §11): entries are stored only after
+// a state's subtree has been fully explored (never on a curtailed
+// subtree), and an entry records the cost-so-far at which that happened.
+// A later visit with cost ≥ recorded cost cannot contain a completion
+// that beats what the recorded visit already saw or pruned against a
+// then-weaker-or-equal incumbent, so discarding it never changes the
+// search's returned cost — only the work done to find it.
+//
+// The table is bounded: once full it stops admitting NEW keys (lookups
+// and in-place improvements continue), so memory stays capped without
+// an eviction policy that could break reproducibility.
+package memo
+
+import "encoding/binary"
+
+// Residual converts an absolute tick constraint to the canonical
+// relative form: the number of ticks after lastIssue+1 (the earliest
+// possible next issue) the constraint still binds. Expired constraints
+// clamp to zero, making them disappear from keys.
+func Residual(deadline, lastIssue int) int {
+	if r := deadline - (lastIssue + 1); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Canon accumulates one state's canonical key. The caller contributes
+// sections in a fixed order — scheduled set, per-pipeline residuals,
+// in-flight producers, external ready times — and each section is
+// length- or width-delimited, so no two distinct section sequences can
+// encode to the same bytes. Reuse one Canon per searcher; Begin resets.
+type Canon struct {
+	buf    []byte
+	mask   []byte
+	sealed bool
+	n      int
+
+	pairs   [][2]int // (node, residual) for the current section
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// Begin starts a fresh key for an n-node block.
+func (c *Canon) Begin(n int) {
+	c.buf = c.buf[:0]
+	c.n = n
+	need := (n + 7) / 8
+	if cap(c.mask) < need {
+		c.mask = make([]byte, need)
+	}
+	c.mask = c.mask[:need]
+	for i := range c.mask {
+		c.mask[i] = 0
+	}
+	c.sealed = false
+	c.pairs = c.pairs[:0]
+	c.putUvarint(uint64(n))
+}
+
+// MarkScheduled records node u as part of the scheduled prefix. Order of
+// calls is irrelevant (the set is a bitmask).
+func (c *Canon) MarkScheduled(u int) { c.mask[u>>3] |= 1 << (u & 7) }
+
+func (c *Canon) putUvarint(v uint64) {
+	k := binary.PutUvarint(c.scratch[:], v)
+	c.buf = append(c.buf, c.scratch[:k]...)
+}
+
+// sealMask appends the scheduled bitmask; called lazily by the first
+// post-mask section.
+func (c *Canon) sealMask() {
+	if !c.sealed {
+		c.buf = append(c.buf, c.mask...)
+		c.sealed = true
+	}
+}
+
+// Pipes appends the per-pipeline enqueue residuals, one per pipeline in
+// machine table order (fixed arity ⇒ self-delimiting). Call exactly once,
+// after all MarkScheduled calls.
+func (c *Canon) Pipes(residuals []int) {
+	c.sealMask()
+	c.putUvarint(uint64(len(residuals)))
+	for _, r := range residuals {
+		c.putUvarint(uint64(r))
+	}
+	c.pairs = c.pairs[:0]
+}
+
+// Pair records one (node, residual) constraint for the CURRENT section —
+// in-flight flow producers after Pipes, external ready times after
+// SealPairs. Zero residuals are dropped (expired constraints must not
+// perturb the key); nodes may arrive in any order (pairs are sorted at
+// seal time).
+func (c *Canon) Pair(node, residual int) {
+	if residual <= 0 {
+		return
+	}
+	c.pairs = append(c.pairs, [2]int{node, residual})
+}
+
+// SealPairs closes the current (node, residual) section, sorting and
+// length-prefixing it, and opens the next. Call once after the in-flight
+// pairs and once after the ready pairs.
+func (c *Canon) SealPairs() {
+	// Insertion sort by node: sections are small (live constraints only)
+	// and a node appears at most once per section.
+	for i := 1; i < len(c.pairs); i++ {
+		for j := i; j > 0 && c.pairs[j][0] < c.pairs[j-1][0]; j-- {
+			c.pairs[j], c.pairs[j-1] = c.pairs[j-1], c.pairs[j]
+		}
+	}
+	c.putUvarint(uint64(len(c.pairs)))
+	for _, p := range c.pairs {
+		c.putUvarint(uint64(p[0]))
+		c.putUvarint(uint64(p[1]))
+	}
+	c.pairs = c.pairs[:0]
+}
+
+// Key returns the accumulated canonical key. The returned string is
+// immutable and safe to use as a map key after the next Begin.
+func (c *Canon) Key() string {
+	c.sealMask()
+	return string(c.buf)
+}
+
+// DefaultCap is the default bound on table entries: at ~40 bytes of key
+// plus map overhead per entry this keeps a table under ~50 MB.
+const DefaultCap = 1 << 18
+
+// Table is a bounded map from canonical state key to the best (lowest)
+// cost-so-far at which the state's subtree has been fully explored. It
+// is NOT safe for concurrent use; parallel searches hold one per worker.
+type Table struct {
+	m   map[string]int32
+	cap int
+
+	hits    int64
+	misses  int64
+	stores  int64
+	dropped int64 // stores refused because the table was full
+}
+
+// NewTable creates a table bounded to capEntries keys (<= 0 selects
+// DefaultCap).
+func NewTable(capEntries int) *Table {
+	if capEntries <= 0 {
+		capEntries = DefaultCap
+	}
+	return &Table{m: make(map[string]int32), cap: capEntries}
+}
+
+// Dominated reports whether a previous visit to key completed its
+// subtree at cost-so-far <= cost — i.e. whether the current visit is
+// dominated and may be pruned.
+func (t *Table) Dominated(key string, cost int) bool {
+	if rec, ok := t.m[key]; ok && int(rec) <= cost {
+		t.hits++
+		return true
+	}
+	t.misses++
+	return false
+}
+
+// Store records that key's subtree has been fully explored at the given
+// cost-so-far, keeping the minimum over visits. New keys are dropped
+// once the table is full; improvements to existing keys always land.
+func (t *Table) Store(key string, cost int) {
+	if rec, ok := t.m[key]; ok {
+		if int32(cost) < rec {
+			t.m[key] = int32(cost)
+		}
+		return
+	}
+	if len(t.m) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.m[key] = int32(cost)
+	t.stores++
+}
+
+// Len returns the number of stored states.
+func (t *Table) Len() int { return len(t.m) }
+
+// Stats returns cumulative lookup/store counters: dominance hits, lookup
+// misses, stored states, and stores dropped at capacity.
+func (t *Table) Stats() (hits, misses, stores, dropped int64) {
+	return t.hits, t.misses, t.stores, t.dropped
+}

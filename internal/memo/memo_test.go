@@ -1,0 +1,138 @@
+package memo
+
+import (
+	"testing"
+)
+
+// buildKey assembles a key from one state description: scheduled nodes,
+// per-pipe enqueue deadlines, in-flight (node, deadline) and ready
+// (node, deadline) constraints, all in ABSOLUTE ticks relative to
+// lastIssue — exercising exactly the translation the search performs.
+func buildKey(c *Canon, n int, scheduled []int, lastIssue int, pipeDeadline []int, inflight, ready [][2]int) string {
+	c.Begin(n)
+	for _, u := range scheduled {
+		c.MarkScheduled(u)
+	}
+	res := make([]int, len(pipeDeadline))
+	for i, d := range pipeDeadline {
+		res[i] = Residual(d, lastIssue)
+	}
+	c.Pipes(res)
+	for _, p := range inflight {
+		c.Pair(p[0], Residual(p[1], lastIssue))
+	}
+	c.SealPairs()
+	for _, p := range ready {
+		c.Pair(p[0], Residual(p[1], lastIssue))
+	}
+	c.SealPairs()
+	return c.Key()
+}
+
+func TestResidual(t *testing.T) {
+	if r := Residual(10, 6); r != 3 {
+		t.Fatalf("Residual(10,6) = %d, want 3", r)
+	}
+	if r := Residual(7, 6); r != 0 {
+		t.Fatalf("Residual(7,6) = %d, want 0 (constraint satisfied at next issue)", r)
+	}
+	if r := Residual(2, 6); r != 0 {
+		t.Fatalf("Residual(2,6) = %d, want 0 (expired)", r)
+	}
+}
+
+// TestKeyTranslationInvariance: the same residual problem occurring at
+// different absolute ticks must produce the same key.
+func TestKeyTranslationInvariance(t *testing.T) {
+	var c Canon
+	a := buildKey(&c, 12, []int{0, 2, 5}, 9,
+		[]int{11, 9}, [][2]int{{2, 13}, {5, 11}}, [][2]int{{7, 12}})
+	for _, shift := range []int{1, 7, 100} {
+		b := buildKey(&c, 12, []int{0, 2, 5}, 9+shift,
+			[]int{11 + shift, 9 + shift},
+			[][2]int{{2, 13 + shift}, {5, 11 + shift}},
+			[][2]int{{7, 12 + shift}})
+		if a != b {
+			t.Fatalf("shift %d: keys differ for time-translated states", shift)
+		}
+	}
+}
+
+// TestKeyExpiredConstraintsVanish: dead history — drained pipes, landed
+// producers — must not perturb the key.
+func TestKeyExpiredConstraintsVanish(t *testing.T) {
+	var c Canon
+	a := buildKey(&c, 8, []int{1, 3}, 20,
+		[]int{5, 21}, [][2]int{{1, 9}, {3, 24}}, nil)
+	b := buildKey(&c, 8, []int{1, 3}, 20,
+		[]int{17, 21}, [][2]int{{3, 24}}, nil)
+	if a != b {
+		t.Fatal("states differing only in expired constraints must collide")
+	}
+}
+
+// TestKeyDistinguishesLiveState: any live difference — scheduled set,
+// a pipe residual, an in-flight residual, or which section a pair sits
+// in — must produce distinct keys.
+func TestKeyDistinguishesLiveState(t *testing.T) {
+	var c Canon
+	base := buildKey(&c, 8, []int{1, 3}, 10, []int{12, 11}, [][2]int{{3, 14}}, [][2]int{{5, 13}})
+	variants := []string{
+		buildKey(&c, 8, []int{1, 4}, 10, []int{12, 11}, [][2]int{{3, 14}}, [][2]int{{5, 13}}),
+		buildKey(&c, 8, []int{1, 3}, 10, []int{13, 11}, [][2]int{{3, 14}}, [][2]int{{5, 13}}),
+		buildKey(&c, 8, []int{1, 3}, 10, []int{12, 11}, [][2]int{{3, 15}}, [][2]int{{5, 13}}),
+		buildKey(&c, 8, []int{1, 3}, 10, []int{12, 11}, [][2]int{{3, 14}, {5, 13}}, nil),
+		buildKey(&c, 8, []int{1, 3}, 10, []int{12, 11}, nil, [][2]int{{3, 14}, {5, 13}}),
+		buildKey(&c, 9, []int{1, 3}, 10, []int{12, 11}, [][2]int{{3, 14}}, [][2]int{{5, 13}}),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Fatalf("variant %d: live-state difference did not change the key", i)
+		}
+	}
+}
+
+// TestKeyPairOrderIrrelevant: pairs arrive in search-dependent order but
+// the key must be canonical.
+func TestKeyPairOrderIrrelevant(t *testing.T) {
+	var c Canon
+	a := buildKey(&c, 8, []int{0}, 5, []int{7}, [][2]int{{1, 9}, {4, 8}, {2, 11}}, nil)
+	b := buildKey(&c, 8, []int{0}, 5, []int{7}, [][2]int{{2, 11}, {1, 9}, {4, 8}}, nil)
+	if a != b {
+		t.Fatal("pair insertion order changed the key")
+	}
+}
+
+func TestTableDominance(t *testing.T) {
+	tb := NewTable(2)
+	if tb.Dominated("k1", 5) {
+		t.Fatal("empty table claimed dominance")
+	}
+	tb.Store("k1", 5)
+	if !tb.Dominated("k1", 5) || !tb.Dominated("k1", 7) {
+		t.Fatal("equal/worse revisit not dominated")
+	}
+	if tb.Dominated("k1", 4) {
+		t.Fatal("strictly better revisit wrongly dominated")
+	}
+	tb.Store("k1", 3) // improvement lands
+	if !tb.Dominated("k1", 3) {
+		t.Fatal("improved entry not effective")
+	}
+	tb.Store("k2", 1)
+	tb.Store("k3", 1) // over capacity: dropped
+	if tb.Len() != 2 {
+		t.Fatalf("table grew past its cap: %d entries", tb.Len())
+	}
+	if tb.Dominated("k3", 9) {
+		t.Fatal("dropped key claimed dominance")
+	}
+	tb.Store("k1", 2) // improvements still land when full
+	if !tb.Dominated("k1", 2) {
+		t.Fatal("improvement at capacity did not land")
+	}
+	hits, misses, stores, dropped := tb.Stats()
+	if hits == 0 || misses == 0 || stores != 2 || dropped != 1 {
+		t.Fatalf("stats hits=%d misses=%d stores=%d dropped=%d", hits, misses, stores, dropped)
+	}
+}

@@ -19,6 +19,9 @@
 //     order of the DAG, hazard-free under all three architectural delay
 //     mechanisms, and simulate to exactly the cost the search claimed
 //     (sim.Verify);
+//   - certificates: every root lower bound must be admissible (never
+//     above a proven optimum) and every claimed optimality gap sound (a
+//     gap of 0 really is the optimum, a gap of k really brackets it);
 //   - metamorphic invariants (metamorphic.go): cost-preserving
 //     transformations of the block and the machine description must
 //     leave the optimal cost unchanged.
@@ -122,8 +125,9 @@ func (c Config) candidates() []Candidate {
 
 // DefaultCandidates returns the standard differential set: the plain
 // sequential search, the parallel search (shared incumbent, work fanned
-// across goroutines), the paper-faithful search with the critical-path
-// lower bound disabled, and the search with the extended strong
+// across goroutines), ablations with the lower-bound engine and the
+// dominance memo disabled individually and together (the last is the
+// paper-faithful prune set), and the search with the extended strong
 // equivalence filter. Each explores the space differently; all must land
 // on the same optimal cost.
 func DefaultCandidates(lambda int64, workers int) []Candidate {
@@ -143,6 +147,18 @@ func DefaultCandidates(lambda int64, workers int) []Candidate {
 		}},
 		{Name: "find-nolowerbound", Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
 			return core.Find(g, m, opts(func(o *core.Options) { o.DisableLowerBound = true }))
+		}},
+		{Name: "find-nomemo", Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			return core.Find(g, m, opts(func(o *core.Options) { o.DisableMemo = true }))
+		}},
+		{Name: "find-paper", Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			// The paper's own prune set [5a]-[5c] + α-β, with the bound
+			// engine and memo table both off — the ground truth the
+			// accelerated searches must not diverge from.
+			return core.Find(g, m, opts(func(o *core.Options) {
+				o.DisableLowerBound = true
+				o.DisableMemo = true
+			}))
 		}},
 		{Name: "find-strongequiv", Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
 			return core.Find(g, m, opts(func(o *core.Options) { o.StrongEquivalence = true }))
@@ -226,6 +242,45 @@ func CheckPair(g *dag.Graph, m *machine.Machine, cfg Config) []Divergence {
 		}
 	}
 
+	// Certificate checks: every root lower bound must be admissible (no
+	// schedule, and in particular no proven optimum, costs less than it),
+	// and a zero gap is a claim of optimality that must hold against the
+	// proven optimum — a loose bound is allowed, a lying one is not.
+	for _, o := range outs {
+		if o.s.RootLB > o.s.TotalNOPs {
+			divs = append(divs, Divergence{
+				Check: "bound-admissible", Candidate: o.name,
+				Detail: fmt.Sprintf("root lower bound %d exceeds the returned schedule's cost %d",
+					o.s.RootLB, o.s.TotalNOPs),
+			})
+		}
+	}
+	if bestOpt >= 0 {
+		for _, o := range outs {
+			if o.s.RootLB > bestOpt {
+				divs = append(divs, Divergence{
+					Check: "bound-admissible", Candidate: o.name,
+					Detail: fmt.Sprintf("root lower bound %d exceeds the proven optimum %d of %s",
+						o.s.RootLB, bestOpt, bestName),
+				})
+			}
+			if o.s.Gap == 0 && o.s.TotalNOPs != bestOpt {
+				divs = append(divs, Divergence{
+					Check: "gap-sound", Candidate: o.name,
+					Detail: fmt.Sprintf("gap 0 certifies cost %d as optimal, but %s proves the optimum is %d",
+						o.s.TotalNOPs, bestName, bestOpt),
+				})
+			}
+			if o.s.Gap > 0 && o.s.TotalNOPs-o.s.Gap > bestOpt {
+				divs = append(divs, Divergence{
+					Check: "gap-sound", Candidate: o.name,
+					Detail: fmt.Sprintf("gap %d certifies the optimum within [%d, %d], but %s proves it is %d",
+						o.s.Gap, o.s.TotalNOPs-o.s.Gap, o.s.TotalNOPs, bestName, bestOpt),
+				})
+			}
+		}
+	}
+
 	// Exhaustive reference: on blocks small enough to enumerate, the
 	// best legal schedule (and, smaller still, the best of all n!
 	// permutations) must cost exactly the claimed optimum.
@@ -276,6 +331,12 @@ func checkSchedule(g *dag.Graph, m *machine.Machine, name string, s *core.Schedu
 	}
 	if s.Optimal != (s.Stopped == nil) {
 		bad("Optimal=%t inconsistent with Stopped=%v", s.Optimal, s.Stopped)
+	}
+	if s.RootLB < 0 || s.Gap < 0 {
+		bad("negative certificate: RootLB=%d Gap=%d", s.RootLB, s.Gap)
+	}
+	if s.Optimal && s.Gap != 0 {
+		bad("proven-optimal result carries nonzero gap %d", s.Gap)
 	}
 	in := sim.Input{Graph: g, M: m, Order: s.Order, Eta: s.Eta, Pipes: s.Pipes}
 	if err := sim.Verify(in, s.TotalNOPs, s.Ticks); err != nil {

@@ -236,6 +236,79 @@ func TestCheckPairCatchesUpperBoundViolation(t *testing.T) {
 	}
 }
 
+func TestCheckPairCatchesInadmissibleBound(t *testing.T) {
+	g, m := suboptimalSeedPair(t)
+
+	// An honest schedule with a lying root bound: the claimed lower bound
+	// sits above the proven optimum, so it cannot be admissible.
+	overbounds := Candidate{Name: "overbounds",
+		Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			s, err := core.Find(g, m, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			s.RootLB = s.TotalNOPs + 1
+			return s, nil
+		}}
+
+	divs := CheckPair(g, m, Config{Candidates: []Candidate{findCandidate(), overbounds}})
+	if !hasCheck(divs, "bound-admissible", "overbounds") {
+		t.Fatalf("inadmissible root bound not caught: %v", divs)
+	}
+}
+
+func TestCheckPairCatchesUnsoundGap(t *testing.T) {
+	g, m := suboptimalSeedPair(t)
+
+	// A curtailed candidate pricing the (suboptimal) seed but attaching a
+	// gap-0 certificate claims the seed is optimal without saying so in
+	// Optimal — the gap-soundness check must see through it.
+	fakeCertificate := Candidate{Name: "fake-certificate",
+		Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			order := listsched.Schedule(g, listsched.ByHeight)
+			r, err := nopins.NewEvaluator(g, m, nopins.AssignFixed).EvaluateOrder(order)
+			if err != nil {
+				return nil, err
+			}
+			return &core.Schedule{
+				Order: r.Order, Eta: r.Eta, Pipes: r.Pipes,
+				TotalNOPs: r.TotalNOPs, Ticks: r.Ticks,
+				Stopped: errors.New("fake curtailment"),
+			}, nil
+		}}
+
+	divs := CheckPair(g, m, Config{Candidates: []Candidate{findCandidate(), fakeCertificate}})
+	if !hasCheck(divs, "gap-sound", "fake-certificate") {
+		t.Fatalf("unsound gap-0 certificate not caught: %v", divs)
+	}
+
+	// A nonzero gap that brackets the optimum too high is just as unsound.
+	tooTight := Candidate{Name: "too-tight",
+		Run: func(g *dag.Graph, m *machine.Machine) (*core.Schedule, error) {
+			order := listsched.Schedule(g, listsched.ByHeight)
+			r, err := nopins.NewEvaluator(g, m, nopins.AssignFixed).EvaluateOrder(order)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := core.Find(g, m, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			gap := r.TotalNOPs - opt.TotalNOPs - 1 // excludes the true optimum
+			return &core.Schedule{
+				Order: r.Order, Eta: r.Eta, Pipes: r.Pipes,
+				TotalNOPs: r.TotalNOPs, Ticks: r.Ticks,
+				RootLB: r.TotalNOPs - gap, Gap: gap,
+				Stopped: errors.New("fake curtailment"),
+			}, nil
+		}}
+
+	divs = CheckPair(g, m, Config{Candidates: []Candidate{findCandidate(), tooTight}})
+	if !hasCheck(divs, "gap-sound", "too-tight") {
+		t.Fatalf("over-tight gap bracket not caught: %v", divs)
+	}
+}
+
 func TestCheckPairReportsCandidateError(t *testing.T) {
 	g, m := suboptimalSeedPair(t)
 	failing := Candidate{Name: "failing",

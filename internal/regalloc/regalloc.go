@@ -108,10 +108,15 @@ func Allocate(b *ir.Block, limit int) (*Assignment, error) {
 			b.Label, maxLive, limit)
 	}
 
-	// lastUse[pos] lists value IDs whose interval ends at pos.
+	// lastUse[pos] lists value IDs whose interval ends at pos, in
+	// definition order — iterating the interval map here would make the
+	// free-list push order (and thus the whole assignment) depend on map
+	// iteration whenever two values die at the same position.
 	lastUse := map[int][]int{}
-	for id, span := range iv {
-		lastUse[span[1]] = append(lastUse[span[1]], id)
+	for _, t := range b.Tuples {
+		if span, ok := iv[t.ID]; ok {
+			lastUse[span[1]] = append(lastUse[span[1]], t.ID)
+		}
 	}
 
 	asg := &Assignment{RegOf: make(map[int]int, len(iv))}

@@ -21,6 +21,7 @@ package seqsched
 import (
 	"fmt"
 
+	"pipesched/internal/bound"
 	"pipesched/internal/core"
 	"pipesched/internal/dag"
 	"pipesched/internal/ir"
@@ -78,10 +79,24 @@ func ScheduleSeed(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*R
 		if err != nil {
 			return nil, err
 		}
+		// Even the heuristic rung carries a certificate: the root lower
+		// bound under this block's entry state proves the seed is within
+		// Gap NOPs of the block's optimum.
+		lb := bound.New(g, m, bound.Config{
+			FixedAssign: opts.Assign == nopins.AssignFixed,
+			StartTick:   entry.StartTick,
+			PipeLast:    entry.PipeLast,
+			ReadyTick:   entry.ReadyTick,
+		}).Root()
+		gap := res.TotalNOPs - lb
+		if gap < 0 {
+			gap = 0
+		}
 		return &core.Schedule{
 			Order: res.Order, Eta: res.Eta, Pipes: res.Pipes,
 			TotalNOPs: res.TotalNOPs, Ticks: res.Ticks,
 			InitialNOPs: res.TotalNOPs, Optimal: false,
+			RootLB: lb, Gap: gap,
 		}, nil
 	})
 	if err != nil {

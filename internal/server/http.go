@@ -25,6 +25,11 @@ type WireResponse struct {
 	NOPs     int    `json:"nops"`
 	Ticks    int    `json:"ticks"`
 	Optimal  bool   `json:"optimal"`
+	// Gap is the certified optimality gap (NOPs above the admissible
+	// root lower bound): 0 = provably optimal, > 0 = provably within
+	// Gap NOPs of optimal, -1 = no certificate on this rung.
+	Gap      int    `json:"gap"`
+	RootLB   int    `json:"root_lb,omitempty"`
 	Degraded bool   `json:"degraded,omitempty"` // legal result + typed reason in error
 	Cached   bool   `json:"cached,omitempty"`
 	Deduped  bool   `json:"deduped,omitempty"`
@@ -66,6 +71,8 @@ func toWire(id string, resp *Response, err error) *WireResponse {
 			w.NOPs = c.TotalNOPs
 			w.Ticks = c.Ticks
 			w.Optimal = c.Optimal
+			w.Gap = c.Gap
+			w.RootLB = c.RootLB
 		}
 		if err == nil {
 			err = resp.Err

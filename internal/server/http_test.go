@@ -35,6 +35,9 @@ func TestHTTPCompileSingle(t *testing.T) {
 	if wr.ID != "req-1" || wr.Assembly == "" || wr.Quality != "optimal" || !wr.Optimal || wr.Error != nil {
 		t.Fatalf("unexpected wire response: %+v", wr)
 	}
+	if wr.Gap != 0 {
+		t.Errorf("optimal compile gap = %d, want 0 (certified)", wr.Gap)
+	}
 }
 
 func TestHTTPCompileInvalid(t *testing.T) {
@@ -157,7 +160,7 @@ func TestHTTPDegradedIs200(t *testing.T) {
 	cfg.BreakerThreshold = -1
 	s := newTestServer(t, cfg)
 	h := s.Handler()
-	req := &Request{Tuples: chainTuples(8), Machine: MachineSpec{Preset: "simulation"}, Options: RequestOptions{Lambda: 1}}
+	req := &Request{Tuples: tangleTuples(2), Machine: MachineSpec{Preset: "simulation"}, Options: RequestOptions{Lambda: 1}}
 	body, _ := json.Marshal(req)
 	rec, wr := postCompile(t, h, string(body))
 	if rec.Code != http.StatusOK {
@@ -165,6 +168,9 @@ func TestHTTPDegradedIs200(t *testing.T) {
 	}
 	if wr.Assembly == "" || !wr.Degraded || wr.Error == nil || wr.Error.Code != "curtailed" {
 		t.Fatalf("wire = %+v, want degraded curtailed result with assembly", wr)
+	}
+	if wr.Gap <= 0 {
+		t.Errorf("curtailed result gap = %d, want > 0 (certified distance to optimal)", wr.Gap)
 	}
 }
 

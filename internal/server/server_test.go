@@ -49,9 +49,10 @@ func tupleBlock(n int) string {
 }
 
 // chainTuples renders a multiply chain in tuple-text form. Its optimal
-// schedule cannot reach zero NOPs, so the branch-and-bound search always
-// runs past the seed — forced curtailment (CurtailLambda) reliably
-// produces ErrCurtailed, and an unforced search still finishes fast.
+// schedule cannot reach zero NOPs, and the seed cost equals the root
+// lower bound, so an unforced search certifies the seed instantly while
+// forced curtailment (CurtailLambda, which disables the certificate)
+// reliably produces ErrCurtailed.
 func chainTuples(tuples int) string {
 	var sb strings.Builder
 	sb.WriteString("chain:\n  1: Load #x\n  2: Mul @1, @1\n")
@@ -60,6 +61,24 @@ func chainTuples(tuples int) string {
 		fmt.Fprintf(&sb, "  %d: Load #x\n", id)
 		fmt.Fprintf(&sb, "  %d: Mul @%d, @%d\n", id+1, prev, id)
 		prev = id + 1
+	}
+	return sb.String()
+}
+
+// tangleTuples renders independent (Load, Load, Mul, Add, Store) units
+// whose root lower bound is loose while the seed still pays NOPs: a
+// small explicit λ curtails the search with a positive certified gap.
+func tangleTuples(units int) string {
+	var sb strings.Builder
+	sb.WriteString("tangle:\n")
+	id := 1
+	for i := 0; i < units; i++ {
+		fmt.Fprintf(&sb, "  %d: Load #a%d\n", id, i)
+		fmt.Fprintf(&sb, "  %d: Load #b%d\n", id+1, i)
+		fmt.Fprintf(&sb, "  %d: Mul @%d, @%d\n", id+2, id, id+1)
+		fmt.Fprintf(&sb, "  %d: Add @%d, @%d\n", id+3, id+2, id)
+		fmt.Fprintf(&sb, "  %d: Store #z%d, @%d\n", id+4, i, id+3)
+		id += 5
 	}
 	return sb.String()
 }

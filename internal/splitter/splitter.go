@@ -42,6 +42,11 @@ type Config struct {
 	// search (see core.Options.Ctx); expired windows fall back to their
 	// list-schedule seeds, so the result stays legal.
 	Ctx context.Context
+	// DisableLowerBound and DisableMemo pass through to the per-window
+	// searches (see core.Options); the resilience layer sets them when a
+	// fault injection must be allowed to fire.
+	DisableLowerBound bool
+	DisableMemo       bool
 }
 
 func (c *Config) defaults() {
@@ -118,11 +123,21 @@ func Schedule(g *dag.Graph, m *machine.Machine, cfg Config) (*Result, error) {
 		for k, v := range pipeLast {
 			entryPipeLast[k] = v
 		}
+		// Once the context is gone, every remaining window takes the
+		// documented fallback — its list-schedule seed — rather than the
+		// root-certificate fast path, so the caller sees the deadline
+		// (Stopped) even when all windows would certify instantly.
+		disableLB, disableMemo := cfg.DisableLowerBound, cfg.DisableMemo
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			disableLB, disableMemo = true, true
+		}
 		sched, err := core.Find(sub, m, core.Options{
-			Lambda:       cfg.Lambda,
-			Ctx:          cfg.Ctx,
-			Assign:       cfg.Assign,
-			SeedPriority: cfg.SeedPriority,
+			Lambda:            cfg.Lambda,
+			Ctx:               cfg.Ctx,
+			Assign:            cfg.Assign,
+			SeedPriority:      cfg.SeedPriority,
+			DisableLowerBound: disableLB,
+			DisableMemo:       disableMemo,
 			Entry: &nopins.EntryState{
 				StartTick: startTick,
 				ReadyTick: ready,

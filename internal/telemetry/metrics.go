@@ -11,8 +11,10 @@ import (
 var Stages = []string{"frontend", "opt", "dag", "search", "regalloc", "codegen"}
 
 // PruneKinds names the search prune counters, matching the core
-// package's TraceAction prune kinds and Stats fields.
-var PruneKinds = []string{"bounds", "illegal", "equivalence", "strong", "alphabeta", "lowerbound"}
+// package's TraceAction prune kinds and Stats fields. "resource" is the
+// per-pipeline occupancy component of the lower-bound engine and "memo"
+// the dominance-table hits.
+var PruneKinds = []string{"bounds", "illegal", "equivalence", "strong", "alphabeta", "lowerbound", "resource", "memo"}
 
 // QualityRungs names the degradation-ladder rungs, best first, matching
 // pipesched.Quality.String().
@@ -58,6 +60,8 @@ type Metrics struct {
 	Schedules   *Counter   // pipesched_search_schedules_examined_total
 	Improves    *Counter   // pipesched_search_improvements_total
 	Curtailed   *Counter   // pipesched_search_curtailed_total
+	Certified   *Counter   // pipesched_search_certified_total (gap == 0 without full search)
+	GapNops     *Counter   // pipesched_search_gap_nops_total (sum of certified gaps)
 	Prunes      []*Counter // pipesched_search_prune_total{kind=...}, indexed like PruneKinds
 	StageFaults *Counter   // pipesched_stage_faults_total (all stages)
 
@@ -90,6 +94,10 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Times a search replaced its incumbent best."),
 		Curtailed: reg.Counter("pipesched_search_curtailed_total",
 			"Searches stopped early by λ, deadline or cancellation."),
+		Certified: reg.Counter("pipesched_search_certified_total",
+			"Schedules proven optimal by the root lower bound alone."),
+		GapNops: reg.Counter("pipesched_search_gap_nops_total",
+			"Certified optimality gap (NOPs) summed over degraded results."),
 		StageFaults: reg.Counter("pipesched_stage_faults_total",
 			"Stage failures isolated and recovered by the degradation ladder."),
 		stageDur: map[string]*Histogram{},

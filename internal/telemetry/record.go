@@ -23,6 +23,7 @@ func (m *Metrics) RecordSearch(block string, st core.Stats) {
 	for i, n := range []int64{
 		st.PrunedBounds, st.PrunedIllegal, st.PrunedEquivalence,
 		st.PrunedStrongEquiv, st.PrunedAlphaBeta, st.PrunedLowerBound,
+		st.PrunedResource, st.MemoHits,
 	} {
 		m.Prunes[i].Add(n)
 	}
@@ -40,6 +41,30 @@ func (m *Metrics) RecordSearch(block string, st core.Stats) {
 		"prune_strong":     st.PrunedStrongEquiv,
 		"prune_alphabeta":  st.PrunedAlphaBeta,
 		"prune_lowerbound": st.PrunedLowerBound,
+		"prune_resource":   st.PrunedResource,
+		"memo_hits":        st.MemoHits,
+	}})
+}
+
+// RecordGap folds one result's optimality certificate into the metric
+// set: a zero gap reached with zero search placements means the root
+// bound certified the seed outright; a positive gap on a degraded
+// result accumulates into GapNops. A negative gap means no certificate
+// exists and records nothing.
+func (m *Metrics) RecordGap(block string, gap int, searchPlacements int64) {
+	if m == nil || gap < 0 {
+		return
+	}
+	if gap == 0 {
+		if searchPlacements == 0 {
+			m.Certified.Inc()
+		}
+	} else {
+		m.GapNops.Add(int64(gap))
+	}
+	m.emit(Event{Kind: "gap", Block: block, Fields: map[string]int64{
+		"gap":   int64(gap),
+		"omega": searchPlacements,
 	}})
 }
 

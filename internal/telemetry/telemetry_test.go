@@ -192,16 +192,30 @@ func TestMetricsRecordAndSpan(t *testing.T) {
 		OmegaCalls: 10, SeedOmegaCalls: 4, SchedulesExamined: 3, Improvements: 1,
 		PrunedBounds: 5, PrunedIllegal: 6, PrunedEquivalence: 7,
 		PrunedStrongEquiv: 8, PrunedAlphaBeta: 9, PrunedLowerBound: 2,
+		PrunedResource: 3, MemoHits: 4,
 		Curtailed: true,
 	})
 	if pm.OmegaCalls.Value() != 10 || pm.Curtailed.Value() != 1 {
 		t.Error("search stats not recorded")
 	}
-	wantPrunes := []int64{5, 6, 7, 8, 9, 2}
+	wantPrunes := []int64{5, 6, 7, 8, 9, 2, 3, 4}
 	for i, want := range wantPrunes {
 		if got := pm.Prunes[i].Value(); got != want {
 			t.Errorf("prune[%s] = %d, want %d", PruneKinds[i], got, want)
 		}
+	}
+
+	// A root-certified seed (gap 0, no search placements) lands on the
+	// certified counter; a positive gap accumulates NOPs; a negative gap
+	// (no certificate) records nothing.
+	pm.RecordGap("b0", 0, 0)
+	pm.RecordGap("b0", 3, 12)
+	pm.RecordGap("b0", -1, 0)
+	if pm.Certified.Value() != 1 {
+		t.Errorf("certified = %d, want 1", pm.Certified.Value())
+	}
+	if pm.GapNops.Value() != 3 {
+		t.Errorf("gap nops = %d, want 3", pm.GapNops.Value())
 	}
 
 	pm.RecordCompile("b0", 1, 20, 9, 4, 1, 2*time.Millisecond)
@@ -221,7 +235,7 @@ func TestMetricsRecordAndSpan(t *testing.T) {
 			t.Error("event missing timestamp")
 		}
 	}
-	if kinds["span"] != 1 || kinds["search"] != 1 || kinds["compile"] != 1 {
+	if kinds["span"] != 1 || kinds["search"] != 1 || kinds["compile"] != 1 || kinds["gap"] != 2 {
 		t.Errorf("event kinds = %v", kinds)
 	}
 }
@@ -245,6 +259,7 @@ func TestInstallActiveUninstall(t *testing.T) {
 	// All Metrics entry points tolerate a nil receiver.
 	var nilPM *Metrics
 	nilPM.RecordSearch("b", core.Stats{})
+	nilPM.RecordGap("b", 0, 0)
 	nilPM.RecordCompile("b", 0, 0, 0, 0, 0, 0)
 	nilPM.SetSink(nil)
 	nilPM.StartSpan("search", "b").End()

@@ -83,6 +83,11 @@ func ParseMachine(text string) (*Machine, error) { return machine.ParseString(te
 // Figure 3 (e.g. "1: Const 15\n2: Store #b, @1\n...").
 func ParseBlock(text string) (*Block, error) { return ir.ParseBlock(text) }
 
+// GapUnknown marks a Compiled whose optimality gap could not be
+// certified: the result came from a rung that never built a dependence
+// graph, so no admissible bound exists to measure it against.
+const GapUnknown = -1
+
 // DefaultLambda is the curtail point used when Options.Lambda is zero.
 // It is large relative to the search effort of typical blocks (the paper
 // finds most blocks need well under 10^3 steps), so only pathological
@@ -165,6 +170,18 @@ type Compiled struct {
 	InitialNOPs int   // NOPs of the list-schedule seed
 	Ticks       int   // total issue ticks (instructions + NOPs)
 	Optimal     bool  // true iff provably optimal (search completed)
+
+	// RootLB is the admissible lower bound on TotalNOPs computed at the
+	// search root (0 when the bound engine was disabled — still a valid,
+	// merely trivial, bound).
+	RootLB int
+	// Gap is the certified optimality gap TotalNOPs − RootLB attached to
+	// curtailed, deadline-expired and heuristic results: the schedule is
+	// provably within Gap NOPs of optimal. 0 means provably optimal;
+	// GapUnknown (-1) means no certificate exists for this result (the
+	// Baseline rung schedules without a dependence graph, so no bound
+	// can be computed).
+	Gap int
 
 	// Quality is the degradation-ladder rung the schedule landed on;
 	// Optimal unless the search was cut short or a stage failed.
@@ -300,6 +317,15 @@ func (c *Compiled) Report(m *Machine) string {
 	fmt.Fprintf(&sb, "ticks:        %d\n", c.Ticks)
 	fmt.Fprintf(&sb, "optimal:      %v\n", c.Optimal)
 	fmt.Fprintf(&sb, "quality:      %s\n", c.Quality)
+	switch {
+	case c.Gap == GapUnknown:
+		fmt.Fprintf(&sb, "gap:          unknown (no certificate on this rung)\n")
+	case c.Gap == 0:
+		fmt.Fprintf(&sb, "gap:          0 (certified optimal, root bound %d)\n", c.RootLB)
+	default:
+		fmt.Fprintf(&sb, "gap:          %d (within %d NOPs of optimal, root bound %d)\n",
+			c.Gap, c.Gap, c.RootLB)
+	}
 	if len(c.Faults) > 0 {
 		fmt.Fprintf(&sb, "faults:       %d stage failure(s) isolated", len(c.Faults))
 		for _, f := range c.Faults {
@@ -310,9 +336,10 @@ func (c *Compiled) Report(m *Machine) string {
 	st := c.Stats
 	fmt.Fprintf(&sb, "search:       Ω=%d examined=%d improvements=%d curtailed=%v\n",
 		st.OmegaCalls, st.SchedulesExamined, st.Improvements, st.Curtailed)
-	fmt.Fprintf(&sb, "pruned:       bounds=%d illegal=%d equiv=%d strong=%d αβ=%d lb=%d\n",
+	fmt.Fprintf(&sb, "pruned:       bounds=%d illegal=%d equiv=%d strong=%d αβ=%d lb=%d resource=%d memo=%d\n",
 		st.PrunedBounds, st.PrunedIllegal, st.PrunedEquivalence,
-		st.PrunedStrongEquiv, st.PrunedAlphaBeta, st.PrunedLowerBound)
+		st.PrunedStrongEquiv, st.PrunedAlphaBeta, st.PrunedLowerBound,
+		st.PrunedResource, st.MemoHits)
 	if c.Registers != nil {
 		fmt.Fprintf(&sb, "registers:    %d used (peak liveness %d)\n",
 			c.Registers.NumRegs, c.Registers.MaxLive)

@@ -28,6 +28,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"pipesched/internal/bound"
 	"pipesched/internal/codegen"
 	"pipesched/internal/core"
 	"pipesched/internal/dag"
@@ -144,6 +145,28 @@ func assignMode(o Options) nopins.AssignMode {
 	return nopins.AssignFixed
 }
 
+// searchOptions maps the public Options onto the core search options.
+// When the fault injector forces a curtail point, the root-bound
+// certificate and the dominance table are switched off as well: both can
+// finish a tight block before any Ω budget is spent, which would let the
+// block dodge the injected curtailment entirely.
+func searchOptions(ctx context.Context, o Options) core.Options {
+	copts := core.Options{
+		Lambda:            normLambda(o.Lambda),
+		Ctx:               ctx,
+		Assign:            assignMode(o),
+		AssignSearch:      o.AssignPipelines,
+		StrongEquivalence: o.StrongEquivalence,
+		SeedPriority:      listsched.ByHeight,
+		Trace:             o.Trace,
+	}
+	if faultinject.CurtailLambda() > 0 {
+		copts.DisableLowerBound = true
+		copts.DisableMemo = true
+	}
+	return copts
+}
+
 // CompileCtx is Compile with cooperative cancellation and the full
 // degradation ladder. On curtailment, deadline expiry or cancellation it
 // returns the best legal schedule found TOGETHER with ErrCurtailed,
@@ -233,15 +256,7 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 		return heuristicCompiled(block, g, m, o, faults)
 	}
 
-	copts := core.Options{
-		Lambda:            normLambda(o.Lambda),
-		Ctx:               ctx,
-		Assign:            assignMode(o),
-		AssignSearch:      o.AssignPipelines,
-		StrongEquivalence: o.StrongEquivalence,
-		SeedPriority:      listsched.ByHeight,
-		Trace:             o.Trace,
-	}
+	copts := searchOptions(ctx, o)
 	var sched *core.Schedule
 	fault, err = runStage(faultinject.Search, label, func() error {
 		var e error
@@ -270,6 +285,9 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 	}
 	c.InitialNOPs = sched.InitialNOPs
 	c.Stats = sched.Stats
+	c.RootLB = sched.RootLB
+	c.Gap = sched.Gap
+	telemetry.Active().RecordGap(label, c.Gap, sched.Stats.OmegaCalls)
 	return c, degradationError(sched.Stopped, c.Faults)
 }
 
@@ -296,6 +314,21 @@ func heuristicCompiled(block *Block, g *dag.Graph, m *Machine, o Options, faults
 		return nil, err
 	}
 	c.InitialNOPs = r.TotalNOPs
+	// The heuristic result still carries a certificate: the root lower
+	// bound proves how far the seed can be from optimal. (Computed under
+	// isolate so a bound-engine panic cannot take down the rung that
+	// exists to survive panics.)
+	if f, err := isolate(faultinject.Search, block.Label, func() error {
+		lb := bound.New(g, m, bound.Config{FixedAssign: assignMode(o) == nopins.AssignFixed}).Root()
+		c.RootLB = lb
+		if c.Gap = c.TotalNOPs - lb; c.Gap < 0 {
+			c.Gap = 0
+		}
+		return nil
+	}); f != nil || err != nil {
+		c.RootLB, c.Gap = 0, GapUnknown
+	}
+	telemetry.Active().RecordGap(block.Label, c.Gap, 0)
 	return c, degradationError(nil, c.Faults)
 }
 
@@ -469,6 +502,7 @@ func emit(block *Block, g *dag.Graph, m *Machine, o Options,
 		Ticks:     total + len(order),
 		Optimal:   quality == Optimal,
 		Quality:   quality,
+		Gap:       GapUnknown, // callers holding a bound overwrite this
 		Faults:    faults,
 		Registers: regs,
 		Assembly:  asm,
@@ -506,9 +540,14 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 	var r *splitter.Result
 	fault, err = runStage(faultinject.Search, block.Label, func() error {
 		var e error
-		r, e = splitter.Schedule(g, m, splitter.Config{
+		scfg := splitter.Config{
 			Window: window, Lambda: normLambda(o.Lambda), Assign: assignMode(o), Ctx: ctx,
-		})
+		}
+		if faultinject.CurtailLambda() > 0 {
+			scfg.DisableLowerBound = true
+			scfg.DisableMemo = true
+		}
+		r, e = splitter.Schedule(g, m, scfg)
 		return e
 	})
 	if fault != nil {
@@ -530,8 +569,22 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 		return nil, err
 	}
 	c.Stats.OmegaCalls = r.OmegaCalls
+	// The windowed result is globally heuristic even when every window
+	// is locally optimal; the whole-block root bound certifies how far
+	// it can be from the true optimum.
+	if f, ferr := isolate(faultinject.Search, block.Label, func() error {
+		lb := bound.New(g, m, bound.Config{FixedAssign: assignMode(o) == nopins.AssignFixed}).Root()
+		c.RootLB = lb
+		if c.Gap = c.TotalNOPs - lb; c.Gap < 0 {
+			c.Gap = 0
+		}
+		return nil
+	}); f != nil || ferr != nil {
+		c.RootLB, c.Gap = 0, GapUnknown
+	}
 	telemetry.Active().RecordSearch(block.Label,
 		core.Stats{OmegaCalls: r.OmegaCalls, Curtailed: r.Stopped != nil})
+	telemetry.Active().RecordGap(block.Label, c.Gap, r.OmegaCalls)
 	done(c)
 	return c, degradationError(r.Stopped, c.Faults)
 }
@@ -555,15 +608,7 @@ func ScheduleSequenceCtx(ctx context.Context, blocks []*Block, m *Machine, o Opt
 			return nil, err
 		}
 	}
-	copts := core.Options{
-		Lambda:            normLambda(o.Lambda),
-		Ctx:               ctx,
-		Assign:            assignMode(o),
-		AssignSearch:      o.AssignPipelines,
-		StrongEquivalence: o.StrongEquivalence,
-		SeedPriority:      listsched.ByHeight,
-		Trace:             o.Trace,
-	}
+	copts := searchOptions(ctx, o)
 	heuristic := false
 	var faults []*StageError
 	var r *seqsched.Result
@@ -628,6 +673,7 @@ func recordSequence(r *SequenceResult) {
 		if c.Stats.OmegaCalls > 0 || c.Stats.SeedOmegaCalls > 0 {
 			pm.RecordSearch(c.Scheduled.Label, c.Stats)
 		}
+		pm.RecordGap(c.Scheduled.Label, c.Gap, c.Stats.OmegaCalls)
 		pm.RecordCompile(c.Scheduled.Label, int(c.Quality), c.Scheduled.Len(),
 			c.InitialNOPs, c.TotalNOPs, len(c.Faults), 0)
 	}
@@ -725,6 +771,8 @@ func finishSequenceBlock(block *Block, bs seqsched.BlockSchedule, m *Machine, o 
 		Ticks:       bs.EndTick,
 		Optimal:     quality == Optimal,
 		Quality:     quality,
+		RootLB:      bs.Sched.RootLB,
+		Gap:         bs.Sched.Gap,
 		Faults:      faults,
 		Registers:   regs,
 		Assembly:    asm,

@@ -25,8 +25,10 @@ func mulChainSource(stmts int) string {
 }
 
 // chainBlock builds a tuple block around one long multiply chain — its
-// optimal schedule cannot reach zero NOPs, so the search always runs
-// past the seed and every interruption point is reachable.
+// optimal schedule cannot reach zero NOPs. The chain's seed cost equals
+// the root lower bound, so an UNFORCED search certifies the seed and
+// never spends budget; use it with the fault injector's CurtailLambda
+// (which disables the certificate) or where optimality is the point.
 func chainBlock(tuples int) *Block {
 	b := ir.NewBlock("chain")
 	x := b.Append(ir.Load, ir.Var("x"), ir.None())
@@ -34,6 +36,23 @@ func chainBlock(tuples int) *Block {
 	for b.Len() < tuples {
 		ld := b.Append(ir.Load, ir.Var("x"), ir.None())
 		prev = b.Append(ir.Mul, ir.Ref(prev), ir.Ref(ld))
+	}
+	return b
+}
+
+// tangleBlock builds independent (Load a, Load b, Mul, Add reusing a,
+// Store) units. The root lower bound is loose here — enough width exists
+// to hide most latency in principle — while the seed still pays NOPs, so
+// a small explicit λ reliably curtails the search with a positive
+// certified gap.
+func tangleBlock(units int) *Block {
+	b := ir.NewBlock("tangle")
+	for i := 0; i < units; i++ {
+		a := b.Append(ir.Load, ir.Var(fmt.Sprintf("a%d", i)), ir.None())
+		c := b.Append(ir.Load, ir.Var(fmt.Sprintf("b%d", i)), ir.None())
+		m := b.Append(ir.Mul, ir.Ref(a), ir.Ref(c))
+		d := b.Append(ir.Add, ir.Ref(m), ir.Ref(a))
+		b.Append(ir.Store, ir.Var(fmt.Sprintf("z%d", i)), ir.Ref(d))
 	}
 	return b
 }
@@ -91,7 +110,7 @@ func TestCompileCtxCleanIsOptimal(t *testing.T) {
 // large synthetic block must still yield a legal schedule no worse than
 // the list-schedule seed, with the typed ErrCurtailed alongside it.
 func TestScheduleCtxCurtailed(t *testing.T) {
-	c, err := ScheduleCtx(context.Background(), chainBlock(40), SimulationMachine(), Options{Lambda: 10})
+	c, err := ScheduleCtx(context.Background(), tangleBlock(8), SimulationMachine(), Options{Lambda: 10})
 	if !errors.Is(err, ErrCurtailed) {
 		t.Fatalf("err = %v, want ErrCurtailed", err)
 	}
@@ -354,7 +373,7 @@ func TestScheduleSequenceCtxExpiredDeadline(t *testing.T) {
 func TestScheduleLargeCtxExpiredDeadline(t *testing.T) {
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	c, err := ScheduleLargeCtx(ctx, chainBlock(50), SimulationMachine(), 10, Options{})
+	c, err := ScheduleLargeCtx(ctx, tangleBlock(10), SimulationMachine(), 10, Options{})
 	if !errors.Is(err, ErrDeadline) {
 		t.Fatalf("err = %v, want ErrDeadline", err)
 	}
