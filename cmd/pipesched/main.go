@@ -8,6 +8,7 @@
 //	pipesched serve [flags]            # long-running compile service (see serve.go)
 //	pipesched verify [flags]           # differential-oracle soak (see verify.go)
 //	pipesched bench-search [flags]     # search-effort benchmark (see benchsearch.go)
+//	pipesched fleet [flags]            # multi-node fault-tolerant fleet (see fleet.go)
 //
 //	-preset name     machine preset: simulation | example | unpipelined | deep
 //	-machine file    machine description file (overrides -preset)
@@ -67,6 +68,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(args) > 0 && args[0] == "bench-search" {
 		return runBenchSearch(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "fleet" {
+		return runFleet(context.Background(), args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("pipesched", flag.ContinueOnError)
 	fs.SetOutput(stderr)

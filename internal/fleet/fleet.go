@@ -1,0 +1,526 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pipesched"
+	"pipesched/internal/server"
+	"pipesched/internal/stats"
+	"pipesched/internal/telemetry"
+)
+
+// Config tunes one Fleet. The zero value is usable.
+type Config struct {
+	// Replicas is the replica-set size per key: how many distinct ring
+	// nodes a request may fail over across (and durable cache handoff
+	// targets). Default 2, clamped to the fleet size at routing time.
+	Replicas int
+	// VirtualNodes is the ring points per node; default 64.
+	VirtualNodes int
+	// ProbeInterval is the health-probe period; default 250ms.
+	ProbeInterval time.Duration
+	// HedgeDelay is the hedged-retry delay used until enough request
+	// latencies have been observed to estimate a p95; default 100ms.
+	// Once samples exist, the hedge fires after the observed p95.
+	HedgeDelay time.Duration
+	// Metrics wires the fleet into a telemetry metric set. Nil leaves
+	// fleet metrics off.
+	Metrics *pipesched.Telemetry
+
+	now func() time.Time // test clock; default time.Now
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = defaultVirtualNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 100 * time.Millisecond
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// fleetMetrics is the fleet-layer metric set; nil fields are no-ops.
+type fleetMetrics struct {
+	failovers   *telemetry.Counter   // pipesched_fleet_failovers_total
+	hedges      *telemetry.Counter   // pipesched_fleet_hedges_total
+	hedgeWins   *telemetry.Counter   // pipesched_fleet_hedge_wins_total
+	noReplicas  *telemetry.Counter   // pipesched_fleet_no_replica_total
+	probeFails  *telemetry.Counter   // pipesched_fleet_probe_failures_total
+	handoff     *telemetry.Counter   // pipesched_fleet_handoff_entries_total
+	recovered   *telemetry.Counter   // pipesched_fleet_cache_recovered_total
+	quarantined *telemetry.Counter   // pipesched_fleet_cache_quarantined_total
+	nodes       *telemetry.Gauge     // pipesched_fleet_nodes
+	healthy     *telemetry.Gauge     // pipesched_fleet_nodes_healthy
+	reqDur      *telemetry.Histogram // pipesched_fleet_request_seconds (µs native)
+}
+
+func newFleetMetrics(reg *telemetry.Registry) *fleetMetrics {
+	m := &fleetMetrics{}
+	if reg == nil {
+		return m
+	}
+	m.failovers = reg.Counter("pipesched_fleet_failovers_total", "Requests moved to the next ring replica after a node-down, draining or overloaded outcome.")
+	m.hedges = reg.Counter("pipesched_fleet_hedges_total", "Hedged retries launched after the observed p95 latency elapsed without an answer.")
+	m.hedgeWins = reg.Counter("pipesched_fleet_hedge_wins_total", "Requests whose hedged retry answered first.")
+	m.noReplicas = reg.Counter("pipesched_fleet_no_replica_total", "Requests that exhausted every replica in their chain.")
+	m.probeFails = reg.Counter("pipesched_fleet_probe_failures_total", "Health probes that found a node down.")
+	m.handoff = reg.Counter("pipesched_fleet_handoff_entries_total", "Durable cache entries copied to new owners on membership change.")
+	m.recovered = reg.Counter("pipesched_fleet_cache_recovered_total", "Durable cache entries recovered across node restarts.")
+	m.quarantined = reg.Counter("pipesched_fleet_cache_quarantined_total", "Corrupt durable cache entries quarantined across node restarts.")
+	m.nodes = reg.Gauge("pipesched_fleet_nodes", "Nodes in the ring.")
+	m.healthy = reg.Gauge("pipesched_fleet_nodes_healthy", "Nodes passing the last health probe.")
+	m.reqDur = reg.Histogram("pipesched_fleet_request_seconds", "End-to-end fleet request latency.", 1e-6)
+	return m
+}
+
+// latencyWindow mirrors the server's waitWindow: a sliding window of
+// recent winning-attempt latencies answering "what is p95 right now?"
+// for the hedging policy.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf []float64 // seconds
+	n   int
+	i   int
+}
+
+const latWindowSize = 256
+const latWindowMinSamples = 16
+
+func newLatencyWindow() *latencyWindow {
+	return &latencyWindow{buf: make([]float64, latWindowSize)}
+}
+
+func (w *latencyWindow) observe(seconds float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.i] = seconds
+	w.i = (w.i + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+func (w *latencyWindow) p95() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < latWindowMinSamples {
+		return 0
+	}
+	xs := make([]float64, w.n)
+	copy(xs, w.buf[:w.n])
+	return stats.Percentile(xs, 95)
+}
+
+// NoReplicasError is the concrete error behind ErrNoReplicas: every
+// replica in the key's chain was down, draining or overloaded. Last is
+// the final replica's outcome.
+type NoReplicasError struct {
+	Key  string
+	Last error
+}
+
+func (e *NoReplicasError) Error() string {
+	if e.Last == nil {
+		return ErrNoReplicas.Error()
+	}
+	return fmt.Sprintf("%v (last: %v)", ErrNoReplicas, e.Last)
+}
+
+// Unwrap makes errors.Is(err, ErrNoReplicas) hold.
+func (e *NoReplicasError) Unwrap() error { return ErrNoReplicas }
+
+// Fleet routes compile requests across a ring of Nodes. Create with
+// New, populate with AddNode, submit with Submit (or serve HTTP with
+// Handler), stop with Shutdown/Close.
+type Fleet struct {
+	cfg  Config
+	ring *ring
+	met  *fleetMetrics
+	lat  *latencyWindow
+
+	mu     sync.RWMutex
+	nodes  map[string]*Node
+	closed bool
+
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+}
+
+// New starts an empty fleet (and its health-probe loop).
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:       cfg,
+		ring:      newRing(cfg.VirtualNodes),
+		met:       newFleetMetrics(cfg.Metrics.Registry()),
+		lat:       newLatencyWindow(),
+		nodes:     map[string]*Node{},
+		probeStop: make(chan struct{}),
+	}
+	f.probeWG.Add(1)
+	go f.probeLoop()
+	return f
+}
+
+// probeLoop periodically probes every node's health, keeping the
+// healthy-node gauge and probe-failure counter current. Routing also
+// checks health at submit time, so a probe miss costs at most one
+// failover; the loop is what keeps the fleet's health observable (and,
+// for remote backends, would be the failure detector).
+func (f *Fleet) probeLoop() {
+	defer f.probeWG.Done()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.probeStop:
+			return
+		case <-t.C:
+			healthy := 0
+			for _, n := range f.snapshot() {
+				if n.Healthy() {
+					healthy++
+				} else {
+					f.met.probeFails.Inc()
+				}
+			}
+			f.met.healthy.Set(int64(healthy))
+		}
+	}
+}
+
+// snapshot returns the current node set.
+func (f *Fleet) snapshot() []*Node {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*Node, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Node returns the member with the given ID, or nil.
+func (f *Fleet) Node(id string) *Node {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.nodes[id]
+}
+
+// Members returns the current node IDs, sorted.
+func (f *Fleet) Members() []string { return f.ring.members() }
+
+// AddNode joins n to the ring and hands it the durable cache entries
+// it now owns: every key whose primary moved onto n is copied from its
+// previous holder, so the new node starts warm for its key range.
+func (f *Fleet) AddNode(n *Node) {
+	f.mu.Lock()
+	f.nodes[n.ID()] = n
+	total := len(f.nodes)
+	f.mu.Unlock()
+	f.ring.add(n.ID())
+	f.met.nodes.Set(int64(total))
+	f.handoffTo(n)
+}
+
+// handoffTo copies every durable entry whose primary is now n from the
+// other nodes' stores into n's store. Copies are raw verified bytes;
+// the source keeps its copy (it is now a ring replica for the key, or
+// harmless content-addressed surplus).
+func (f *Fleet) handoffTo(n *Node) {
+	dst := n.DiskStore()
+	if dst == nil {
+		return
+	}
+	for _, o := range f.snapshot() {
+		if o.ID() == n.ID() {
+			continue
+		}
+		src := o.DiskStore()
+		if src == nil {
+			continue
+		}
+		for _, key := range src.Keys() {
+			if f.ring.primary(key) != n.ID() {
+				continue
+			}
+			if payload, ok := src.Get(key); ok {
+				if dst.Put(key, payload) == nil {
+					f.met.handoff.Inc()
+				}
+			}
+		}
+	}
+}
+
+// RemoveNode gracefully leaves id from the fleet: the node stops
+// receiving new requests immediately, accepted in-flight work drains
+// (degrading at ctx expiry), and its durable cache entries are handed
+// off to their new ring owners. The node's transient state — circuit
+// breakers, in-memory cache, queue — dies with its server.
+func (f *Fleet) RemoveNode(ctx context.Context, id string) error {
+	f.mu.Lock()
+	n := f.nodes[id]
+	if n == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	delete(f.nodes, id)
+	total := len(f.nodes)
+	f.mu.Unlock()
+	f.ring.remove(id) // no new routes from here on
+	f.met.nodes.Set(int64(total))
+
+	// Capture the store before Shutdown drops the server reference; the
+	// store stays readable after the drain (it holds no descriptors).
+	st := n.DiskStore()
+	err := n.Shutdown(ctx)
+	if st != nil {
+		for _, key := range st.Keys() {
+			ownerID := f.ring.primary(key)
+			owner := f.Node(ownerID)
+			if owner == nil {
+				continue
+			}
+			dst := owner.DiskStore()
+			if dst == nil {
+				continue
+			}
+			if payload, ok := st.Get(key); ok {
+				if dst.Put(key, payload) == nil {
+					f.met.handoff.Inc()
+				}
+			}
+		}
+	}
+	return err
+}
+
+// RecordRecovery folds one node restart's recovery scan into the fleet
+// counters. Node restarts happen outside the Fleet's control (the
+// chaos harness, an operator), so whoever restarts a node reports it.
+func (f *Fleet) RecordRecovery(rep RecoveryStats) {
+	f.met.recovered.Add(int64(rep.Recovered))
+	f.met.quarantined.Add(int64(rep.Quarantined))
+}
+
+// RecoveryStats mirrors store.RecoveryReport without exporting the
+// store package through the fleet API.
+type RecoveryStats struct {
+	Recovered   int
+	Quarantined int
+}
+
+// RestartNode restarts a killed node and records its recovery scan in
+// the fleet counters. A no-op for unknown or live nodes.
+func (f *Fleet) RestartNode(id string) {
+	n := f.Node(id)
+	if n == nil || n.Healthy() {
+		return
+	}
+	n.Restart()
+	rep := n.DiskRecovery()
+	f.RecordRecovery(RecoveryStats{Recovered: rep.Recovered, Quarantined: rep.Quarantined})
+}
+
+// hedgeDelay returns how long Submit waits for the active attempt
+// before launching the hedged retry: the observed p95 request latency,
+// or the configured fallback while samples are scarce.
+func (f *Fleet) hedgeDelay() time.Duration {
+	if p := f.lat.p95(); p > 0 {
+		d := time.Duration(p * float64(time.Second))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		return d
+	}
+	return f.cfg.HedgeDelay
+}
+
+// failoverWorthy reports whether an outcome should move the request to
+// the next ring replica: the node is down, draining, or shedding load.
+// Anything else — a result (possibly degraded), an invalid request, a
+// budget error — is a real answer and is returned to the caller.
+func failoverWorthy(resp *server.Response, err error) bool {
+	if err == nil || resp != nil {
+		return false
+	}
+	return errors.Is(err, ErrNodeDown) ||
+		errors.Is(err, server.ErrDraining) ||
+		errors.Is(err, server.ErrOverloaded)
+}
+
+// attempt is one sub-request's outcome.
+type attempt struct {
+	resp   *server.Response
+	err    error
+	node   string
+	hedged bool // launched by the hedge timer, not by failover
+	start  time.Time
+}
+
+// Submit routes one request: fingerprint → replica chain → primary,
+// with failover on node-down/draining/overload outcomes and one hedged
+// retry once the observed p95 latency elapses without an answer. It
+// returns the first real answer (Submit semantics match
+// server.Submit: a Response possibly carrying a typed degradation
+// error, or a typed rejection).
+func (f *Fleet) Submit(ctx context.Context, req *server.Request) (*server.Response, error) {
+	key, err := server.Fingerprint(req)
+	if err != nil {
+		return nil, err
+	}
+	start := f.cfg.now()
+	resp, err := f.submitChain(ctx, key, req)
+	f.met.reqDur.Observe(f.cfg.now().Sub(start).Microseconds())
+	return resp, err
+}
+
+// submitChain runs the failover/hedging state machine over the key's
+// replica chain.
+func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request) (*server.Response, error) {
+	ids := f.ring.replicas(key, f.cfg.Replicas)
+	if len(ids) == 0 {
+		f.met.noReplicas.Inc()
+		return nil, &NoReplicasError{Key: key}
+	}
+	chain := make([]*Node, 0, len(ids))
+	for _, id := range ids {
+		if n := f.Node(id); n != nil {
+			chain = append(chain, n)
+		}
+	}
+	if len(chain) == 0 {
+		f.met.noReplicas.Inc()
+		return nil, &NoReplicasError{Key: key}
+	}
+
+	// The losing attempt is abandoned (its node's singleflight keeps or
+	// cancels the work per its own waiter accounting).
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attempt, len(chain))
+	next := 0 // next chain index to launch
+	launch := func(hedged bool) bool {
+		// Skip nodes the router already knows are down — each skip is a
+		// failover without paying a round trip.
+		for next < len(chain) && !chain[next].Healthy() {
+			f.met.failovers.Inc()
+			next++
+		}
+		if next >= len(chain) {
+			return false
+		}
+		n := chain[next]
+		next++
+		go func(n *Node, hedged bool, start time.Time) {
+			resp, err := n.Submit(subCtx, req)
+			results <- attempt{resp: resp, err: err, node: n.ID(), hedged: hedged, start: start}
+		}(n, hedged, f.cfg.now())
+		return true
+	}
+
+	pending := 0
+	if launch(false) {
+		pending++
+	}
+	if pending == 0 {
+		f.met.noReplicas.Inc()
+		return nil, &NoReplicasError{Key: key}
+	}
+
+	hedge := time.NewTimer(f.hedgeDelay())
+	defer hedge.Stop()
+	hedgeSpent := false
+
+	var last error
+	for pending > 0 {
+		select {
+		case a := <-results:
+			pending--
+			if failoverWorthy(a.resp, a.err) {
+				last = a.err
+				f.met.failovers.Inc()
+				if launch(false) {
+					pending++
+				}
+				continue
+			}
+			// First real answer wins.
+			f.lat.observe(f.cfg.now().Sub(a.start).Seconds())
+			if a.hedged {
+				f.met.hedgeWins.Inc()
+			}
+			return a.resp, a.err
+		case <-hedge.C:
+			if !hedgeSpent {
+				hedgeSpent = true
+				if launch(true) {
+					pending++
+					f.met.hedges.Inc()
+				}
+			}
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return nil, fmt.Errorf("%w: caller deadline expired in fleet routing", pipesched.ErrDeadline)
+			}
+			return nil, fmt.Errorf("%w: caller abandoned request in fleet routing", pipesched.ErrCanceled)
+		}
+	}
+	f.met.noReplicas.Inc()
+	return nil, &NoReplicasError{Key: key, Last: last}
+}
+
+// Shutdown gracefully drains the fleet: the probe loop stops and every
+// node drains within ctx. The first node error (if any) is returned.
+func (f *Fleet) Shutdown(ctx context.Context) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.probeStop)
+	f.probeWG.Wait()
+	var first error
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, n := range f.snapshot() {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			if err := n.Shutdown(ctx); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}(n)
+	}
+	wg.Wait()
+	return first
+}
+
+// Close is Shutdown with an immediate deadline.
+func (f *Fleet) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = f.Shutdown(ctx)
+}

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pipesched/internal/server"
+	"pipesched/internal/telemetry"
+)
+
+// ErrorCode extends the server's error taxonomy with the fleet layer's
+// codes. Fleet routing failures are transient availability problems,
+// so both map onto 503s on the wire.
+func ErrorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrNoReplicas):
+		return "no_replicas"
+	case errors.Is(err, ErrNodeDown):
+		return "node_down"
+	}
+	return server.ErrorCode(err)
+}
+
+// httpStatus maps a fleet outcome onto an HTTP status.
+func httpStatus(resp *server.Response, err error) int {
+	if errors.Is(err, ErrNoReplicas) || errors.Is(err, ErrNodeDown) {
+		return http.StatusServiceUnavailable
+	}
+	return server.HTTPStatus(resp, err)
+}
+
+// writeOutcome is server.WriteOutcome plus the fleet error codes.
+func writeOutcome(w http.ResponseWriter, id string, resp *server.Response, serr error) {
+	wire := server.ToWire(id, resp, serr)
+	if wire.Error != nil {
+		wire.Error.Code = ErrorCode(serr)
+	}
+	server.WriteJSON(w, httpStatus(resp, serr), wire)
+}
+
+// Handler returns the fleet's HTTP front door — the same API shape as a
+// single server (POST /compile single or batch, GET /healthz), with
+// requests routed across the ring:
+//
+//	POST /compile   one request object, or {"requests": [...]} for a batch
+//	GET  /healthz   "ok" while any node is healthy, else 503
+//	GET  /fleet     JSON membership + health snapshot
+//
+// When the fleet was built with telemetry (Config.Metrics), the
+// introspection endpoints (/metrics, /debug/vars, /debug/pprof/) are
+// mounted too.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	if reg := f.cfg.Metrics.Registry(); reg != nil {
+		mux.Handle("/", telemetry.Handler(reg))
+	}
+	mux.HandleFunc("/compile", f.handleCompile)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		for _, n := range f.snapshot() {
+			if n.Healthy() {
+				fmt.Fprintln(w, "ok")
+				return
+			}
+		}
+		http.Error(w, "no healthy nodes", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/fleet", f.handleFleet)
+	return mux
+}
+
+func (f *Fleet) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, ok := server.ReadBody(w, r)
+	if !ok {
+		return
+	}
+	reqs, batch, err := server.DecodeCompileBody(body)
+	if err != nil {
+		server.WriteJSONError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	if batch {
+		f.serveBatch(w, r, reqs)
+		return
+	}
+	req := reqs[0]
+	resp, serr := f.Submit(r.Context(), req)
+	writeOutcome(w, req.ID, resp, serr)
+}
+
+// serveBatch fans a batch out through the router; each item routes,
+// fails over and hedges independently.
+func (f *Fleet) serveBatch(w http.ResponseWriter, r *http.Request, reqs []*server.Request) {
+	type batchOut struct {
+		Responses []*server.WireResponse `json:"responses"`
+	}
+	out := batchOut{Responses: make([]*server.WireResponse, len(reqs))}
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		if req == nil {
+			out.Responses[i] = &server.WireResponse{Error: &server.WireError{Code: "invalid_request", Message: "null request"}}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req *server.Request) {
+			defer wg.Done()
+			resp, err := f.Submit(r.Context(), req)
+			wire := server.ToWire(req.ID, resp, err)
+			if wire.Error != nil {
+				wire.Error.Code = ErrorCode(err)
+			}
+			out.Responses[i] = wire
+		}(i, req)
+	}
+	wg.Wait()
+	server.WriteJSON(w, http.StatusOK, out)
+}
+
+// fleetStatus is the /fleet endpoint's JSON shape.
+type fleetStatus struct {
+	Nodes []nodeStatus `json:"nodes"`
+}
+
+type nodeStatus struct {
+	ID      string `json:"id"`
+	Healthy bool   `json:"healthy"`
+	Durable int    `json:"durable_entries"`
+}
+
+func (f *Fleet) handleFleet(w http.ResponseWriter, r *http.Request) {
+	var st fleetStatus
+	for _, id := range f.Members() {
+		n := f.Node(id)
+		if n == nil {
+			continue
+		}
+		ns := nodeStatus{ID: id, Healthy: n.Healthy()}
+		if s := n.DiskStore(); s != nil {
+			ns.Durable = s.Len()
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	server.WriteJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,163 @@
+// Package fleet turns the single-process compile service of
+// internal/server into a multi-node fleet that stays correct and
+// available under node crashes, restarts and membership churn.
+//
+// The pieces:
+//
+//   - A consistent-hash ring (ring.go): every request's content
+//     fingerprint (block × machine × options, the same key the backend
+//     uses for its cache and circuit breaker) hashes onto a ring of
+//     virtual node points; the first R distinct nodes clockwise are the
+//     key's replica set. Membership changes move only the keys adjacent
+//     to the changed node's points.
+//   - Nodes (node.go): in-process backends, each wrapping one
+//     server.Server with its own crash-safe persistent cache directory.
+//     Kill models a crash (in-flight answers are lost, the memory cache
+//     dies, durable cache entries survive); Restart brings the node back
+//     warm via the store's recovery scan.
+//   - The router (fleet.go): health-checked via periodic probes, it
+//     sends each request to its primary replica, fails over down the
+//     replica chain on node-down/draining/overload outcomes, and fires
+//     one hedged retry at the next replica once the observed p95 compile
+//     latency has elapsed without an answer.
+//   - Membership changes (fleet.go): joining and leaving nodes trigger
+//     key-range handoff of durable cache entries to their new owners;
+//     a leaving node drains (accepted requests finish) before its
+//     process state — circuit breakers, in-flight searches — is
+//     discarded.
+//
+// The chaos soak (soak_test.go) kills and restarts nodes mid-flight and
+// sim-verifies every delivered schedule.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// defaultVirtualNodes is the number of ring points per node: enough
+// that key ranges split evenly across small fleets, cheap enough that
+// membership changes stay O(vnodes·log points).
+const defaultVirtualNodes = 64
+
+// ring is a consistent-hash ring over node IDs. It is safe for
+// concurrent use.
+type ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint     // sorted by hash
+	nodes  map[string]bool // member IDs
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func newRing(vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	return &ring{vnodes: vnodes, nodes: map[string]bool{}}
+}
+
+// hash64 maps a labeled string onto a ring position. SHA-256 keeps the
+// distribution uniform and the placement stable across processes and
+// releases — a fleet can be rebuilt without re-keying its caches.
+func hash64(label, s string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(label))
+	h.Write([]byte{0})
+	h.Write([]byte(s))
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// add inserts a node's virtual points; adding a member twice is a no-op.
+func (r *ring) add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: hash64("vnode", node+"\x00"+strconv.Itoa(i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// remove deletes a node's virtual points.
+func (r *ring) remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// members returns the current node IDs, sorted.
+func (r *ring) members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *ring) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// replicas returns up to n distinct nodes for key, walking clockwise
+// from the key's ring position. The first element is the key's primary.
+func (r *ring) replicas(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64("key", key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for len(out) < n {
+		p := r.points[i%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+		i++
+	}
+	return out
+}
+
+// primary returns the key's first replica ("" on an empty ring).
+func (r *ring) primary(key string) string {
+	reps := r.replicas(key, 1)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0]
+}

@@ -1,0 +1,311 @@
+// Package store is a crash-safe persistent key/value store for compile
+// results: the durable tier under the in-memory result LRU of one fleet
+// node, built so that a process crash at ANY instruction never corrupts
+// an entry that was previously reported durable, and never prevents the
+// next startup.
+//
+// The design is deliberately boring:
+//
+//   - One file per entry, named by the SHA-256 of the key (so any key is
+//     a safe filename), containing a fixed header, the key itself and
+//     the payload, covered end to end by a CRC-32C checksum.
+//   - Writes go to a temp file in the same directory and are published
+//     with a single atomic rename; readers therefore only ever see
+//     absent-or-complete entries, and a crash mid-write leaves debris
+//     that the next Open sweeps away.
+//   - Open scans the directory and verifies every entry. Truncated or
+//     corrupt files are moved to a quarantine/ subdirectory — kept for
+//     forensics, out of the data path — and NEVER fail startup; the
+//     RecoveryReport says how many entries survived and how many were
+//     quarantined.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Entry file layout, all integers little-endian:
+//
+//	magic   [4]byte  "PSC1"
+//	keyLen  uint32
+//	payLen  uint64
+//	crc     uint32   CRC-32C over key bytes ++ payload bytes
+//	key     [keyLen]byte
+//	payload [payLen]byte
+const (
+	magic      = "PSC1"
+	headerSize = 4 + 4 + 8 + 4
+	// maxKeyLen bounds keys so a corrupt length field cannot drive a
+	// giant allocation during recovery.
+	maxKeyLen = 4096
+	// entrySuffix names data files; everything else in the directory is
+	// either write debris (tmpPrefix) or foreign and left alone.
+	entrySuffix = ".pce"
+	tmpPrefix   = ".tmp-"
+	// quarantineDir collects entries that failed verification.
+	quarantineDir = "quarantine"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// RecoveryReport summarizes one Open's directory scan.
+type RecoveryReport struct {
+	// Recovered is the number of entries that verified clean and are
+	// servable.
+	Recovered int
+	// Quarantined is the number of files that failed verification
+	// (truncated, bit-flipped, bad magic) and were moved aside.
+	Quarantined int
+	// TempSwept is the number of abandoned temp files (crash debris from
+	// interrupted writes) removed.
+	TempSwept int
+}
+
+// Store is one directory of durable entries. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+
+	mu     sync.RWMutex
+	closed bool
+	index  map[string]string // key -> entry filename (relative to dir)
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Open creates dir if needed, scans it, quarantines anything that fails
+// verification and returns the servable store plus a RecoveryReport.
+// Corruption is never an Open error: a node must come back up with
+// whatever survived.
+func Open(dir string) (*Store, RecoveryReport, error) {
+	var rep RecoveryReport
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rep, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, index: map[string]string{}}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, rep, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case de.IsDir():
+			continue // quarantine/, or foreign
+		case strings.HasPrefix(name, tmpPrefix):
+			// Debris from a write interrupted by a crash: the rename never
+			// happened, so the entry was never durable. Sweep it.
+			if os.Remove(filepath.Join(dir, name)) == nil {
+				rep.TempSwept++
+			}
+			continue
+		case !strings.HasSuffix(name, entrySuffix):
+			continue
+		}
+		key, _, verr := readEntry(filepath.Join(dir, name))
+		if verr != nil {
+			s.quarantine(name)
+			rep.Quarantined++
+			continue
+		}
+		s.index[key] = name
+		rep.Recovered++
+	}
+	return s, rep, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close marks the store closed. It holds no file descriptors between
+// operations, so Close is bookkeeping: subsequent calls fail with
+// ErrClosed, which keeps a restarted node from racing its predecessor.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// Len reports the number of servable entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Keys returns a snapshot of the servable keys, in no particular order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Get returns the payload stored under key. A verification failure on
+// read (the file rotted after the recovery scan) quarantines the entry
+// and reports a miss — corruption degrades to recomputation, never to a
+// served wrong answer.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	name, ok := s.index[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	gotKey, payload, err := readEntry(filepath.Join(s.dir, name))
+	if err != nil || gotKey != key {
+		s.mu.Lock()
+		if s.index[key] == name {
+			delete(s.index, key)
+			s.quarantine(name)
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put durably stores payload under key: temp file, fsync, atomic rename.
+// When Put returns nil the entry survives any subsequent crash.
+func (s *Store) Put(key string, payload []byte) error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("store: key length %d out of range", len(key))
+	}
+	name := entryName(key)
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: put: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	buf := make([]byte, headerSize+len(key)+len(payload))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(key)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(payload)))
+	crc := crc32.Update(0, crcTable, []byte(key))
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(buf[16:], crc)
+	copy(buf[headerSize:], key)
+	copy(buf[headerSize+len(key):], payload)
+
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: put: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("store: put: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.index[key] = name
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete removes the entry for key, if any.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name, ok := s.index[key]; ok {
+		delete(s.index, key)
+		os.Remove(filepath.Join(s.dir, name))
+	}
+}
+
+// quarantine moves an unverifiable file into quarantineDir (numbered on
+// collision); if even that fails it deletes the file so the data path
+// stays clean. Caller holds s.mu (or is still single-threaded in Open).
+func (s *Store) quarantine(name string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(filepath.Join(s.dir, name))
+		return
+	}
+	dst := filepath.Join(qdir, name)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", name, i))
+	}
+	if err := os.Rename(filepath.Join(s.dir, name), dst); err != nil {
+		os.Remove(filepath.Join(s.dir, name))
+	}
+}
+
+// QuarantinedCount reports how many files sit in the quarantine
+// directory right now.
+func (s *Store) QuarantinedCount() int {
+	des, err := os.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if err != nil {
+		return 0
+	}
+	return len(des)
+}
+
+// entryName derives the on-disk filename for a key: the hex SHA-256 of
+// the key plus the entry suffix, so arbitrary keys are always safe,
+// fixed-length filenames.
+func entryName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + entrySuffix
+}
+
+// readEntry reads and fully verifies one entry file.
+func readEntry(path string) (key string, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(data) < headerSize || string(data[:4]) != magic {
+		return "", nil, errors.New("store: bad magic or truncated header")
+	}
+	keyLen := binary.LittleEndian.Uint32(data[4:])
+	payLen := binary.LittleEndian.Uint64(data[8:])
+	wantCRC := binary.LittleEndian.Uint32(data[16:])
+	if keyLen == 0 || keyLen > maxKeyLen {
+		return "", nil, errors.New("store: implausible key length")
+	}
+	want := uint64(headerSize) + uint64(keyLen) + payLen
+	if uint64(len(data)) != want {
+		return "", nil, fmt.Errorf("store: length mismatch: file %d, header implies %d", len(data), want)
+	}
+	body := data[headerSize:]
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return "", nil, errors.New("store: checksum mismatch")
+	}
+	return string(body[:keyLen]), body[keyLen:], nil
+}

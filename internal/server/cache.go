@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pipesched"
+	"pipesched/internal/telemetry"
 )
 
 // cache is a mutex-guarded LRU of finished compilations, keyed by the
@@ -17,6 +18,11 @@ type cache struct {
 	max   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+
+	// occupancy / evictions are exported as telemetry (nil-safe, so a
+	// metrics-less cache pays two no-op calls per put).
+	occupancy *telemetry.Gauge
+	evictions *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -25,9 +31,14 @@ type cacheEntry struct {
 }
 
 // newCache returns an LRU holding at most max entries; max <= 0
-// disables caching (every get misses, every put drops).
-func newCache(max int) *cache {
-	return &cache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+// disables caching (every get misses, every put drops). occupancy and
+// evictions, when non-nil, track the live entry count and cumulative
+// LRU evictions.
+func newCache(max int, occupancy *telemetry.Gauge, evictions *telemetry.Counter) *cache {
+	return &cache{
+		max: max, ll: list.New(), items: map[string]*list.Element{},
+		occupancy: occupancy, evictions: evictions,
+	}
 }
 
 func (c *cache) get(key string) (*pipesched.Compiled, bool) {
@@ -60,7 +71,9 @@ func (c *cache) put(key string, v *pipesched.Compiled) {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*cacheEntry).key)
+		c.evictions.Inc()
 	}
+	c.occupancy.Set(int64(c.ll.Len()))
 }
 
 func (c *cache) len() int {

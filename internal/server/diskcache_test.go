@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"pipesched/internal/telemetry"
+)
+
+// TestDiskTierWarmRestart: a server built over a durable cache
+// directory serves results cached by a previous incarnation from disk —
+// the in-memory LRU died with the old process, the durable tier did not.
+func TestDiskTierWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.CacheDir = dir
+
+	s1 := New(cfg)
+	r1, err := s1.Submit(context.Background(), tupleRequest(1))
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if r1.Cached || r1.DiskHit {
+		t.Fatalf("first submit Cached=%v DiskHit=%v, want cold", r1.Cached, r1.DiskHit)
+	}
+	s1.Close() // the "crash": durable writes were already synced
+
+	cfg.Metrics = telemetry.NewMetrics(telemetry.NewRegistry())
+	s2 := New(cfg)
+	t.Cleanup(s2.Close)
+	if rep := s2.DiskRecovery(); rep.Recovered == 0 {
+		t.Fatalf("recovery scan found nothing: %+v", rep)
+	}
+	r2, err := s2.Submit(context.Background(), tupleRequest(1))
+	if err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	if !r2.Cached || !r2.DiskHit {
+		t.Fatalf("restart submit Cached=%v DiskHit=%v, want a disk hit", r2.Cached, r2.DiskHit)
+	}
+	if got := s2.met.diskHits.Value(); got != 1 {
+		t.Errorf("disk hit counter = %d, want 1", got)
+	}
+
+	// Promotion: the disk hit seeded the memory LRU, so the next lookup
+	// hits memory, not disk.
+	r3, err := s2.Submit(context.Background(), tupleRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Cached || r3.DiskHit {
+		t.Fatalf("post-promotion submit Cached=%v DiskHit=%v, want memory hit", r3.Cached, r3.DiskHit)
+	}
+}
+
+// TestDiskTierOnlyCachesCacheable: degraded results never reach the
+// durable tier, so a restart cannot replay a fault-era answer.
+func TestDiskTierOnlyCachesCacheable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.CacheDir = dir
+	s := New(cfg)
+	t.Cleanup(s.Close)
+
+	if _, err := s.Submit(context.Background(), tupleRequest(2)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.DiskStore()
+	if st == nil {
+		t.Fatal("no disk store on a CacheDir server")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("durable entries = %d, want 1 (the optimal result)", st.Len())
+	}
+}

@@ -29,3 +29,27 @@ func fingerprint(source, tuples string, m *pipesched.Machine, o pipesched.Option
 		o.ExplainNOPs, o.AssignPipelines, o.StrongEquivalence)
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// Fingerprint resolves a wire request's machine and options and returns
+// its content fingerprint — the same key a Server uses for its cache,
+// singleflight and circuit breaker. The fleet router consistent-hashes
+// it onto the node ring, so identical work from different front doors
+// lands on (and dedups at) the same backend. Invalid requests return
+// the same typed errors Submit would.
+func Fingerprint(req *Request) (string, error) {
+	if req == nil {
+		return "", fmt.Errorf("%w: nil request", ErrInvalidRequest)
+	}
+	if (req.Source == "") == (req.Tuples == "") {
+		return "", fmt.Errorf("%w: exactly one of source or tuples must be set", ErrInvalidRequest)
+	}
+	m, err := resolveMachine(req.Machine)
+	if err != nil {
+		return "", err
+	}
+	o, err := resolveOptions(req.Options)
+	if err != nil {
+		return "", err
+	}
+	return fingerprint(req.Source, req.Tuples, m, o), nil
+}

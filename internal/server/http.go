@@ -28,13 +28,14 @@ type WireResponse struct {
 	// Gap is the certified optimality gap (NOPs above the admissible
 	// root lower bound): 0 = provably optimal, > 0 = provably within
 	// Gap NOPs of optimal, -1 = no certificate on this rung.
-	Gap      int    `json:"gap"`
-	RootLB   int    `json:"root_lb,omitempty"`
-	Degraded bool   `json:"degraded,omitempty"` // legal result + typed reason in error
-	Cached   bool   `json:"cached,omitempty"`
-	Deduped  bool   `json:"deduped,omitempty"`
-	FastPath bool   `json:"fast_path,omitempty"`
-	Retries  int    `json:"retries,omitempty"`
+	Gap      int        `json:"gap"`
+	RootLB   int        `json:"root_lb,omitempty"`
+	Degraded bool       `json:"degraded,omitempty"` // legal result + typed reason in error
+	Cached   bool       `json:"cached,omitempty"`
+	DiskHit  bool       `json:"disk_hit,omitempty"`
+	Deduped  bool       `json:"deduped,omitempty"`
+	FastPath bool       `json:"fast_path,omitempty"`
+	Retries  int        `json:"retries,omitempty"`
 	Error    *WireError `json:"error,omitempty"`
 }
 
@@ -54,11 +55,12 @@ type wireBatchResponse struct {
 	Responses []*WireResponse `json:"responses"`
 }
 
-// toWire flattens a Submit outcome into the wire shape.
-func toWire(id string, resp *Response, err error) *WireResponse {
+// ToWire flattens a Submit outcome into the wire shape.
+func ToWire(id string, resp *Response, err error) *WireResponse {
 	w := &WireResponse{ID: id}
 	if resp != nil {
 		w.Cached = resp.Cached
+		w.DiskHit = resp.DiskHit
 		w.Deduped = resp.Deduped
 		w.FastPath = resp.FastPath
 		w.Retries = resp.Retries
@@ -89,10 +91,10 @@ func toWire(id string, resp *Response, err error) *WireResponse {
 	return w
 }
 
-// httpStatus maps one outcome onto an HTTP status for the single-
+// HTTPStatus maps one outcome onto an HTTP status for the single-
 // request endpoint. Degraded-but-legal results are 200: the caller got
 // a schedule; the error field explains the rung.
-func httpStatus(resp *Response, err error) int {
+func HTTPStatus(resp *Response, err error) int {
 	if err == nil || (resp != nil && resp.Compiled != nil) {
 		return http.StatusOK
 	}
@@ -142,46 +144,74 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	body, ok := ReadBody(w, r)
+	if !ok {
+		return
+	}
+	reqs, batch, err := DecodeCompileBody(body)
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		WriteJSONError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
-	if len(body) > maxBodyBytes {
-		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+	if batch {
+		s.serveBatch(w, r, reqs)
 		return
 	}
+	req := reqs[0]
+	resp, serr := s.Submit(r.Context(), req)
+	WriteOutcome(w, req.ID, resp, serr)
+}
 
-	// A body with a "requests" array is a batch; anything else is a
-	// single request object.
-	var probe struct {
-		Requests json.RawMessage `json:"requests"`
-	}
-	if err := json.Unmarshal(body, &probe); err != nil {
-		writeJSONError(w, http.StatusBadRequest, "invalid_request", "malformed JSON: "+err.Error())
-		return
-	}
-	if probe.Requests != nil {
-		var batch wireBatch
-		if err := json.Unmarshal(body, &batch); err != nil {
-			writeJSONError(w, http.StatusBadRequest, "invalid_request", "malformed batch: "+err.Error())
-			return
-		}
-		s.serveBatch(w, r, batch.Requests)
-		return
-	}
-	var req Request
-	if err := json.Unmarshal(body, &req); err != nil {
-		writeJSONError(w, http.StatusBadRequest, "invalid_request", "malformed request: "+err.Error())
-		return
-	}
-	resp, serr := s.Submit(r.Context(), &req)
-	status := httpStatus(resp, serr)
+// WriteOutcome renders one single-request outcome: status from
+// HTTPStatus, Retry-After on overload, wire JSON body. Shared with the
+// fleet front door.
+func WriteOutcome(w http.ResponseWriter, id string, resp *Response, serr error) {
+	status := HTTPStatus(resp, serr)
 	var oe *OverloadError
 	if errors.As(serr, &oe) {
 		w.Header().Set("Retry-After", strconv.FormatInt(int64(oe.RetryAfter.Seconds()+0.999), 10))
 	}
-	writeJSON(w, status, toWire(req.ID, resp, serr))
+	WriteJSON(w, status, ToWire(id, resp, serr))
+}
+
+// ReadBody reads one bounded request body, answering the appropriate
+// error status itself; ok reports whether the caller should proceed.
+func ReadBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if len(body) > maxBodyBytes {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	return body, true
+}
+
+// DecodeCompileBody parses one /compile body: a body with a "requests"
+// array is a batch (batch = true, one element per item, nils preserved);
+// anything else is a single request object (reqs has exactly one
+// element). The error is user-caused and maps to a 400.
+func DecodeCompileBody(body []byte) (reqs []*Request, batch bool, err error) {
+	var probe struct {
+		Requests json.RawMessage `json:"requests"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return nil, false, fmt.Errorf("malformed JSON: %w", err)
+	}
+	if probe.Requests != nil {
+		var b wireBatch
+		if err := json.Unmarshal(body, &b); err != nil {
+			return nil, false, fmt.Errorf("malformed batch: %w", err)
+		}
+		return b.Requests, true, nil
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, false, fmt.Errorf("malformed request: %w", err)
+	}
+	return []*Request{&req}, false, nil
 }
 
 // serveBatch fans the batch out through Submit concurrently — each
@@ -199,14 +229,14 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, reqs []*Requ
 		go func(i int, req *Request) {
 			defer wg.Done()
 			resp, err := s.Submit(r.Context(), req)
-			out.Responses[i] = toWire(req.ID, resp, err)
+			out.Responses[i] = ToWire(req.ID, resp, err)
 		}(i, req)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -214,6 +244,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeJSONError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, &WireResponse{Error: &WireError{Code: code, Message: msg}})
+func WriteJSONError(w http.ResponseWriter, status int, code, msg string) {
+	WriteJSON(w, status, &WireResponse{Error: &WireError{Code: code, Message: msg}})
 }

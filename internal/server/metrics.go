@@ -12,18 +12,25 @@ import (
 // (telemetry off) every field stays nil and all updates are no-ops —
 // the same nil-by-default discipline as the pipeline itself.
 type serverMetrics struct {
-	admitted     *telemetry.Counter   // pipesched_server_admitted_total
-	completed    *telemetry.Counter   // pipesched_server_completed_total
-	shed         map[string]*telemetry.Counter // pipesched_server_shed_total{reason=...}
-	queueDepth   *telemetry.Gauge     // pipesched_server_queue_depth
-	waitHist     *telemetry.Histogram // pipesched_server_queue_wait_seconds (µs native)
-	retries      *telemetry.Counter   // pipesched_server_retries_total
-	cacheHits    *telemetry.Counter   // pipesched_server_cache_hits_total
-	cacheMisses  *telemetry.Counter   // pipesched_server_cache_misses_total
-	dedup        *telemetry.Counter   // pipesched_server_dedup_joined_total
-	fastPath     *telemetry.Counter   // pipesched_server_breaker_fastpath_total
-	panics       *telemetry.Counter   // pipesched_server_worker_panics_total
-	transitions  map[string]*telemetry.Counter // pipesched_server_breaker_transitions_total{to=...}
+	admitted    *telemetry.Counter            // pipesched_server_admitted_total
+	completed   *telemetry.Counter            // pipesched_server_completed_total
+	shed        map[string]*telemetry.Counter // pipesched_server_shed_total{reason=...}
+	queueDepth  *telemetry.Gauge              // pipesched_server_queue_depth
+	waitHist    *telemetry.Histogram          // pipesched_server_queue_wait_seconds (µs native)
+	retries     *telemetry.Counter            // pipesched_server_retries_total
+	cacheHits   *telemetry.Counter            // pipesched_server_cache_hits_total
+	cacheMisses *telemetry.Counter            // pipesched_server_cache_misses_total
+	dedup       *telemetry.Counter            // pipesched_server_dedup_joined_total
+	fastPath    *telemetry.Counter            // pipesched_server_breaker_fastpath_total
+	panics      *telemetry.Counter            // pipesched_server_worker_panics_total
+	transitions map[string]*telemetry.Counter // pipesched_server_breaker_transitions_total{to=...}
+
+	cacheEntries    *telemetry.Gauge   // pipesched_server_cache_entries
+	cacheEvictions  *telemetry.Counter // pipesched_server_cache_evictions_total
+	diskHits        *telemetry.Counter // pipesched_server_diskcache_hits_total
+	diskEntries     *telemetry.Gauge   // pipesched_server_diskcache_entries
+	diskRecovered   *telemetry.Counter // pipesched_server_diskcache_recovered_total
+	diskQuarantined *telemetry.Counter // pipesched_server_diskcache_quarantined_total
 }
 
 // shedReasons and breakerStates pre-register every label value so the
@@ -51,6 +58,12 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m.dedup = reg.Counter("pipesched_server_dedup_joined_total", "Requests collapsed onto an identical in-flight compilation.")
 	m.fastPath = reg.Counter("pipesched_server_breaker_fastpath_total", "Requests served the Heuristic rung because their circuit was open.")
 	m.panics = reg.Counter("pipesched_server_worker_panics_total", "Panics caught by the worker's last-resort recover.")
+	m.cacheEntries = reg.Gauge("pipesched_server_cache_entries", "Entries resident in the in-memory result LRU.")
+	m.cacheEvictions = reg.Counter("pipesched_server_cache_evictions_total", "Result-cache entries evicted by LRU pressure.")
+	m.diskHits = reg.Counter("pipesched_server_diskcache_hits_total", "LRU misses served from the persistent cache tier.")
+	m.diskEntries = reg.Gauge("pipesched_server_diskcache_entries", "Entries resident in the persistent cache tier.")
+	m.diskRecovered = reg.Counter("pipesched_server_diskcache_recovered_total", "Persistent cache entries recovered by the startup scan.")
+	m.diskQuarantined = reg.Counter("pipesched_server_diskcache_quarantined_total", "Corrupt or truncated persistent cache entries quarantined.")
 	for _, r := range shedReasons {
 		m.shed[r] = reg.Counter("pipesched_server_shed_total", "Requests rejected by admission control.", "reason", r)
 	}

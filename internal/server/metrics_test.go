@@ -1,0 +1,48 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"pipesched/internal/telemetry"
+)
+
+// TestCacheOccupancyAndEvictionMetrics: the result cache exports its
+// occupancy as a gauge and its evictions as a counter, and both track
+// the LRU exactly as distinct keys overflow the bound.
+func TestCacheOccupancyAndEvictionMetrics(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheEntries = 4
+	cfg.Metrics = telemetry.NewMetrics(telemetry.NewRegistry())
+	s := newTestServer(t, cfg)
+
+	const distinct = 7 // 3 over the bound
+	for i := 0; i < distinct; i++ {
+		if _, err := s.Submit(context.Background(), tupleRequest(i)); err != nil {
+			t.Fatalf("Submit(%d): %v", i, err)
+		}
+	}
+	if got := s.met.cacheEntries.Value(); got != int64(cfg.CacheEntries) {
+		t.Errorf("cache occupancy gauge = %d, want %d (full)", got, cfg.CacheEntries)
+	}
+	if got := s.met.cacheEvictions.Value(); got != distinct-int64(cfg.CacheEntries) {
+		t.Errorf("eviction counter = %d, want %d", got, distinct-cfg.CacheEntries)
+	}
+
+	// The gauge reflects partial occupancy too, not just saturation.
+	cfg2 := testConfig()
+	cfg2.CacheEntries = 16
+	cfg2.Metrics = telemetry.NewMetrics(telemetry.NewRegistry())
+	s2 := newTestServer(t, cfg2)
+	for i := 0; i < 3; i++ {
+		if _, err := s2.Submit(context.Background(), tupleRequest(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s2.met.cacheEntries.Value(); got != 3 {
+		t.Errorf("partial occupancy gauge = %d, want 3", got)
+	}
+	if got := s2.met.cacheEvictions.Value(); got != 0 {
+		t.Errorf("eviction counter = %d with no evictions", got)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"pipesched"
+	"pipesched/internal/fleet/store"
 	"pipesched/internal/machine"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	// CacheEntries sizes the result LRU; default 1024. Negative
 	// disables caching.
 	CacheEntries int
+	// CacheDir, when set, adds a crash-safe persistent cache tier under
+	// the in-memory LRU (see diskcache.go): clean optimal results are
+	// written through with per-entry checksums and atomic renames, and a
+	// restarted server recovers them on startup — corrupt entries are
+	// quarantined, never a startup failure. Empty disables the tier.
+	CacheDir string
 	// Metrics wires the server into a telemetry metric set (usually the
 	// one from pipesched.EnableTelemetry()). Nil leaves service metrics
 	// off; the pipeline's own nil-by-default telemetry is unaffected
@@ -169,7 +176,8 @@ type Response struct {
 	ID       string
 	Compiled *pipesched.Compiled
 	Err      error
-	Cached   bool          // served from the result cache
+	Cached   bool          // served from the result cache (either tier)
+	DiskHit  bool          // the cache hit came from the persistent tier
 	Deduped  bool          // collapsed onto an identical in-flight request
 	FastPath bool          // breaker open: Heuristic rung, no search
 	Retries  int           // transient-fault retry attempts spent
@@ -200,6 +208,8 @@ type Server struct {
 	met     *serverMetrics
 	breaker *breaker
 	cache   *cache
+	disk    *diskTier // nil without Config.CacheDir
+	diskErr error     // persistent tier unavailable; serving memory-only
 	waits   *waitWindow
 
 	baseCtx    context.Context
@@ -221,13 +231,19 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		cache:   newCache(cfg.CacheEntries),
 		waits:   newWaitWindow(),
 		flights: map[string]*flight{},
 		jobs:    make(chan *flight, cfg.QueueDepth),
 		rng:     rand.New(rand.NewSource(cfg.now().UnixNano())),
 	}
 	s.met = newServerMetrics(cfg.Metrics.Registry())
+	s.cache = newCache(cfg.CacheEntries, s.met.cacheEntries, s.met.cacheEvictions)
+	if cfg.CacheDir != "" && cfg.CacheEntries > 0 {
+		// An unopenable tier degrades to memory-only service; the store's
+		// own recovery scan never fails, so diskErr means a real I/O
+		// problem with the directory itself.
+		s.disk, s.diskErr = openDiskTier(cfg.CacheDir, s.met)
+	}
 	s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, breakerMaxEntries, cfg.now,
 		func(to string) { s.met.transitions[to].Inc() })
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
@@ -323,6 +339,13 @@ func (s *Server) admit(proto *flight, timeout time.Duration) (f *flight, joined 
 	if c, ok := s.cache.get(proto.key); ok {
 		s.met.cacheHits.Inc()
 		return nil, false, &Response{Compiled: c, Cached: true}, nil
+	}
+	// LRU miss: consult the persistent tier (when configured) and
+	// promote a hit so the next lookup stays in memory.
+	if c, ok := s.disk.get(proto.key); ok {
+		s.cache.put(proto.key, c)
+		s.met.cacheHits.Inc()
+		return nil, false, &Response{Compiled: c, Cached: true, DiskHit: true}, nil
 	}
 	s.met.cacheMisses.Inc()
 
@@ -436,6 +459,7 @@ func (s *Server) execute(f *flight) {
 	}
 	if cacheable(resp) {
 		s.cache.put(f.key, resp.Compiled)
+		s.disk.put(f.key, resp.Compiled)
 	}
 	s.finish(f, resp)
 }
@@ -457,6 +481,10 @@ func (s *Server) finish(f *flight, resp *Response) {
 // faults with exponential backoff and jitter inside the flight's
 // budget. Permanent failures (invalid input, frontend faults) and
 // budget outcomes (curtailed/deadline/canceled) return immediately.
+// Total retry wall-time is capped by the request deadline: a backoff
+// that could not complete before the flight's budget expires is not
+// taken at all — the caller gets the previous attempt's answer now
+// instead of a worker sleeping the remaining budget away.
 func (s *Server) compileWithRetry(f *flight, opts pipesched.Options) *Response {
 	attempts := 0
 	for {
@@ -464,10 +492,16 @@ func (s *Server) compileWithRetry(f *flight, opts pipesched.Options) *Response {
 		if err == nil || !transientFault(err) || attempts >= s.cfg.MaxRetries || f.ctx.Err() != nil {
 			return &Response{Compiled: c, Err: err, Retries: attempts}
 		}
+		delay := s.backoff(attempts + 1)
+		if deadline, ok := f.ctx.Deadline(); ok && s.cfg.now().Add(delay).After(deadline) {
+			// The backoff alone would blow the caller's budget; another
+			// attempt after it could only do worse.
+			return &Response{Compiled: c, Err: err, Retries: attempts}
+		}
 		attempts++
 		s.met.retries.Inc()
 		select {
-		case <-time.After(s.backoff(attempts)):
+		case <-time.After(delay):
 		case <-f.ctx.Done():
 			// Budget ran out mid-backoff; the previous attempt's result
 			// (legal, possibly degraded) is still the best answer.
@@ -557,6 +591,30 @@ func (s *Server) Draining() bool {
 // QueueDepth returns the number of queued (not yet executing) flights.
 func (s *Server) QueueDepth() int { return len(s.jobs) }
 
+// DiskStore exposes the persistent cache tier's store — the fleet layer
+// uses it for key-range handoff on membership change. Nil when no
+// Config.CacheDir was set (or the tier failed to open).
+func (s *Server) DiskStore() *store.Store {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.st
+}
+
+// DiskRecovery reports the persistent tier's startup recovery scan:
+// entries recovered and servable, entries quarantined as corrupt. Zero
+// when no tier is configured.
+func (s *Server) DiskRecovery() store.RecoveryReport {
+	if s.disk == nil {
+		return store.RecoveryReport{}
+	}
+	return s.disk.rep
+}
+
+// DiskErr reports why the persistent tier is unavailable (nil when it
+// is healthy or was never configured).
+func (s *Server) DiskErr() error { return s.diskErr }
+
 // Shutdown drains the server: admission stops immediately
 // (ErrDraining), queued and running work runs to completion, and once
 // ctx expires any still-running searches are canceled — the anytime
@@ -574,6 +632,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
+	// The persistent cache tier is deliberately NOT closed here: it
+	// holds no file descriptors between operations, the drained worker
+	// pool can no longer write to it, and the fleet layer still reads it
+	// for key-range handoff after a graceful node removal.
 	select {
 	case <-done:
 		s.cancelBase()

@@ -588,3 +588,41 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition never held")
 }
+
+// TestRetryBackoffCappedByDeadline: a backoff that cannot complete
+// before the request deadline is not taken at all — the worker answers
+// with the previous attempt's (legal, degraded) result immediately
+// instead of sleeping the caller's remaining budget away.
+func TestRetryBackoffCappedByDeadline(t *testing.T) {
+	defer faultinject.Activate(faultinject.New().
+		Plan(faultinject.Search, faultinject.Plan{Err: errors.New("injected")}))()
+	cfg := testConfig()
+	cfg.MaxRetries = 5
+	cfg.RetryBase = 10 * time.Second // one backoff alone exceeds the budget
+	cfg.RetryMax = 10 * time.Second
+	s := newTestServer(t, cfg)
+
+	start := time.Now()
+	resp, err := s.Submit(context.Background(), &Request{
+		Tuples:    tupleBlock(1),
+		Machine:   MachineSpec{Preset: "simulation"},
+		TimeoutMS: 200,
+	})
+	elapsed := time.Since(start)
+
+	var se *pipesched.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want the injected stage error", err)
+	}
+	if resp == nil || resp.Compiled == nil {
+		t.Fatal("no degraded result alongside the error")
+	}
+	if resp.Retries != 0 {
+		t.Errorf("Retries = %d, want 0: every backoff overruns the deadline", resp.Retries)
+	}
+	// Well under one backoff (10s) and well under even the 200ms budget:
+	// the worker returned instead of sleeping.
+	if elapsed > 2*time.Second {
+		t.Fatalf("Submit took %v: retry backoff slept past the request deadline", elapsed)
+	}
+}

@@ -71,6 +71,12 @@ func (g *Gauge) Add(delta int64) {
 	g.v.Add(delta)
 }
 
+// Inc moves the gauge up by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec moves the gauge down by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
 // Value returns the current level.
 func (g *Gauge) Value() int64 {
 	if g == nil {
