@@ -292,6 +292,8 @@ func runFleet(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		cacheDir     = fs.String("cache-dir", "", "durable cache root, one subdirectory per node (default: a temp dir)")
 		workers      = fs.Int("workers", 0, "worker pool size per node (0 = GOMAXPROCS)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
+		statsJSON    = fs.String("stats-json", "", "write telemetry events (including trace spans) as JSON lines to this file")
+		flightDir    = fs.String("flight-dir", "", "write flight-recorder dumps (panic, typed 5xx, SIGQUIT) to this directory")
 		bench        = fs.Bool("bench", false, "run the scaling + warm-restart benchmark instead of serving")
 		out          = fs.String("out", "", "bench mode: write the baseline JSON here (default stdout)")
 		check        = fs.String("check", "", "validate this baseline file's invariants and exit")
@@ -365,6 +367,22 @@ func runFleet(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	}
 	pm := pipesched.EnableTelemetry()
 	defer pipesched.DisableTelemetry()
+	if *statsJSON != "" {
+		sf, err := os.Create(*statsJSON)
+		if err != nil {
+			fmt.Fprintf(stderr, "pipesched fleet: %v\n", err)
+			return 1
+		}
+		defer sf.Close()
+		pm.SetSink(pipesched.NewJSONLTelemetrySink(sf))
+	}
+	// Distributed tracing is always on in fleet mode: the front door
+	// mints (or joins) each request's trace, nodes attribute their spans
+	// via server.Config.Node, and the flight recorder keeps the recent
+	// window for black-box dumps.
+	tr := pipesched.EnableTracing(pm, pipesched.TracerConfig{DumpDir: *flightDir})
+	defer pipesched.DisableTracing()
+	defer watchSIGQUIT(tr, *flightDir, "pipesched fleet", stderr)()
 
 	f := fleet.New(fleet.Config{Replicas: *replicas, Metrics: pm})
 	for i := 0; i < *nodes; i++ {

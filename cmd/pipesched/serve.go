@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -33,6 +34,35 @@ import (
 // serveReady, when non-nil, receives the bound address once the
 // listener is up (test hook).
 var serveReady func(addr string)
+
+// watchSIGQUIT dumps the flight recorder on SIGQUIT — the operator's
+// "what was this process just doing?" signal — and returns a stop
+// function. Dumps go to dir, or the OS temp dir when no -flight-dir
+// was given (an explicit ask always produces a file).
+func watchSIGQUIT(tr *pipesched.Tracer, dir, prog string, stderr io.Writer) func() {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+				path := filepath.Join(dir, fmt.Sprintf("flightrecorder-%d-sigquit.jsonl", time.Now().UnixNano()))
+				if err := tr.DumpNow(path, "sigquit"); err != nil {
+					fmt.Fprintf(stderr, "%s: flight-recorder dump: %v\n", prog, err)
+				} else {
+					fmt.Fprintf(stderr, "%s: flight recorder dumped to %s\n", prog, path)
+				}
+			}
+		}
+	}()
+	return func() { signal.Stop(ch); close(done) }
+}
 
 // runServe is the testable body of `pipesched serve`; ctx cancellation
 // acts like SIGTERM.
@@ -51,6 +81,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		cacheSize    = fs.Int("cache", 1024, "result cache entries (-1 disables)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM before in-flight work is degraded")
 		statsJSON    = fs.String("stats-json", "", "write telemetry events as JSON lines to this file")
+		flightDir    = fs.String("flight-dir", "", "write flight-recorder dumps (panic, typed 5xx, SIGQUIT) to this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -73,6 +104,12 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		defer f.Close()
 		pm.SetSink(pipesched.NewJSONLTelemetrySink(f))
 	}
+	// A service also always runs with distributed tracing: every request
+	// gets a trace (served back in X-Pipesched-Trace), spans land in the
+	// sink, and the flight recorder keeps the recent window for dumps.
+	tr := pipesched.EnableTracing(pm, pipesched.TracerConfig{DumpDir: *flightDir})
+	defer pipesched.DisableTracing()
+	defer watchSIGQUIT(tr, *flightDir, "pipesched serve", stderr)()
 
 	srv := server.New(server.Config{
 		Workers:          *workers,

@@ -1,0 +1,266 @@
+// The trace subcommand: read distributed-trace spans back out of a
+// telemetry JSONL file (a -stats-json sink capture or a flight-recorder
+// dump) and render one request's fleet journey.
+//
+//	pipesched trace -list events.jsonl              # traces in the file
+//	pipesched trace events.jsonl                    # span tree of the latest trace
+//	pipesched trace -trace <id> events.jsonl        # span tree of one trace
+//	pipesched trace -chrome out.json events.jsonl   # Chrome trace_event JSON
+//
+// Non-trace lines (metric events, flight-dump headers) are skipped, so
+// any sink file works unfiltered. The Chrome output opens in
+// chrome://tracing or https://ui.perfetto.dev: one process row per
+// fleet node, hedged replica attempts on parallel thread rows.
+//
+// Exit status: 0 on success, 1 on I/O or selection failure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pipesched"
+)
+
+// traceGroup is one trace's spans plus its derived summary.
+type traceGroup struct {
+	id    string
+	spans []pipesched.TraceSpanRecord
+	start time.Time
+	end   time.Time
+}
+
+func (g *traceGroup) wall() time.Duration { return g.end.Sub(g.start) }
+
+// root returns the trace's root span (no parent, or the earliest span
+// when the root was cut off by the ring).
+func (g *traceGroup) root() pipesched.TraceSpanRecord {
+	for _, s := range g.spans {
+		if s.Parent == 0 {
+			return s
+		}
+	}
+	return g.spans[0]
+}
+
+// readTraceFile parses the JSONL file into per-trace groups, skipping
+// lines that are not trace spans.
+func readTraceFile(r io.Reader) (map[string]*traceGroup, error) {
+	groups := map[string]*traceGroup{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e pipesched.TelemetryEvent
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		rec, ok := pipesched.TraceSpanFromEvent(e)
+		if !ok {
+			continue
+		}
+		g := groups[rec.TraceID]
+		if g == nil {
+			g = &traceGroup{id: rec.TraceID, start: rec.Start}
+			groups[rec.TraceID] = g
+		}
+		g.spans = append(g.spans, rec)
+		if rec.Start.Before(g.start) {
+			g.start = rec.Start
+		}
+		if end := rec.Start.Add(rec.Dur); end.After(g.end) {
+			g.end = end
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return groups, nil
+}
+
+// selectTrace picks the trace to render: the -trace flag's ID (prefix
+// match accepted), or the most recently started trace in the file.
+func selectTrace(groups map[string]*traceGroup, want string) (*traceGroup, error) {
+	if want != "" {
+		if g := groups[want]; g != nil {
+			return g, nil
+		}
+		var hit *traceGroup
+		for id, g := range groups {
+			if strings.HasPrefix(id, want) {
+				if hit != nil {
+					return nil, fmt.Errorf("trace prefix %q is ambiguous", want)
+				}
+				hit = g
+			}
+		}
+		if hit == nil {
+			return nil, fmt.Errorf("no trace %q in file", want)
+		}
+		return hit, nil
+	}
+	var latest *traceGroup
+	for _, g := range groups {
+		if latest == nil || g.start.After(latest.start) {
+			latest = g
+		}
+	}
+	if latest == nil {
+		return nil, fmt.Errorf("no trace spans in file")
+	}
+	return latest, nil
+}
+
+// sortedGroups returns the traces ordered by start time.
+func sortedGroups(groups map[string]*traceGroup) []*traceGroup {
+	out := make([]*traceGroup, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start.Before(out[j].start) })
+	return out
+}
+
+// printTraceTree renders one trace as an indented span tree: name,
+// node, duration, attrs and error per span, children ordered by start.
+func printTraceTree(w io.Writer, g *traceGroup) {
+	fmt.Fprintf(w, "trace %s: %d spans, %v\n", g.id, len(g.spans), g.wall().Round(time.Microsecond))
+	children := map[uint64][]pipesched.TraceSpanRecord{}
+	byID := map[uint64]bool{}
+	for _, s := range g.spans {
+		byID[s.SpanID] = true
+	}
+	var roots []pipesched.TraceSpanRecord
+	for _, s := range g.spans {
+		// Spans whose parent fell out of the ring render as roots rather
+		// than vanishing.
+		if s.Parent == 0 || !byID[s.Parent] {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	order := func(xs []pipesched.TraceSpanRecord) {
+		sort.Slice(xs, func(i, j int) bool {
+			if !xs[i].Start.Equal(xs[j].Start) {
+				return xs[i].Start.Before(xs[j].Start)
+			}
+			return xs[i].SpanID < xs[j].SpanID
+		})
+	}
+	order(roots)
+	var walk func(s pipesched.TraceSpanRecord, depth int)
+	walk = func(s pipesched.TraceSpanRecord, depth int) {
+		var sb strings.Builder
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(s.Name)
+		if s.Node != "" {
+			fmt.Fprintf(&sb, " @%s", s.Node)
+		}
+		if s.Dur > 0 {
+			fmt.Fprintf(&sb, " %v", s.Dur.Round(time.Microsecond))
+		}
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%s", k, s.Attrs[k])
+		}
+		if s.Err != "" {
+			fmt.Fprintf(&sb, " ERR(%s)", s.Err)
+		}
+		fmt.Fprintln(w, sb.String())
+		kids := children[s.SpanID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+}
+
+// runTrace is the testable body of `pipesched trace`.
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pipesched trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list the traces in the file and exit")
+		traceID = fs.String("trace", "", "trace ID (or unique prefix) to render; default: the latest trace")
+		chrome  = fs.String("chrome", "", "write the selected trace as Chrome trace_event JSON here (\"-\" = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintf(stderr, "pipesched trace: exactly one JSONL file expected (a -stats-json capture or flight-recorder dump)\n")
+		return 1
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "pipesched trace: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	groups, err := readTraceFile(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "pipesched trace: %s: %v\n", fs.Arg(0), err)
+		return 1
+	}
+
+	if *list {
+		gs := sortedGroups(groups)
+		if len(gs) == 0 {
+			fmt.Fprintf(stderr, "pipesched trace: no trace spans in file\n")
+			return 1
+		}
+		for _, g := range gs {
+			r := g.root()
+			fmt.Fprintf(stdout, "%s  %3d spans  %10v  %s\n",
+				g.id, len(g.spans), g.wall().Round(time.Microsecond), r.Name)
+		}
+		return 0
+	}
+
+	g, err := selectTrace(groups, *traceID)
+	if err != nil {
+		fmt.Fprintf(stderr, "pipesched trace: %v\n", err)
+		return 1
+	}
+
+	if *chrome != "" {
+		data, err := pipesched.ChromeTraceRequest(g.spans)
+		if err != nil {
+			fmt.Fprintf(stderr, "pipesched trace: %v\n", err)
+			return 1
+		}
+		if *chrome == "-" {
+			fmt.Fprintf(stdout, "%s\n", data)
+			return 0
+		}
+		if err := os.WriteFile(*chrome, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "pipesched trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "pipesched trace: wrote %s (%d spans) — open in chrome://tracing or ui.perfetto.dev\n", *chrome, len(g.spans))
+		return 0
+	}
+
+	printTraceTree(stdout, g)
+	return 0
+}

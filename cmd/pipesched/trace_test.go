@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pipesched"
+)
+
+// writeTraceFixture writes a JSONL sink capture holding two traces (one
+// fleet journey, one trivial) plus non-trace lines that must be
+// skipped.
+func writeTraceFixture(t *testing.T) string {
+	t.Helper()
+	base := time.Unix(1_700_000_000, 0)
+	mk := func(id string, span, parent uint64, name, node string, off, dur time.Duration, attrs map[string]string) pipesched.TraceSpanRecord {
+		return pipesched.TraceSpanRecord{
+			TraceID: id, SpanID: span, Parent: parent, Name: name, Node: node,
+			Start: base.Add(off), Dur: dur, Attrs: attrs,
+		}
+	}
+	spans := []pipesched.TraceSpanRecord{
+		mk("aaaa0001", 1, 0, "front_door", "", 0, 10*time.Millisecond, nil),
+		mk("aaaa0001", 2, 1, "fleet.route", "", time.Millisecond, 8*time.Millisecond, nil),
+		mk("aaaa0001", 3, 2, "fleet.attempt", "", 2*time.Millisecond, 6*time.Millisecond, map[string]string{"node": "n1", "outcome": "won"}),
+		mk("aaaa0001", 4, 3, "server.submit", "n1", 2*time.Millisecond, 5*time.Millisecond, nil),
+		mk("bbbb0002", 9, 0, "front_door", "", 20*time.Millisecond, time.Millisecond, nil),
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	// A metric event and a flight-dump header interleaved: both skipped.
+	_ = enc.Encode(pipesched.TelemetryEvent{Kind: "compile", Name: "blk"})
+	for _, s := range spans {
+		_ = enc.Encode(s.Event())
+	}
+	_ = enc.Encode(pipesched.TelemetryEvent{Kind: "flight_dump", Name: "sigquit"})
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceSubcommandList(t *testing.T) {
+	path := writeTraceFixture(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"trace", "-list", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "aaaa0001") || !strings.Contains(text, "bbbb0002") {
+		t.Fatalf("-list missing traces:\n%s", text)
+	}
+	if !strings.Contains(text, "4 spans") {
+		t.Fatalf("-list missing span count:\n%s", text)
+	}
+}
+
+func TestTraceSubcommandTree(t *testing.T) {
+	path := writeTraceFixture(t)
+	var out, errOut bytes.Buffer
+	// Prefix selection: "aaaa" is unambiguous.
+	if code := run([]string{"trace", "-trace", "aaaa", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"front_door", "fleet.route", "fleet.attempt", "server.submit @n1", "outcome=won"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("tree missing %q:\n%s", want, text)
+		}
+	}
+	// Indentation reflects depth: the server span nests three levels in.
+	if !strings.Contains(text, "        server.submit") {
+		t.Fatalf("server.submit not nested:\n%s", text)
+	}
+
+	// Default selection = latest trace (bbbb0002 starts later).
+	out.Reset()
+	if code := run([]string{"trace", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "bbbb0002") {
+		t.Fatalf("default selection is not the latest trace:\n%s", out.String())
+	}
+
+	// Ambiguous and unknown prefixes fail.
+	if code := run([]string{"trace", "-trace", "zzz", path}, &out, &errOut); code != 1 {
+		t.Fatal("unknown trace prefix must exit 1")
+	}
+}
+
+func TestTraceSubcommandChrome(t *testing.T) {
+	path := writeTraceFixture(t)
+	outFile := filepath.Join(t.TempDir(), "chrome.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"trace", "-trace", "aaaa0001", "-chrome", outFile, path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &chrome); err != nil {
+		t.Fatalf("chrome output not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("chrome output empty")
+	}
+
+	// "-" streams to stdout.
+	out.Reset()
+	if code := run([]string{"trace", "-trace", "aaaa0001", "-chrome", "-", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `"traceEvents"`) {
+		t.Fatal("stdout chrome output malformed")
+	}
+}
+
+func TestTraceSubcommandErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"trace"}, &out, &errOut); code != 1 {
+		t.Fatal("missing file must exit 1")
+	}
+	if code := run([]string{"trace", "/nonexistent/x.jsonl"}, &out, &errOut); code != 1 {
+		t.Fatal("unreadable file must exit 1")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"trace", empty}, &out, &errOut); code != 1 {
+		t.Fatal("span-less file must exit 1")
+	}
+	if !strings.Contains(errOut.String(), "no trace spans") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}

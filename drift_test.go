@@ -1,0 +1,77 @@
+package pipesched_test
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"pipesched"
+	"pipesched/internal/fleet"
+	"pipesched/internal/server"
+)
+
+// TestMetricsNameDrift is the documentation gate for the metric
+// namespace: every `pipesched_*` series named in DESIGN.md must still
+// be registered by a fully-assembled system (pipeline + server + fleet
+// + tracer). A rename or deletion that forgets the docs — and every
+// dashboard built from them — fails here. Run in the bench-smoke CI
+// job.
+func TestMetricsNameDrift(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("DESIGN.md unreadable: %v", err)
+	}
+	names := map[string]bool{}
+	for _, m := range regexp.MustCompile(`pipesched_[a-z0-9_]+`).FindAllString(string(design), -1) {
+		names[m] = true
+	}
+	if len(names) < 40 {
+		t.Fatalf("DESIGN.md documents only %d pipesched_* series; the §13 inventory is missing", len(names))
+	}
+
+	// Assemble every metrics-registering subsystem onto one registry.
+	pm := pipesched.EnableTelemetry()
+	defer pipesched.DisableTelemetry()
+	pipesched.EnableTracing(pm, pipesched.TracerConfig{})
+	defer pipesched.DisableTracing()
+	f := fleet.New(fleet.Config{Metrics: pm})
+	defer f.Close()
+	f.AddNode(fleet.NewNode("drift-node", t.TempDir(), server.Config{
+		Workers:        1,
+		DefaultTimeout: time.Second,
+		Metrics:        pm,
+	}))
+
+	ts, err := pipesched.ServeTelemetry("127.0.0.1:0", pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	resp, err := http.Get("http://" + ts.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(body)
+
+	// Longest-first: a documented name that is a prefix of another (e.g.
+	// search_omega_calls vs search_omega_calls_total) must match its own
+	// series, not ride along on the longer one's exposition lines.
+	for name := range names {
+		probe := name
+		if !strings.Contains(exposition, probe+" ") &&
+			!strings.Contains(exposition, probe+"{") &&
+			!strings.Contains(exposition, probe+"_bucket") &&
+			!strings.Contains(exposition, probe+"_count") {
+			t.Errorf("series %s is documented in DESIGN.md but absent from /metrics", name)
+		}
+	}
+}

@@ -208,6 +208,7 @@ type searcher struct {
 	done       bool          // incumbent reached rootLB: provably optimal, stop
 
 	shared *sharedBound // non-nil when part of a parallel search
+	worker int          // parallel-search worker index, stamped on trace events
 }
 
 // attachEngines builds the lower-bound engine and dominance table the
@@ -415,7 +416,7 @@ func certifiedGap(curtailed bool, incumbent, rootLB int) int {
 // trace records a search event when tracing is attached.
 func (s *searcher) trace(a TraceAction, depth, node, eta, mu int) {
 	if s.opts.Trace != nil {
-		s.opts.Trace.add(TraceEvent{Action: a, Depth: depth, Node: node, Eta: eta, Mu: mu})
+		s.opts.Trace.add(TraceEvent{Action: a, Depth: depth, Node: node, Eta: eta, Mu: mu, Worker: s.worker})
 	}
 }
 
@@ -727,11 +728,12 @@ type TraceEvent struct {
 	Node   int // candidate node (DAG numbering)
 	Eta    int // NOPs priced for the placement (TracePlace/TraceImprove)
 	Mu     int // μ(Φ) after the event, where meaningful
+	Worker int // parallel-search worker that recorded the event (0 for sequential)
 }
 
 // String renders the event on one line.
 func (e TraceEvent) String() string {
-	return fmt.Sprintf("d=%-3d n=%-3d %-18s eta=%d mu=%d", e.Depth, e.Node, e.Action, e.Eta, e.Mu)
+	return fmt.Sprintf("w=%-2d d=%-3d n=%-3d %-18s eta=%d mu=%d", e.Worker, e.Depth, e.Node, e.Action, e.Eta, e.Mu)
 }
 
 // SearchTrace records the first Limit events of a search when attached

@@ -140,7 +140,7 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			// One dominance table per worker, reused across this worker's
 			// subtrees: states recur between subtrees, and reuse is sound
@@ -168,6 +168,7 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 					shared:    shared,
 					table:     table,
 					rootLB:    rootLB,
+					worker:    worker,
 				}
 				if haveEngine {
 					s.bnd = bound.New(g, m, boundConfig(opts))
@@ -197,7 +198,7 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 					stats:   s.stats,
 				}
 			}
-		}()
+		}(w)
 	}
 	for idx := range candidates {
 		jobs <- idx

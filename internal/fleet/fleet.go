@@ -114,15 +114,35 @@ func (w *latencyWindow) observe(seconds float64) {
 	}
 }
 
-func (w *latencyWindow) p95() float64 {
+// quantiles returns the requested percentiles over the window, in
+// order. With no samples every answer is 0.
+func (w *latencyWindow) quantiles(ps ...float64) []float64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.n < latWindowMinSamples {
-		return 0
+	out := make([]float64, len(ps))
+	if w.n == 0 {
+		return out
 	}
 	xs := make([]float64, w.n)
 	copy(xs, w.buf[:w.n])
-	return stats.Percentile(xs, 95)
+	for i, p := range ps {
+		out[i] = stats.Percentile(xs, p)
+	}
+	return out
+}
+
+// samples returns how many latencies the window currently holds.
+func (w *latencyWindow) samples() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+func (w *latencyWindow) p95() float64 {
+	if w.samples() < latWindowMinSamples {
+		return 0
+	}
+	return w.quantiles(95)[0]
 }
 
 // NoReplicasError is the concrete error behind ErrNoReplicas: every
@@ -368,9 +388,10 @@ func failoverWorthy(resp *server.Response, err error) bool {
 type attempt struct {
 	resp   *server.Response
 	err    error
-	node   string
+	n      *Node
 	hedged bool // launched by the hedge timer, not by failover
 	start  time.Time
+	span   *telemetry.TraceSpan // the attempt's "fleet.attempt" span (nil untraced)
 }
 
 // Submit routes one request: fingerprint → replica chain → primary,
@@ -384,9 +405,17 @@ func (f *Fleet) Submit(ctx context.Context, req *server.Request) (*server.Respon
 	if err != nil {
 		return nil, err
 	}
+	ctx, rspan := telemetry.ActiveTracer().StartSpan(ctx, "fleet.route")
 	start := f.cfg.now()
 	resp, err := f.submitChain(ctx, key, req)
-	f.met.reqDur.Observe(f.cfg.now().Sub(start).Microseconds())
+	// The request histogram carries the trace ID as an exemplar, so a
+	// latency outlier on a dashboard links straight to its trace.
+	f.met.reqDur.ObserveExemplar(f.cfg.now().Sub(start).Microseconds(),
+		rspan.Context().TraceID, f.cfg.now().Unix())
+	if resp == nil {
+		rspan.Fail(err)
+	}
+	rspan.End()
 	return resp, err
 }
 
@@ -414,6 +443,9 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 	subCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	tr := telemetry.ActiveTracer()
+	tc := telemetry.TraceContextOf(subCtx) // parent of every attempt span
+
 	results := make(chan attempt, len(chain))
 	next := 0 // next chain index to launch
 	launch := func(hedged bool) bool {
@@ -421,6 +453,7 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 		// failover without paying a round trip.
 		for next < len(chain) && !chain[next].Healthy() {
 			f.met.failovers.Inc()
+			tr.Point(tc, "fleet.failover", "node", chain[next].ID(), "reason", "unhealthy")
 			next++
 		}
 		if next >= len(chain) {
@@ -428,10 +461,22 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 		}
 		n := chain[next]
 		next++
-		go func(n *Node, hedged bool, start time.Time) {
-			resp, err := n.Submit(subCtx, req)
-			results <- attempt{resp: resp, err: err, node: n.ID(), hedged: hedged, start: start}
-		}(n, hedged, f.cfg.now())
+		// Each attempt gets a sibling span under the route span, so hedged
+		// replicas render side by side on the trace timeline; the node's
+		// own spans parent under their attempt.
+		asp := tr.StartSpanFrom(tc, "fleet.attempt")
+		asp.SetAttr("node", n.ID())
+		if hedged {
+			asp.SetAttr("hedged", "true")
+		}
+		actx := subCtx
+		if atc := asp.Context(); atc.Valid() {
+			actx = telemetry.WithTraceContext(subCtx, atc)
+		}
+		go func(n *Node, hedged bool, start time.Time, asp *telemetry.TraceSpan) {
+			resp, err := n.Submit(actx, req)
+			results <- attempt{resp: resp, err: err, n: n, hedged: hedged, start: start, span: asp}
+		}(n, hedged, f.cfg.now(), asp)
 		return true
 	}
 
@@ -439,6 +484,22 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 	if launch(false) {
 		pending++
 	}
+	// Whatever path exits, abandoned attempts (hedge losers, replies
+	// racing a caller cancel) still get their spans closed: a detached
+	// drain marks each one "lost" as its node answers.
+	defer func() {
+		if pending == 0 {
+			return
+		}
+		go func(n int) {
+			for i := 0; i < n; i++ {
+				a := <-results
+				a.span.SetAttr("outcome", "lost")
+				a.span.Fail(a.err)
+				a.span.End()
+			}
+		}(pending)
+	}()
 	if pending == 0 {
 		f.met.noReplicas.Inc()
 		return nil, &NoReplicasError{Key: key}
@@ -456,16 +517,26 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 			if failoverWorthy(a.resp, a.err) {
 				last = a.err
 				f.met.failovers.Inc()
+				a.span.SetAttr("outcome", "failover")
+				a.span.Fail(a.err)
+				a.span.End()
 				if launch(false) {
 					pending++
 				}
 				continue
 			}
 			// First real answer wins.
-			f.lat.observe(f.cfg.now().Sub(a.start).Seconds())
+			seconds := f.cfg.now().Sub(a.start).Seconds()
+			f.lat.observe(seconds)
+			a.n.observeLatency(seconds)
 			if a.hedged {
 				f.met.hedgeWins.Inc()
 			}
+			a.span.SetAttr("outcome", "won")
+			if a.resp == nil {
+				a.span.Fail(a.err)
+			}
+			a.span.End()
 			return a.resp, a.err
 		case <-hedge.C:
 			if !hedgeSpent {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -31,13 +32,20 @@ func httpStatus(resp *server.Response, err error) int {
 	return server.HTTPStatus(resp, err)
 }
 
-// writeOutcome is server.WriteOutcome plus the fleet error codes.
-func writeOutcome(w http.ResponseWriter, id string, resp *server.Response, serr error) {
+// writeOutcome is server.WriteOutcome plus the fleet error codes, the
+// trace-ID stamp on wire errors, and the typed-5xx flight-recorder
+// trigger.
+func writeOutcome(w http.ResponseWriter, id string, resp *server.Response, serr error, traceID string) {
 	wire := server.ToWire(id, resp, serr)
 	if wire.Error != nil {
 		wire.Error.Code = ErrorCode(serr)
 	}
-	server.WriteJSON(w, httpStatus(resp, serr), wire)
+	wire.StampTrace(traceID)
+	status := httpStatus(resp, serr)
+	if status >= 500 {
+		telemetry.ActiveTracer().Trigger(fmt.Sprintf("http_%d", status))
+	}
+	server.WriteJSON(w, status, wire)
 }
 
 // Handler returns the fleet's HTTP front door — the same API shape as a
@@ -84,18 +92,31 @@ func (f *Fleet) handleCompile(w http.ResponseWriter, r *http.Request) {
 		server.WriteJSONError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
+	// The fleet front door is where a trace is born (or joined, when the
+	// client sent its own TraceHeader): every routing decision, replica
+	// attempt and node-side span below hangs off this root.
+	ctx := r.Context()
+	var traceID string
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		parent, _ := telemetry.ExtractTrace(r.Header)
+		var root *telemetry.TraceSpan
+		ctx, root = tr.StartRoot(ctx, "front_door", parent)
+		traceID = root.Context().TraceID
+		w.Header().Set(telemetry.TraceHeader, root.Context().String())
+		defer root.End()
+	}
 	if batch {
-		f.serveBatch(w, r, reqs)
+		f.serveBatch(ctx, w, reqs, traceID)
 		return
 	}
 	req := reqs[0]
-	resp, serr := f.Submit(r.Context(), req)
-	writeOutcome(w, req.ID, resp, serr)
+	resp, serr := f.Submit(ctx, req)
+	writeOutcome(w, req.ID, resp, serr, traceID)
 }
 
 // serveBatch fans a batch out through the router; each item routes,
-// fails over and hedges independently.
-func (f *Fleet) serveBatch(w http.ResponseWriter, r *http.Request, reqs []*server.Request) {
+// fails over and hedges independently, all under the same trace root.
+func (f *Fleet) serveBatch(ctx context.Context, w http.ResponseWriter, reqs []*server.Request, traceID string) {
 	type batchOut struct {
 		Responses []*server.WireResponse `json:"responses"`
 	}
@@ -109,11 +130,12 @@ func (f *Fleet) serveBatch(w http.ResponseWriter, r *http.Request, reqs []*serve
 		wg.Add(1)
 		go func(i int, req *server.Request) {
 			defer wg.Done()
-			resp, err := f.Submit(r.Context(), req)
+			resp, err := f.Submit(ctx, req)
 			wire := server.ToWire(req.ID, resp, err)
 			if wire.Error != nil {
 				wire.Error.Code = ErrorCode(err)
 			}
+			wire.StampTrace(traceID)
 			out.Responses[i] = wire
 		}(i, req)
 	}
@@ -123,13 +145,35 @@ func (f *Fleet) serveBatch(w http.ResponseWriter, r *http.Request, reqs []*serve
 
 // fleetStatus is the /fleet endpoint's JSON shape.
 type fleetStatus struct {
-	Nodes []nodeStatus `json:"nodes"`
+	Nodes   []nodeStatus    `json:"nodes"`
+	Latency *latencySummary `json:"latency,omitempty"` // fleet-wide window
 }
 
 type nodeStatus struct {
-	ID      string `json:"id"`
-	Healthy bool   `json:"healthy"`
-	Durable int    `json:"durable_entries"`
+	ID      string          `json:"id"`
+	Healthy bool            `json:"healthy"`
+	Durable int             `json:"durable_entries"`
+	Latency *latencySummary `json:"latency,omitempty"`
+}
+
+// latencySummary renders one sliding latency window: recent
+// winning-attempt percentiles in milliseconds plus the sample count
+// behind them.
+type latencySummary struct {
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	Samples int     `json:"samples"`
+}
+
+func summarizeLatency(w *latencyWindow) *latencySummary {
+	n := w.samples()
+	if n == 0 {
+		return nil
+	}
+	qs := w.quantiles(50, 95, 99)
+	const ms = 1e3
+	return &latencySummary{P50Ms: qs[0] * ms, P95Ms: qs[1] * ms, P99Ms: qs[2] * ms, Samples: n}
 }
 
 func (f *Fleet) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -143,7 +187,9 @@ func (f *Fleet) handleFleet(w http.ResponseWriter, r *http.Request) {
 		if s := n.DiskStore(); s != nil {
 			ns.Durable = s.Len()
 		}
+		ns.Latency = summarizeLatency(n.lat)
 		st.Nodes = append(st.Nodes, ns)
 	}
+	st.Latency = summarizeLatency(f.lat)
 	server.WriteJSON(w, http.StatusOK, st)
 }

@@ -40,6 +40,7 @@ type Node struct {
 	id  string
 	dir string // durable cache directory ("" = memory-only node)
 	cfg server.Config
+	lat *latencyWindow // winning-attempt latencies routed to this node
 
 	mu   sync.Mutex
 	srv  *server.Server
@@ -55,10 +56,24 @@ type Node struct {
 // durable cache directory (created on demand).
 func NewNode(id, dir string, cfg server.Config) *Node {
 	cfg.CacheDir = dir
-	n := &Node{id: id, dir: dir, cfg: cfg}
+	cfg.Node = id // name this node in distributed-trace spans
+	n := &Node{id: id, dir: dir, cfg: cfg, lat: newLatencyWindow()}
 	n.srv = server.New(cfg)
 	return n
 }
+
+// observeLatency folds one winning-attempt latency into the node's
+// sliding window; the router calls it on every real answer this node
+// produced. The window survives Kill/Restart — it describes the node's
+// recent service history, not one server incarnation.
+func (n *Node) observeLatency(seconds float64) { n.lat.observe(seconds) }
+
+// LatencyQuantiles returns the requested percentiles (e.g. 50, 95, 99)
+// over the node's recent winning-attempt latencies, in seconds.
+func (n *Node) LatencyQuantiles(ps ...float64) []float64 { return n.lat.quantiles(ps...) }
+
+// LatencySamples returns how many latencies the node's window holds.
+func (n *Node) LatencySamples() int { return n.lat.samples() }
 
 // ID returns the node's stable identity on the ring.
 func (n *Node) ID() string { return n.id }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,11 +40,14 @@ type WireResponse struct {
 	Error    *WireError `json:"error,omitempty"`
 }
 
-// WireError is the JSON shape of a typed failure.
+// WireError is the JSON shape of a typed failure. TraceID joins a
+// failed request to its distributed trace (JSONL sink records and
+// flight-recorder dumps carry the same ID).
 type WireError struct {
 	Code         string `json:"code"`
 	Message      string `json:"message"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	TraceID      string `json:"trace_id,omitempty"`
 }
 
 // wireBatch is the batch request/response envelope.
@@ -153,25 +157,65 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		WriteJSONError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
+	ctx := r.Context()
+	var traceID string
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		// A request arriving with X-Pipesched-Trace (from the fleet
+		// router, or a traced client) joins that trace; otherwise this
+		// hop is the front door and mints one.
+		parent, _ := telemetry.ExtractTrace(r.Header)
+		name := "front_door"
+		if parent.Valid() {
+			name = "server.http"
+		}
+		var root *telemetry.TraceSpan
+		ctx, root = tr.StartRoot(ctx, name, parent)
+		if s.cfg.Node != "" {
+			root.SetNode(s.cfg.Node)
+		}
+		traceID = root.Context().TraceID
+		w.Header().Set(telemetry.TraceHeader, root.Context().String())
+		defer root.End()
+	}
 	if batch {
-		s.serveBatch(w, r, reqs)
+		s.serveBatch(ctx, w, reqs, traceID)
 		return
 	}
 	req := reqs[0]
-	resp, serr := s.Submit(r.Context(), req)
-	WriteOutcome(w, req.ID, resp, serr)
+	resp, serr := s.Submit(ctx, req)
+	WriteTracedOutcome(w, req.ID, resp, serr, traceID)
 }
 
 // WriteOutcome renders one single-request outcome: status from
 // HTTPStatus, Retry-After on overload, wire JSON body. Shared with the
 // fleet front door.
 func WriteOutcome(w http.ResponseWriter, id string, resp *Response, serr error) {
+	WriteTracedOutcome(w, id, resp, serr, "")
+}
+
+// WriteTracedOutcome is WriteOutcome for a traced request: the trace ID
+// is stamped on the wire error, and a typed 5xx outcome triggers a
+// flight-recorder dump so the black box captures the spans that led to
+// it.
+func WriteTracedOutcome(w http.ResponseWriter, id string, resp *Response, serr error, traceID string) {
 	status := HTTPStatus(resp, serr)
 	var oe *OverloadError
 	if errors.As(serr, &oe) {
 		w.Header().Set("Retry-After", strconv.FormatInt(int64(oe.RetryAfter.Seconds()+0.999), 10))
 	}
-	WriteJSON(w, status, ToWire(id, resp, serr))
+	if status >= 500 {
+		telemetry.ActiveTracer().Trigger(fmt.Sprintf("http_%d", status))
+	}
+	wire := ToWire(id, resp, serr)
+	wire.StampTrace(traceID)
+	WriteJSON(w, status, wire)
+}
+
+// StampTrace records the request's trace ID on the wire error, if any.
+func (w *WireResponse) StampTrace(traceID string) {
+	if w != nil && w.Error != nil && traceID != "" {
+		w.Error.TraceID = traceID
+	}
 }
 
 // ReadBody reads one bounded request body, answering the appropriate
@@ -217,7 +261,7 @@ func DecodeCompileBody(body []byte) (reqs []*Request, batch bool, err error) {
 // serveBatch fans the batch out through Submit concurrently — each
 // request passes admission control individually, so a batch cannot
 // bypass the queue bound — and answers 200 with per-item outcomes.
-func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, reqs []*Request) {
+func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, reqs []*Request, traceID string) {
 	out := wireBatchResponse{Responses: make([]*WireResponse, len(reqs))}
 	var wg sync.WaitGroup
 	for i, req := range reqs {
@@ -228,8 +272,9 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, reqs []*Requ
 		wg.Add(1)
 		go func(i int, req *Request) {
 			defer wg.Done()
-			resp, err := s.Submit(r.Context(), req)
+			resp, err := s.Submit(ctx, req)
 			out.Responses[i] = ToWire(req.ID, resp, err)
+			out.Responses[i].StampTrace(traceID)
 		}(i, req)
 	}
 	wg.Wait()

@@ -35,12 +35,14 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"pipesched"
 	"pipesched/internal/fleet/store"
 	"pipesched/internal/machine"
+	"pipesched/internal/telemetry"
 )
 
 // Config tunes one Server. The zero value is usable: every field has a
@@ -83,6 +85,9 @@ type Config struct {
 	// off; the pipeline's own nil-by-default telemetry is unaffected
 	// either way.
 	Metrics *pipesched.Telemetry
+	// Node names this server in distributed-trace spans and the /fleet
+	// status — set by the fleet layer; "" for a standalone server.
+	Node string
 
 	// now is the clock (swapped by tests); default time.Now.
 	now func() time.Time
@@ -199,6 +204,12 @@ type flight struct {
 	refs     int // waiters, guarded by Server.mu; 0 → nobody cares, cancel
 	done     chan struct{}
 	resp     *Response // set before done closes; shared, read-only
+
+	// Distributed-trace linkage: the LEADER's trace context (children —
+	// queue wait, breaker decision, compile attempts — parent under it)
+	// and the queue-wait span opened at enqueue, ended by the worker.
+	tc    telemetry.TraceContext
+	qspan *telemetry.TraceSpan
 }
 
 // Server is the compile service. Create with New, submit with Submit
@@ -264,12 +275,54 @@ func New(cfg Config) *Server {
 // A nil Response means the request never executed: rejected by
 // validation or admission control, or abandoned by the caller.
 func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
+	ctx, sp := telemetry.ActiveTracer().StartSpan(ctx, "server.submit")
+	if sp != nil && s.cfg.Node != "" {
+		sp.SetNode(s.cfg.Node)
+	}
+	resp, err := s.submit(ctx, req)
+	if sp != nil {
+		annotateSubmit(sp, resp)
+		sp.Fail(err)
+		sp.End()
+	}
+	return resp, err
+}
+
+// annotateSubmit records the request's service-level outcome on its
+// server.submit span.
+func annotateSubmit(sp *telemetry.TraceSpan, resp *Response) {
+	if resp == nil {
+		return
+	}
+	switch {
+	case resp.DiskHit:
+		sp.SetAttr("cache", "disk")
+	case resp.Cached:
+		sp.SetAttr("cache", "memory")
+	}
+	if resp.Deduped {
+		sp.SetAttr("deduped", "true")
+	}
+	if resp.FastPath {
+		sp.SetAttr("fast_path", "true")
+	}
+	if resp.Retries > 0 {
+		sp.SetAttr("retries", strconv.Itoa(resp.Retries))
+	}
+	if resp.Compiled != nil {
+		sp.SetAttr("rung", resp.Compiled.Quality.String())
+	}
+}
+
+// submit is Submit's body, running under the server.submit span when
+// the request is traced.
+func (s *Server) submit(ctx context.Context, req *Request) (*Response, error) {
 	proto, timeout, err := s.prepare(req)
 	if err != nil {
 		return nil, err
 	}
 	for attempt := 0; ; attempt++ {
-		f, joined, cached, err := s.admit(proto, timeout)
+		f, joined, cached, err := s.admit(ctx, proto, timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -335,9 +388,13 @@ func (s *Server) prepare(req *Request) (*flight, time.Duration, error) {
 // deadline-aware shedding, bounded enqueue. Exactly one of (f, cached,
 // err) paths results: a flight to await (joined reports whether it was
 // already in flight), a cache hit, or a typed rejection.
-func (s *Server) admit(proto *flight, timeout time.Duration) (f *flight, joined bool, cached *Response, err error) {
+func (s *Server) admit(ctx context.Context, proto *flight, timeout time.Duration) (f *flight, joined bool, cached *Response, err error) {
+	tr := telemetry.ActiveTracer()
+	_, look := tr.StartSpan(ctx, "cache.lookup")
 	if c, ok := s.cache.get(proto.key); ok {
 		s.met.cacheHits.Inc()
+		look.SetAttr("result", "hit")
+		look.End()
 		return nil, false, &Response{Compiled: c, Cached: true}, nil
 	}
 	// LRU miss: consult the persistent tier (when configured) and
@@ -345,8 +402,12 @@ func (s *Server) admit(proto *flight, timeout time.Duration) (f *flight, joined 
 	if c, ok := s.disk.get(proto.key); ok {
 		s.cache.put(proto.key, c)
 		s.met.cacheHits.Inc()
+		look.SetAttr("result", "disk_hit")
+		look.End()
 		return nil, false, &Response{Compiled: c, Cached: true, DiskHit: true}, nil
 	}
+	look.SetAttr("result", "miss")
+	look.End()
 	s.met.cacheMisses.Inc()
 
 	s.mu.Lock()
@@ -359,6 +420,9 @@ func (s *Server) admit(proto *flight, timeout time.Duration) (f *flight, joined 
 		f.refs++
 		s.mu.Unlock()
 		s.met.dedup.Inc()
+		// The joiner's trace shows the collapse; the leader's trace owns
+		// the actual work.
+		tr.Point(telemetry.TraceContextOf(ctx), "dedup.join")
 		return f, true, nil, nil
 	}
 	// Deadline-aware shedding: if the p95 queue wait already eats the
@@ -376,11 +440,18 @@ func (s *Server) admit(proto *flight, timeout time.Duration) (f *flight, joined 
 	f.refs = 1
 	f.done = make(chan struct{})
 	f.ctx, f.cancel = context.WithTimeout(s.baseCtx, timeout)
+	// The flight outlives this (leader) caller's ctx, so trace linkage
+	// is carried by value: children of the request parent under the
+	// submit span even when a joiner ends up consuming the result.
+	f.tc = telemetry.TraceContextOf(ctx)
+	f.qspan = tr.StartSpanFrom(f.tc, "queue.wait")
 	select {
 	case s.jobs <- f:
 	default:
 		s.mu.Unlock()
 		f.cancel()
+		f.qspan.Fail(errors.New("queue full"))
+		f.qspan.End()
 		s.met.shed["full"].Inc()
 		retry := time.Second
 		if est := s.waits.p95(); est > 0 {
@@ -435,15 +506,29 @@ func (s *Server) worker() {
 func (s *Server) execute(f *flight) {
 	wait := s.cfg.now().Sub(f.enqueued)
 	s.met.queueDepth.Add(-1)
-	s.met.waitHist.Observe(wait.Microseconds())
+	s.met.waitHist.ObserveExemplar(wait.Microseconds(), f.tc.TraceID, time.Now().Unix())
 	s.waits.observe(wait.Seconds())
 
 	if err := f.ctx.Err(); err != nil {
-		s.finish(f, &Response{Err: mapCtxErr(err), Wait: wait})
+		resp := &Response{Err: mapCtxErr(err), Wait: wait}
+		f.qspan.Fail(resp.Err)
+		f.qspan.End()
+		s.finish(f, resp)
 		return
 	}
+	f.qspan.End()
 
 	decision := s.breaker.allow(f.key)
+	if tr := telemetry.ActiveTracer(); tr != nil && f.tc.Valid() {
+		state := "closed"
+		switch decision {
+		case allowFastPath:
+			state = "open"
+		case allowProbe:
+			state = "half_open"
+		}
+		tr.Point(f.tc, "breaker.decision", "state", state)
+	}
 	opts := f.opts
 	if decision == allowFastPath {
 		opts.HeuristicOnly = true
@@ -486,9 +571,23 @@ func (s *Server) finish(f *flight, resp *Response) {
 // taken at all — the caller gets the previous attempt's answer now
 // instead of a worker sleeping the remaining budget away.
 func (s *Server) compileWithRetry(f *flight, opts pipesched.Options) *Response {
+	tr := telemetry.ActiveTracer()
 	attempts := 0
 	for {
-		c, err := s.compileOnce(f, opts)
+		aspan := tr.StartSpanFrom(f.tc, "compile.attempt")
+		actx := f.ctx
+		if aspan != nil {
+			aspan.SetAttr("attempt", strconv.Itoa(attempts+1))
+			actx = telemetry.WithTraceContext(f.ctx, aspan.Context())
+		}
+		c, err := s.compileOnce(actx, f, opts)
+		if aspan != nil {
+			if c != nil {
+				aspan.SetAttr("rung", c.Quality.String())
+			}
+			aspan.Fail(err)
+			aspan.End()
+		}
 		if err == nil || !transientFault(err) || attempts >= s.cfg.MaxRetries || f.ctx.Err() != nil {
 			return &Response{Compiled: c, Err: err, Retries: attempts}
 		}
@@ -500,6 +599,7 @@ func (s *Server) compileWithRetry(f *flight, opts pipesched.Options) *Response {
 		}
 		attempts++
 		s.met.retries.Inc()
+		tr.Point(f.tc, "retry.backoff", "delay", delay.String())
 		select {
 		case <-time.After(delay):
 		case <-f.ctx.Done():
@@ -512,20 +612,23 @@ func (s *Server) compileWithRetry(f *flight, opts pipesched.Options) *Response {
 
 // compileOnce is one attempt, with a last-resort panic isolation layer
 // over the pipeline's own per-stage isolation.
-func (s *Server) compileOnce(f *flight, opts pipesched.Options) (c *pipesched.Compiled, err error) {
+func (s *Server) compileOnce(ctx context.Context, f *flight, opts pipesched.Options) (c *pipesched.Compiled, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.met.panics.Inc()
+			// A panic that escaped stage isolation is exactly what the
+			// black box exists for: dump the recent span ring.
+			telemetry.ActiveTracer().Trigger("panic")
 			c, err = nil, fmt.Errorf("%w: compile panicked outside stage isolation: %v", ErrInternal, r)
 		}
 	}()
 	if testHookCompile != nil {
-		testHookCompile(f.ctx)
+		testHookCompile(ctx)
 	}
 	if f.block != nil {
-		return pipesched.ScheduleCtx(f.ctx, f.block, f.m, opts)
+		return pipesched.ScheduleCtx(ctx, f.block, f.m, opts)
 	}
-	return pipesched.CompileCtx(f.ctx, f.source, f.m, opts)
+	return pipesched.CompileCtx(ctx, f.source, f.m, opts)
 }
 
 // testHookCompile, when non-nil, runs at the top of every compile

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"pipesched/internal/core"
 )
@@ -14,6 +15,7 @@ type chromeEvent struct {
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"` // instant-event scope
@@ -35,6 +37,13 @@ type chromeTrace struct {
 // Prunes, improvements and the curtail point render as instant events
 // inside the slice that triggered them, with the node, η and μ values in
 // the event args.
+//
+// Parallel searches interleave events from several workers in one
+// mutex-ordered stream. Each worker's own events stay in program order
+// (the trace mutex preserves per-goroutine ordering), so the converter
+// keeps an independent DFS stack per worker and renders worker w on
+// thread id w+1 — one flame row per worker, sharing the global synthetic
+// clock so cross-worker interleaving stays visible.
 func ChromeTrace(t *core.SearchTrace, block string) ([]byte, error) {
 	if t == nil {
 		return nil, fmt.Errorf("telemetry: nil search trace")
@@ -42,40 +51,64 @@ func ChromeTrace(t *core.SearchTrace, block string) ([]byte, error) {
 	if block == "" {
 		block = "block"
 	}
-	const pid, tid = 1, 1
+	const pid = 1
+	events := t.Snapshot()
+
+	// Stable tid mapping: workers sorted ascending, tid = worker+1, with
+	// one thread_name metadata row each.
+	seen := map[int]bool{}
+	var workers []int
+	for _, e := range events {
+		if !seen[e.Worker] {
+			seen[e.Worker] = true
+			workers = append(workers, e.Worker)
+		}
+	}
+	sort.Ints(workers)
+
 	out := chromeTrace{DisplayTimeUnit: "ms"}
 	out.TraceEvents = append(out.TraceEvents,
 		chromeEvent{Name: "process_name", Ph: "M", Pid: pid,
-			Args: map[string]any{"name": "pipesched branch-and-bound"}},
-		chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
-			Args: map[string]any{"name": "search: " + block}},
-	)
-
-	// open holds the depths of currently-open "place" slices (a strictly
-	// increasing stack mirroring the DFS descent).
-	var open []int
-	ts := int64(0)
-	closeDownTo := func(depth int) {
-		for len(open) > 0 && open[len(open)-1] >= depth {
-			out.TraceEvents = append(out.TraceEvents,
-				chromeEvent{Name: "place", Ph: "E", Ts: ts, Pid: pid, Tid: tid})
-			open = open[:len(open)-1]
+			Args: map[string]any{"name": "pipesched branch-and-bound"}})
+	for _, w := range workers {
+		name := fmt.Sprintf("search: %s (worker %d)", block, w)
+		if len(workers) == 1 {
+			name = "search: " + block
 		}
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: w + 1,
+				Args: map[string]any{"name": name}})
 	}
-	for _, e := range t.Events {
-		args := map[string]any{"depth": e.Depth, "node": e.Node, "eta": e.Eta, "mu": e.Mu}
+
+	// open[w] holds the depths of worker w's currently-open "place"
+	// slices (a strictly increasing stack mirroring that worker's DFS
+	// descent).
+	open := map[int][]int{}
+	ts := int64(0)
+	closeDownTo := func(w, depth int) {
+		stack := open[w]
+		for len(stack) > 0 && stack[len(stack)-1] >= depth {
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "place", Ph: "E", Ts: ts, Pid: pid, Tid: w + 1})
+			stack = stack[:len(stack)-1]
+		}
+		open[w] = stack
+	}
+	for _, e := range events {
+		tid := e.Worker + 1
+		args := map[string]any{"depth": e.Depth, "node": e.Node, "eta": e.Eta, "mu": e.Mu, "worker": e.Worker}
 		switch e.Action {
 		case core.TracePlace:
-			closeDownTo(e.Depth)
+			closeDownTo(e.Worker, e.Depth)
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: fmt.Sprintf("place n%d", e.Node), Cat: string(e.Action),
 				Ph: "B", Ts: ts, Pid: pid, Tid: tid, Args: args,
 			})
-			open = append(open, e.Depth)
+			open[e.Worker] = append(open[e.Worker], e.Depth)
 		case core.TraceImprove, core.TraceAlphaBeta, core.TraceLowerBound, core.TraceCurtail:
 			// Emitted inside the placement at the same depth: keep that
 			// slice open so the instant renders within it.
-			closeDownTo(e.Depth + 1)
+			closeDownTo(e.Worker, e.Depth+1)
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: fmt.Sprintf("%s n%d", e.Action, e.Node), Cat: string(e.Action),
 				Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t", Args: args,
@@ -84,7 +117,7 @@ func ChromeTrace(t *core.SearchTrace, block string) ([]byte, error) {
 			// Candidate rejections happen while filling position Depth,
 			// i.e. inside the slice for Depth-1; the rejected candidate
 			// never opened a slice of its own.
-			closeDownTo(e.Depth)
+			closeDownTo(e.Worker, e.Depth)
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: fmt.Sprintf("%s n%d", e.Action, e.Node), Cat: string(e.Action),
 				Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t", Args: args,
@@ -92,6 +125,154 @@ func ChromeTrace(t *core.SearchTrace, block string) ([]byte, error) {
 		}
 		ts++
 	}
-	closeDownTo(0)
+	for _, w := range workers {
+		closeDownTo(w, 0)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// ChromeTraceRequest converts completed distributed-trace spans (from a
+// JSONL sink file or a flight-recorder dump — see `pipesched trace`)
+// into Chrome trace_event JSON rendering one request's full fleet
+// journey on one timeline: each fleet node is a process row, concurrent
+// spans within a node (hedged replica attempts, parallel stages) pack
+// onto separate thread rows, and instant points (breaker decisions,
+// degradations, failover skips) render in place.
+//
+// Spans without a node of their own inherit the nearest ancestor's, so
+// pipeline stages group under the node that executed them. The pid/tid
+// assignment is deterministic for a given span set: processes are
+// ordered front-door-first then by node name, rows greedily by start
+// time.
+func ChromeTraceRequest(spans []SpanRecord) ([]byte, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("telemetry: no trace spans")
+	}
+	byID := make(map[uint64]*SpanRecord, len(spans))
+	for i := range spans {
+		byID[spans[i].SpanID] = &spans[i]
+	}
+	// Resolve each span's node by walking up the parent chain. Cycles
+	// are impossible with honest IDs but guard anyway.
+	nodeOf := func(r *SpanRecord) string {
+		cur, hops := r, 0
+		for cur != nil && hops < 64 {
+			if cur.Node != "" {
+				return cur.Node
+			}
+			cur = byID[cur.Parent]
+			hops++
+		}
+		return ""
+	}
+
+	// pid per node: front door / router ("") first, then nodes sorted.
+	nodes := map[string]bool{}
+	resolved := make([]string, len(spans))
+	for i := range spans {
+		resolved[i] = nodeOf(&spans[i])
+		nodes[resolved[i]] = true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if (order[i] == "") != (order[j] == "") {
+			return order[i] == ""
+		}
+		return order[i] < order[j]
+	})
+	pidOf := map[string]int{}
+	for i, n := range order {
+		pidOf[n] = i + 1
+	}
+
+	// Base the synthetic clock at the earliest span start so timestamps
+	// are small, positive microseconds.
+	base := spans[0].Start
+	for _, s := range spans {
+		if s.Start.Before(base) {
+			base = s.Start
+		}
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	for _, n := range order {
+		name := n
+		if n == "" {
+			name = "front door / router"
+		}
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: pidOf[n],
+				Args: map[string]any{"name": name}})
+	}
+
+	// Within each process, pack spans onto rows: sort by start, assign
+	// each span the lowest row whose previous occupant has ended.
+	type placed struct {
+		idx int
+		pid int
+	}
+	byPid := map[int][]placed{}
+	for i := range spans {
+		p := pidOf[resolved[i]]
+		byPid[p] = append(byPid[p], placed{idx: i, pid: p})
+	}
+	for pid, ps := range byPid {
+		sort.Slice(ps, func(a, b int) bool {
+			sa, sb := spans[ps[a].idx], spans[ps[b].idx]
+			if !sa.Start.Equal(sb.Start) {
+				return sa.Start.Before(sb.Start)
+			}
+			return sa.SpanID < sb.SpanID
+		})
+		var rowEnd []int64 // per-row end timestamp, µs
+		for _, pl := range ps {
+			s := spans[pl.idx]
+			ts := s.Start.Sub(base).Microseconds()
+			dur := s.Dur.Microseconds()
+			row := -1
+			for r, end := range rowEnd {
+				if end <= ts {
+					row = r
+					break
+				}
+			}
+			if row == -1 {
+				row = len(rowEnd)
+				rowEnd = append(rowEnd, 0)
+			}
+			rowEnd[row] = ts + dur
+			args := map[string]any{"trace_id": s.TraceID, "span_id": s.SpanID}
+			for k, v := range s.Attrs {
+				args[k] = v
+			}
+			if s.Err != "" {
+				args["err"] = s.Err
+			}
+			ev := chromeEvent{
+				Name: s.Name, Cat: "trace",
+				Ts: ts, Pid: pid, Tid: row + 1, Args: args,
+			}
+			if s.Dur > 0 {
+				ev.Ph, ev.Dur = "X", dur
+			} else {
+				ev.Ph, ev.S = "i", "t"
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	// Deterministic output order: by pid, then timestamp, then tid.
+	sort.SliceStable(out.TraceEvents, func(a, b int) bool {
+		ea, eb := out.TraceEvents[a], out.TraceEvents[b]
+		if ea.Pid != eb.Pid {
+			return ea.Pid < eb.Pid
+		}
+		if ea.Ts != eb.Ts {
+			return ea.Ts < eb.Ts
+		}
+		return ea.Tid < eb.Tid
+	})
 	return json.MarshalIndent(out, "", " ")
 }

@@ -12,10 +12,11 @@ import (
 // Handler returns an http.Handler exposing the live introspection
 // endpoints for reg:
 //
-//	/metrics       Prometheus text exposition
-//	/debug/vars    expvar JSON (runtime memstats + the registry snapshot)
-//	/debug/pprof/  the standard pprof index (profile, heap, trace, ...)
-//	/healthz       liveness probe ("ok")
+//	/metrics               Prometheus text exposition
+//	/debug/vars            expvar JSON (runtime memstats + the registry snapshot)
+//	/debug/pprof/          the standard pprof index (profile, heap, trace, ...)
+//	/debug/flightrecorder  recent span records from the installed tracer's ring (JSONL)
+//	/healthz               liveness probe ("ok")
 //
 // The handler is self-contained: nothing is registered on
 // http.DefaultServeMux.
@@ -45,6 +46,17 @@ func Handler(reg *Registry) http.Handler {
 			fmt.Fprintf(w, "%q: %d", k, snap[k])
 		}
 		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		// Resolved per request: the handler works whether the tracer is
+		// installed before or after the endpoint comes up.
+		t := ActiveTracer()
+		if t == nil {
+			http.Error(w, "tracing disabled: no tracer installed", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = t.Recorder().WriteJSONL(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

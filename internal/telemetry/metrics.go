@@ -22,7 +22,9 @@ var QualityRungs = []string{"optimal", "incumbent", "heuristic", "baseline"}
 
 // Event is one structured observability event, delivered to the
 // registered Sink. Kind is "span" for stage timings, "search" for one
-// branch-and-bound completion, "compile" for one finished block.
+// branch-and-bound completion, "compile" for one finished block,
+// "trace" for one completed distributed-trace span, and "flight_dump"
+// for a flight-recorder dump header.
 type Event struct {
 	Time    time.Time        `json:"time"`
 	Kind    string           `json:"kind"`
@@ -32,6 +34,17 @@ type Event struct {
 	Quality string           `json:"quality,omitempty"` // compile events
 	Err     string           `json:"err,omitempty"`     // span/compile failure, if any
 	Fields  map[string]int64 `json:"fields,omitempty"`  // numeric payload (Ω calls, NOPs, prunes)
+
+	// Distributed-trace fields. Trace is set on "trace" events and on
+	// any span/search/compile event that ran under a traced request, so
+	// sink records are joinable to their traces.
+	Trace     string            `json:"trace_id,omitempty"`
+	Span      uint64            `json:"span_id,omitempty"`
+	Parent    uint64            `json:"parent_id,omitempty"`
+	Name      string            `json:"name,omitempty"`            // trace span name
+	Node      string            `json:"node,omitempty"`            // originating fleet node
+	StartNano int64             `json:"start_unix_nano,omitempty"` // trace span start
+	Attrs     map[string]string `json:"attrs,omitempty"`           // trace span annotations
 }
 
 // Sink receives structured events. Implementations must be safe for
@@ -177,6 +190,7 @@ type Span struct {
 	block string
 	start time.Time
 	err   error
+	trace TraceContext
 }
 
 // StartSpan opens a timed region for one stage of one block's pipeline.
@@ -185,6 +199,16 @@ func (m *Metrics) StartSpan(stage, block string) *Span {
 		return nil
 	}
 	return &Span{m: m, stage: stage, block: block, start: time.Now()}
+}
+
+// WithTrace tags the span with the request's trace so the emitted sink
+// event is joinable to the distributed trace. Returns s for chaining;
+// nil-safe.
+func (s *Span) WithTrace(tc TraceContext) *Span {
+	if s != nil {
+		s.trace = tc
+	}
+	return s
 }
 
 // Fail records the error the spanned stage ended with (shown in the
@@ -209,6 +233,10 @@ func (s *Span) End() {
 	e := Event{Kind: "span", Stage: s.stage, Block: s.block, Nanos: d.Nanoseconds()}
 	if s.err != nil {
 		e.Err = s.err.Error()
+	}
+	if s.trace.Valid() {
+		e.Trace = s.trace.TraceID
+		e.Parent = s.trace.SpanID
 	}
 	s.m.emit(e)
 }

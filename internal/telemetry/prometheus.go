@@ -80,7 +80,14 @@ func writeHistogram(w io.Writer, name, labels string, h *Histogram, unit float64
 		if !math.IsInf(bound, 1) {
 			le = formatFloat(bound * unit)
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(le), cum); err != nil {
+		// OpenMetrics-style exemplar suffix: links the bucket to the
+		// most recent traced observation that landed in it.
+		exemplar := ""
+		if ex := h.Exemplar(i); ex != nil {
+			exemplar = fmt.Sprintf(" # {trace_id=%q} %s %d",
+				ex.TraceID, formatFloat(float64(ex.Value)*unit), ex.Unix)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, withLE(le), cum, exemplar); err != nil {
 			return err
 		}
 	}

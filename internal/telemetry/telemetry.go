@@ -99,6 +99,31 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Int64 // buckets[i]: 2^(i-1) <= v < 2^i (i=0: v < 1)
 	count   atomic.Int64
 	sum     atomic.Int64
+
+	// exemplars[i] is the most recent traced observation that landed in
+	// bucket i, so a p99 bucket links to a concrete trace ID. Lazily
+	// allocated on the first ObserveExemplar — histograms on untraced
+	// paths pay nothing.
+	exemplars atomic.Pointer[[histBuckets]atomic.Pointer[Exemplar]]
+}
+
+// Exemplar links one histogram bucket to a concrete traced request.
+type Exemplar struct {
+	TraceID string
+	Value   int64 // native-unit observation
+	Unix    int64 // observation time, unix seconds
+}
+
+// bucketOf returns the bucket index a value lands in.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v)) // v < 2^i, v >= 2^(i-1)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
 }
 
 // Observe records one value. Negative values clamp to zero.
@@ -109,13 +134,42 @@ func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	i := bits.Len64(uint64(v)) // v < 2^i, v >= 2^(i-1)
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	h.buckets[i].Add(1)
+	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// remembers it as the bucket's exemplar so the exported series links to
+// a concrete trace.
+func (h *Histogram) ObserveExemplar(v int64, traceID string, unixSec int64) {
+	h.Observe(v)
+	if h == nil || traceID == "" {
+		return
+	}
+	ex := h.exemplars.Load()
+	if ex == nil {
+		ex = new([histBuckets]atomic.Pointer[Exemplar])
+		if !h.exemplars.CompareAndSwap(nil, ex) {
+			ex = h.exemplars.Load()
+		}
+	}
+	if v < 0 {
+		v = 0
+	}
+	ex[bucketOf(v)].Store(&Exemplar{TraceID: traceID, Value: v, Unix: unixSec})
+}
+
+// Exemplar returns bucket i's exemplar, or nil if none was recorded.
+func (h *Histogram) Exemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= histBuckets {
+		return nil
+	}
+	ex := h.exemplars.Load()
+	if ex == nil {
+		return nil
+	}
+	return ex[i].Load()
 }
 
 // Count returns the number of observations.

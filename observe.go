@@ -96,3 +96,45 @@ func NewJSONLTelemetrySink(w io.Writer) TelemetrySink {
 func ChromeTrace(t *SearchTrace, block string) ([]byte, error) {
 	return telemetry.ChromeTrace(t, block)
 }
+
+// Tracer mints and finishes distributed-trace spans; see EnableTracing.
+type Tracer = telemetry.Tracer
+
+// TracerConfig sizes a Tracer: node identity, flight-recorder ring
+// capacity, and the dump directory/rate-limit for black-box dumps.
+type TracerConfig = telemetry.TracerConfig
+
+// TraceSpanRecord is one completed distributed-trace span, as stored in
+// the flight-recorder ring and the JSONL sink (Kind "trace").
+type TraceSpanRecord = telemetry.SpanRecord
+
+// EnableTracing installs a process-wide distributed tracer bound to t's
+// registry and sink (t may be nil: spans then only feed the flight
+// recorder). Like telemetry, tracing is off by default and every
+// potential span costs one atomic pointer load until this is called
+// (BenchmarkTracingDisabled guards that overhead).
+func EnableTracing(t *Telemetry, cfg TracerConfig) *Tracer {
+	return telemetry.InstallTracer(telemetry.NewTracer(t, cfg))
+}
+
+// DisableTracing turns distributed tracing back off (the default).
+func DisableTracing() { telemetry.UninstallTracer() }
+
+// ActiveTracer returns the installed tracer, or nil when tracing is
+// off. All Tracer methods tolerate a nil receiver.
+func ActiveTracer() *Tracer { return telemetry.ActiveTracer() }
+
+// TraceSpanFromEvent recovers a span record from a sink event; the
+// second result is false for non-trace events.
+func TraceSpanFromEvent(e TelemetryEvent) (TraceSpanRecord, bool) {
+	return telemetry.SpanFromEvent(e)
+}
+
+// ChromeTraceRequest converts one request's distributed-trace spans
+// (read from a JSONL sink file or a flight-recorder dump) into Chrome
+// trace_event JSON: each fleet node is a process row, hedged replica
+// attempts pack onto parallel thread rows, and breaker/degradation/
+// failover points render in place. See also `pipesched trace`.
+func ChromeTraceRequest(spans []TraceSpanRecord) ([]byte, error) {
+	return telemetry.ChromeTraceRequest(spans)
+}

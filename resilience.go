@@ -52,10 +52,24 @@ import (
 //
 // Every call is also a telemetry span boundary: the stage's wall time
 // lands in the pipesched_stage_duration_seconds histogram and, when a
-// sink is registered, a "span" event is emitted. With telemetry off
-// (the default) this is one atomic load and nil-receiver calls.
-func runStage(stage faultinject.Stage, label string, fn func() error) (fault *StageError, err error) {
-	sp := telemetry.Active().StartSpan(string(stage), label)
+// sink is registered, a "span" event is emitted. When the request runs
+// under a distributed trace (ctx carries a telemetry.TraceContext and a
+// tracer is installed), the stage additionally becomes a child trace
+// span and the metric event carries the trace ID. With telemetry and
+// tracing off (the default) this is two atomic loads and nil-receiver
+// calls (BenchmarkTracingDisabled).
+func runStage(ctx context.Context, stage faultinject.Stage, label string, fn func() error) (fault *StageError, err error) {
+	var tc telemetry.TraceContext
+	var ts *telemetry.TraceSpan
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		if tc = telemetry.TraceContextOf(ctx); tc.Valid() {
+			ts = tr.StartSpanFrom(tc, "stage:"+string(stage))
+			if label != "" {
+				ts.SetAttr("block", label)
+			}
+		}
+	}
+	sp := telemetry.Active().StartSpan(string(stage), label).WithTrace(tc)
 	defer func() {
 		if r := recover(); r != nil {
 			fault = &StageError{Stage: string(stage), Block: label, Panic: r, Stack: debug.Stack()}
@@ -64,15 +78,27 @@ func runStage(stage faultinject.Stage, label string, fn func() error) (fault *St
 		switch {
 		case fault != nil:
 			sp.Fail(fault)
+			ts.Fail(fault)
 		case err != nil:
 			sp.Fail(err)
+			ts.Fail(err)
 		}
 		sp.End()
+		ts.End()
 	}()
 	if ferr := faultinject.Fire(stage); ferr != nil {
 		return &StageError{Stage: string(stage), Block: label, Err: ferr}, nil
 	}
 	return nil, fn()
+}
+
+// tracePoint records an instant trace event (degradation-rung fallback,
+// breaker decision) under the request's trace, if any. Free when
+// tracing is off.
+func tracePoint(ctx context.Context, name string, attrs ...string) {
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		tr.Point(telemetry.TraceContextOf(ctx), name, attrs...)
+	}
 }
 
 // beginCompile opens the per-block telemetry accounting for one public
@@ -179,7 +205,7 @@ func CompileCtx(ctx context.Context, src string, m *Machine, o Options) (*Compil
 	}
 	done := beginCompile()
 	var block *Block
-	fault, err := runStage(faultinject.Frontend, "block", func() error {
+	fault, err := runStage(ctx, faultinject.Frontend, "block", func() error {
 		var e error
 		block, e = tuplegen.Compile(src, "block")
 		return e
@@ -195,7 +221,7 @@ func CompileCtx(ctx context.Context, src string, m *Machine, o Options) (*Compil
 	var faults []*StageError
 	if o.Optimize || o.Reassociate {
 		optimized := block
-		fault, _ := runStage(faultinject.Opt, block.Label, func() error {
+		fault, _ := runStage(ctx, faultinject.Opt, block.Label, func() error {
 			if o.Reassociate {
 				optimized = opt.OptimizeReassoc(block)
 			} else {
@@ -238,13 +264,13 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 	label := block.Label
 
 	var g *dag.Graph
-	fault, err := runStage(faultinject.DAG, label, func() error {
+	fault, err := runStage(ctx, faultinject.DAG, label, func() error {
 		var e error
 		g, e = dag.Build(block)
 		return e
 	})
 	if fault != nil {
-		return baselineCompiled(block, m, o, append(faults, fault))
+		return baselineCompiled(ctx, block, m, o, append(faults, fault))
 	}
 	if err != nil {
 		return nil, err
@@ -253,12 +279,12 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 	if o.HeuristicOnly {
 		// Fail-fast path: the caller has decided (e.g. via the server's
 		// circuit breaker) that this block should not pay for a search.
-		return heuristicCompiled(block, g, m, o, faults)
+		return heuristicCompiled(ctx, block, g, m, o, faults)
 	}
 
 	copts := searchOptions(ctx, o)
 	var sched *core.Schedule
-	fault, err = runStage(faultinject.Search, label, func() error {
+	fault, err = runStage(ctx, faultinject.Search, label, func() error {
 		var e error
 		if o.Workers > 1 {
 			sched, e = core.FindParallel(g, m, copts, o.Workers)
@@ -268,7 +294,7 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 		return e
 	})
 	if fault != nil {
-		return heuristicCompiled(block, g, m, o, append(faults, fault))
+		return heuristicCompiled(ctx, block, g, m, o, append(faults, fault))
 	}
 	if err != nil {
 		return nil, err
@@ -279,7 +305,7 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 	if sched.Stopped != nil {
 		quality = Incumbent
 	}
-	c, err := emit(block, g, m, o, sched.Order, sched.Eta, sched.Pipes, quality, faults)
+	c, err := emit(ctx, block, g, m, o, sched.Order, sched.Eta, sched.Pipes, quality, faults)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +321,8 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 // priced by the NOP-insertion analysis — the same schedule the search
 // would have started from. Runs under isolate so a persistent search
 // injection cannot re-fire; if even the seed fails, drops to Baseline.
-func heuristicCompiled(block *Block, g *dag.Graph, m *Machine, o Options, faults []*StageError) (*Compiled, error) {
+func heuristicCompiled(ctx context.Context, block *Block, g *dag.Graph, m *Machine, o Options, faults []*StageError) (*Compiled, error) {
+	tracePoint(ctx, "degrade", "rung", "heuristic", "block", block.Label)
 	var r nopins.Result
 	f, err := isolate(faultinject.Search, block.Label, func() error {
 		order := listsched.Schedule(g, listsched.ByHeight)
@@ -307,9 +334,9 @@ func heuristicCompiled(block *Block, g *dag.Graph, m *Machine, o Options, faults
 		if f != nil {
 			faults = append(faults, f)
 		}
-		return baselineCompiled(block, m, o, faults)
+		return baselineCompiled(ctx, block, m, o, faults)
 	}
-	c, err := emit(block, g, m, o, r.Order, r.Eta, r.Pipes, Heuristic, faults)
+	c, err := emit(ctx, block, g, m, o, r.Order, r.Eta, r.Pipes, Heuristic, faults)
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +391,8 @@ func baselineSchedule(block *Block, m *Machine, drain bool) (order, eta, pipes [
 }
 
 // baselineCompiled materializes the Baseline rung for one block.
-func baselineCompiled(block *Block, m *Machine, o Options, faults []*StageError) (*Compiled, error) {
+func baselineCompiled(ctx context.Context, block *Block, m *Machine, o Options, faults []*StageError) (*Compiled, error) {
+	tracePoint(ctx, "degrade", "rung", "baseline", "block", block.Label)
 	order, eta, pipes := baselineSchedule(block, m, false)
 	// The faulting DAG stage often still builds cleanly when retried
 	// outside the injection boundary; a graph re-enables the simulator
@@ -377,7 +405,7 @@ func baselineCompiled(block *Block, m *Machine, o Options, faults []*StageError)
 	}); f != nil || err != nil {
 		g = nil
 	}
-	c, err := emit(block, g, m, o, order, eta, pipes, Baseline, faults)
+	c, err := emit(ctx, block, g, m, o, order, eta, pipes, Baseline, faults)
 	if err != nil {
 		return nil, err
 	}
@@ -389,9 +417,9 @@ func baselineCompiled(block *Block, m *Machine, o Options, faults []*StageError)
 // fault it retries once without the register limit (outside the
 // injection boundary); a second failure leaves the assignment nil — the
 // schedule itself is unaffected.
-func allocateIsolated(scheduled *Block, label string, limit int, faults *[]*StageError) (*regalloc.Assignment, error) {
+func allocateIsolated(ctx context.Context, scheduled *Block, label string, limit int, faults *[]*StageError) (*regalloc.Assignment, error) {
 	var regs *regalloc.Assignment
-	fault, err := runStage(faultinject.Regalloc, label, func() error {
+	fault, err := runStage(ctx, faultinject.Regalloc, label, func() error {
 		var e error
 		regs, e = regalloc.Allocate(scheduled, limit)
 		return e
@@ -415,9 +443,9 @@ func allocateIsolated(scheduled *Block, label string, limit int, faults *[]*Stag
 
 // emitIsolated runs code emission under stage isolation; on a fault the
 // assembly is simply empty.
-func emitIsolated(prog codegen.Program, mode DelayMode, label string, faults *[]*StageError) (string, error) {
+func emitIsolated(ctx context.Context, prog codegen.Program, mode DelayMode, label string, faults *[]*StageError) (string, error) {
 	var asm string
-	fault, err := runStage(faultinject.Codegen, label, func() error {
+	fault, err := runStage(ctx, faultinject.Codegen, label, func() error {
 		var e error
 		asm, e = codegen.Emit(prog, mode)
 		return e
@@ -439,14 +467,14 @@ func emitIsolated(prog codegen.Program, mode DelayMode, label string, faults *[]
 // generator leaves Assembly empty. g may be nil on the Baseline rung;
 // NOP explanations, Tera backoff counts and the simulator verification
 // then degrade gracefully instead of failing.
-func emit(block *Block, g *dag.Graph, m *Machine, o Options,
+func emit(ctx context.Context, block *Block, g *dag.Graph, m *Machine, o Options,
 	order, eta, pipes []int, quality Quality, faults []*StageError) (*Compiled, error) {
 	label := block.Label
 	scheduled, err := block.Permute(order)
 	if err != nil {
 		return nil, fmt.Errorf("pipesched: internal: %w", err)
 	}
-	regs, err := allocateIsolated(scheduled, label, o.Registers, &faults)
+	regs, err := allocateIsolated(ctx, scheduled, label, o.Registers, &faults)
 	if err != nil {
 		return nil, err
 	}
@@ -475,7 +503,7 @@ func emit(block *Block, g *dag.Graph, m *Machine, o Options,
 			prog.Back = back
 		}
 	}
-	asm, err := emitIsolated(prog, mode, label, &faults)
+	asm, err := emitIsolated(ctx, prog, mode, label, &faults)
 	if err != nil {
 		return nil, err
 	}
@@ -523,13 +551,13 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 	}
 	done := beginCompile()
 	var g *dag.Graph
-	fault, err := runStage(faultinject.DAG, block.Label, func() error {
+	fault, err := runStage(ctx, faultinject.DAG, block.Label, func() error {
 		var e error
 		g, e = dag.Build(block)
 		return e
 	})
 	if fault != nil {
-		c, err := baselineCompiled(block, m, o, []*StageError{fault})
+		c, err := baselineCompiled(ctx, block, m, o, []*StageError{fault})
 		done(c)
 		return c, err
 	}
@@ -538,7 +566,7 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 		return nil, err
 	}
 	var r *splitter.Result
-	fault, err = runStage(faultinject.Search, block.Label, func() error {
+	fault, err = runStage(ctx, faultinject.Search, block.Label, func() error {
 		var e error
 		scfg := splitter.Config{
 			Window: window, Lambda: normLambda(o.Lambda), Assign: assignMode(o), Ctx: ctx,
@@ -551,7 +579,7 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 		return e
 	})
 	if fault != nil {
-		c, err := heuristicCompiled(block, g, m, o, []*StageError{fault})
+		c, err := heuristicCompiled(ctx, block, g, m, o, []*StageError{fault})
 		done(c)
 		return c, err
 	}
@@ -563,7 +591,7 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 	if r.OptimalWindows != r.Windows {
 		quality = Incumbent
 	}
-	c, err := emit(block, g, m, o, r.Order, r.Eta, r.Pipes, quality, nil)
+	c, err := emit(ctx, block, g, m, o, r.Order, r.Eta, r.Pipes, quality, nil)
 	if err != nil {
 		done(nil)
 		return nil, err
@@ -612,7 +640,7 @@ func ScheduleSequenceCtx(ctx context.Context, blocks []*Block, m *Machine, o Opt
 	heuristic := false
 	var faults []*StageError
 	var r *seqsched.Result
-	fault, err := runStage(faultinject.Search, "", func() error {
+	fault, err := runStage(ctx, faultinject.Search, "", func() error {
 		var e error
 		r, e = seqsched.Schedule(blocks, m, copts)
 		return e
@@ -626,7 +654,7 @@ func ScheduleSequenceCtx(ctx context.Context, blocks []*Block, m *Machine, o Opt
 			r, e = seqsched.ScheduleSeed(blocks, m, copts)
 			return e
 		}); f != nil || e != nil {
-			sr, serr := sequenceBaseline(blocks, m, o, faults)
+			sr, serr := sequenceBaseline(ctx, blocks, m, o, faults)
 			recordSequence(sr)
 			return sr, serr
 		}
@@ -644,7 +672,7 @@ func ScheduleSequenceCtx(ctx context.Context, blocks []*Block, m *Machine, o Opt
 				bq = Incumbent
 			}
 		}
-		c, err := finishSequenceBlock(blocks[i], bs, m, o, bq)
+		c, err := finishSequenceBlock(ctx, blocks[i], bs, m, o, bq)
 		if err != nil {
 			return nil, err
 		}
@@ -682,7 +710,8 @@ func recordSequence(r *SequenceResult) {
 // sequenceBaseline is the Baseline rung for a whole sequence: each block
 // in program order with full-drain padding, and a full pipeline drain
 // before every block boundary, so no cross-block state can be violated.
-func sequenceBaseline(blocks []*Block, m *Machine, o Options, faults []*StageError) (*SequenceResult, error) {
+func sequenceBaseline(ctx context.Context, blocks []*Block, m *Machine, o Options, faults []*StageError) (*SequenceResult, error) {
+	tracePoint(ctx, "degrade", "rung", "baseline", "blocks", fmt.Sprint(len(blocks)))
 	out := &SequenceResult{Quality: Baseline}
 	tick := 0
 	for i, b := range blocks {
@@ -695,7 +724,7 @@ func sequenceBaseline(blocks []*Block, m *Machine, o Options, faults []*StageErr
 		}); f != nil || err != nil {
 			g = nil
 		}
-		c, err := emit(b, g, m, o, order, eta, pipes, Baseline, nil)
+		c, err := emit(ctx, b, g, m, o, order, eta, pipes, Baseline, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -716,13 +745,13 @@ func sequenceBaseline(blocks []*Block, m *Machine, o Options, faults []*StageErr
 // cold-start re-verification of emit does not apply; the sequence-level
 // verification lives in internal/seqsched (Flatten + simulator),
 // exercised by its tests.
-func finishSequenceBlock(block *Block, bs seqsched.BlockSchedule, m *Machine, o Options, quality Quality) (*Compiled, error) {
+func finishSequenceBlock(ctx context.Context, block *Block, bs seqsched.BlockSchedule, m *Machine, o Options, quality Quality) (*Compiled, error) {
 	scheduled, err := block.Permute(bs.Sched.Order)
 	if err != nil {
 		return nil, fmt.Errorf("pipesched: internal: %w", err)
 	}
 	var faults []*StageError
-	regs, err := allocateIsolated(scheduled, block.Label, o.Registers, &faults)
+	regs, err := allocateIsolated(ctx, scheduled, block.Label, o.Registers, &faults)
 	if err != nil {
 		return nil, err
 	}
@@ -756,7 +785,7 @@ func finishSequenceBlock(block *Block, bs seqsched.BlockSchedule, m *Machine, o 
 		}
 		prog.Back = back
 	}
-	asm, err := emitIsolated(prog, o.Mode, block.Label, &faults)
+	asm, err := emitIsolated(ctx, prog, o.Mode, block.Label, &faults)
 	if err != nil {
 		return nil, err
 	}
@@ -789,7 +818,7 @@ func CompileSequenceCtx(ctx context.Context, src string, m *Machine, o Options) 
 		return nil, err
 	}
 	var blocks []*Block
-	fault, err := runStage(faultinject.Frontend, "", func() error {
+	fault, err := runStage(ctx, faultinject.Frontend, "", func() error {
 		parsed, err := frontend.ParseFile(src)
 		if err != nil {
 			return err
@@ -817,7 +846,7 @@ func CompileSequenceCtx(ctx context.Context, src string, m *Machine, o Options) 
 	if o.Optimize || o.Reassociate {
 		for i, b := range blocks {
 			optimized := b
-			fault, _ := runStage(faultinject.Opt, b.Label, func() error {
+			fault, _ := runStage(ctx, faultinject.Opt, b.Label, func() error {
 				if o.Reassociate {
 					optimized = opt.OptimizeReassoc(b)
 				} else {

@@ -122,3 +122,41 @@ func BenchmarkTelemetryEnabled(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTracingDisabled extends the nil-by-default guard to the
+// distributed tracer: with telemetry on but no tracer installed, every
+// span site must reduce to one atomic pointer load — compare against
+// BenchmarkTelemetryEnabled, which is the same configuration minus the
+// tracing call sites' loads.
+func BenchmarkTracingDisabled(b *testing.B) {
+	EnableTelemetry()
+	defer DisableTelemetry()
+	DisableTracing()
+	m := SimulationMachine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(telemetrySrc, m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracingEnabledUntraced measures a tracer being installed but
+// the request carrying no trace context — the fleet's cost for work
+// arriving outside any traced request. Spans must still not allocate
+// (StartSpan returns a nil span for untraced contexts).
+func BenchmarkTracingEnabledUntraced(b *testing.B) {
+	pm := EnableTelemetry()
+	defer DisableTelemetry()
+	EnableTracing(pm, TracerConfig{})
+	defer DisableTracing()
+	m := SimulationMachine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(telemetrySrc, m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
