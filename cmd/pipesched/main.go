@@ -9,6 +9,7 @@
 //	pipesched verify [flags]           # differential-oracle soak (see verify.go)
 //	pipesched bench-search [flags]     # search-effort benchmark (see benchsearch.go)
 //	pipesched fleet [flags]            # multi-node fault-tolerant fleet (see fleet.go)
+//	pipesched worker [flags]           # one out-of-process fleet backend (see worker.go)
 //	pipesched trace [flags] file.jsonl # render recorded distributed traces (see trace.go)
 //
 //	-preset name     machine preset: simulation | example | unpipelined | deep
@@ -72,6 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(args) > 0 && args[0] == "fleet" {
 		return runFleet(context.Background(), args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "worker" {
+		return runWorker(context.Background(), args[1:], stdout, stderr)
 	}
 	if len(args) > 0 && args[0] == "trace" {
 		return runTrace(args[1:], stdout, stderr)

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pipesched/internal/fleet"
+	"pipesched/internal/fleet/supervisor"
+)
+
+// TestRunWorkerEndToEnd boots a worker on an ephemeral port and proves
+// the process-fleet contract: the ready line, the PID header on every
+// response, the /workerz status endpoint, and graceful drain.
+func TestRunWorkerEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	workerReady = func(addr string) { ready <- addr }
+	defer func() { workerReady = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- runWorker(ctx, []string{"-addr", "127.0.0.1:0", "-node", "w-test", "-cache-dir", t.TempDir()}, &stdout, &stderr)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never became ready")
+	}
+	base := "http://" + addr
+
+	// The ready line on stdout must parse and agree with the bound
+	// address and our own PID (runWorker runs in-process here).
+	line := strings.TrimSpace(stdout.String())
+	rAddr, rPID, ok := supervisor.ParseReady(line)
+	if !ok {
+		t.Fatalf("stdout is not a ready line: %q", line)
+	}
+	if rAddr != addr || rPID != os.Getpid() {
+		t.Fatalf("ready line %q, want addr=%s pid=%d", line, addr, os.Getpid())
+	}
+
+	// Compile through the worker: the response must carry the PID header.
+	body := `{"id":"t1","tuples":"demo:\n  1: Load #x\n  2: Load #y\n  3: Mul @1, @2\n  4: Store #z, @3","machine":{"preset":"simulation"}}`
+	resp, err := http.Post(base+"/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(fleet.WorkerPIDHeader); got != strconv.Itoa(os.Getpid()) {
+		t.Fatalf("%s = %q, want %d", fleet.WorkerPIDHeader, got, os.Getpid())
+	}
+
+	// /workerz reports identity and durable-cache state. The disk write
+	// completes just after the response, so poll briefly for the entry.
+	var st fleet.WorkerStatus
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		wr, err := http.Get(base + "/workerz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(wr.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		wr.Body.Close()
+		if st.Node != "w-test" || st.PID != os.Getpid() || st.Draining {
+			t.Fatalf("workerz = %+v", st)
+		}
+		if st.DiskEntries >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workerz DiskEntries = %d, want >= 1 after a compile", st.DiskEntries)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit = %d (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain after cancellation")
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("no clean-drain announcement: %s", stderr.String())
+	}
+}
+
+func TestRunWorkerBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if got := runWorker(context.Background(), []string{"-bogus"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1", got)
+	}
+	if got := runWorker(context.Background(), []string{"-addr", "127.0.0.1:0"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1 when -node is missing", got)
+	}
+	if !strings.Contains(stderr.String(), "-node is required") {
+		t.Errorf("missing-node error not surfaced: %s", stderr.String())
+	}
+}
+
+// TestRunDispatchesWorker: the top-level run() recognizes the worker
+// subcommand.
+func TestRunDispatchesWorker(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if got := run([]string{"worker", "-bogus"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1", got)
+	}
+	if !strings.Contains(stderr.String(), "pipesched worker") {
+		t.Errorf("worker flag set not reached: %s", stderr.String())
+	}
+}

@@ -11,6 +11,8 @@ import (
 
 	"pipesched"
 	"pipesched/internal/fleet"
+	"pipesched/internal/fleet/supervisor"
+	"pipesched/internal/netchaos"
 	"pipesched/internal/server"
 )
 
@@ -45,6 +47,16 @@ func TestMetricsNameDrift(t *testing.T) {
 		DefaultTimeout: time.Second,
 		Metrics:        pm,
 	}))
+	// The §14 process-fleet subsystems register their series at
+	// construction; no worker processes or traffic needed.
+	f.AddBackend(fleet.NewRemoteNode("drift-remote", "", fleet.RemoteConfig{Metrics: pm}))
+	sup := supervisor.New(supervisor.Config{Metrics: pm})
+	defer sup.Stop()
+	px, err := netchaos.New("127.0.0.1:0", "", pm.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
 
 	ts, err := pipesched.ServeTelemetry("127.0.0.1:0", pm)
 	if err != nil {

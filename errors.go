@@ -50,6 +50,23 @@ func (q Quality) String() string {
 // Degraded reports whether the rung is below Optimal.
 func (q Quality) Degraded() bool { return q != Optimal }
 
+// ParseQuality is the inverse of Quality.String, for decoding a rung
+// that traveled over the wire. Unknown names report an error and the
+// most conservative rung.
+func ParseQuality(s string) (Quality, error) {
+	switch s {
+	case "optimal":
+		return Optimal, nil
+	case "incumbent":
+		return Incumbent, nil
+	case "heuristic":
+		return Heuristic, nil
+	case "baseline":
+		return Baseline, nil
+	}
+	return Baseline, fmt.Errorf("pipesched: unknown quality %q", s)
+}
+
 // Typed sentinel errors, usable with errors.Is. ErrCurtailed, ErrDeadline
 // and ErrCanceled are *degradation* signals: the *Ctx entry points return
 // them ALONGSIDE a valid, legal Compiled result (anytime semantics) —

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pipesched"
+	"pipesched/internal/fleet/store"
 	"pipesched/internal/server"
 	"pipesched/internal/stats"
 	"pipesched/internal/telemetry"
@@ -163,9 +164,9 @@ func (e *NoReplicasError) Error() string {
 // Unwrap makes errors.Is(err, ErrNoReplicas) hold.
 func (e *NoReplicasError) Unwrap() error { return ErrNoReplicas }
 
-// Fleet routes compile requests across a ring of Nodes. Create with
-// New, populate with AddNode, submit with Submit (or serve HTTP with
-// Handler), stop with Shutdown/Close.
+// Fleet routes compile requests across a ring of Backends. Create with
+// New, populate with AddNode/AddBackend, submit with Submit (or serve
+// HTTP with Handler), stop with Shutdown/Close.
 type Fleet struct {
 	cfg  Config
 	ring *ring
@@ -173,7 +174,7 @@ type Fleet struct {
 	lat  *latencyWindow
 
 	mu     sync.RWMutex
-	nodes  map[string]*Node
+	nodes  map[string]Backend
 	closed bool
 
 	probeStop chan struct{}
@@ -188,7 +189,7 @@ func New(cfg Config) *Fleet {
 		ring:      newRing(cfg.VirtualNodes),
 		met:       newFleetMetrics(cfg.Metrics.Registry()),
 		lat:       newLatencyWindow(),
-		nodes:     map[string]*Node{},
+		nodes:     map[string]Backend{},
 		probeStop: make(chan struct{}),
 	}
 	f.probeWG.Add(1)
@@ -196,11 +197,14 @@ func New(cfg Config) *Fleet {
 	return f
 }
 
-// probeLoop periodically probes every node's health, keeping the
+// probeLoop periodically probes every backend's health, keeping the
 // healthy-node gauge and probe-failure counter current. Routing also
 // checks health at submit time, so a probe miss costs at most one
-// failover; the loop is what keeps the fleet's health observable (and,
-// for remote backends, would be the failure detector).
+// failover. For remote backends the loop IS the failure detector: it
+// drives the backend's network probe, which marks crashed workers down
+// and restarted workers back up — and when a probe reveals a new worker
+// incarnation (the PID changed), its cache-recovery scan is folded into
+// the fleet counters.
 func (f *Fleet) probeLoop() {
 	defer f.probeWG.Done()
 	t := time.NewTicker(f.cfg.ProbeInterval)
@@ -211,8 +215,16 @@ func (f *Fleet) probeLoop() {
 			return
 		case <-t.C:
 			healthy := 0
-			for _, n := range f.snapshot() {
-				if n.Healthy() {
+			for _, b := range f.snapshot() {
+				if rp, ok := b.(remoteProber); ok {
+					ctx, cancel := context.WithTimeout(context.Background(), f.cfg.ProbeInterval)
+					st, restarted, err := rp.Probe(ctx)
+					cancel()
+					if err == nil && restarted {
+						f.RecordRecovery(RecoveryStats{Recovered: st.Recovered, Quarantined: st.Quarantined})
+					}
+				}
+				if b.Healthy() {
 					healthy++
 				} else {
 					f.met.probeFails.Inc()
@@ -223,59 +235,80 @@ func (f *Fleet) probeLoop() {
 	}
 }
 
-// snapshot returns the current node set.
-func (f *Fleet) snapshot() []*Node {
+// snapshot returns the current backend set.
+func (f *Fleet) snapshot() []Backend {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	out := make([]*Node, 0, len(f.nodes))
+	out := make([]Backend, 0, len(f.nodes))
 	for _, n := range f.nodes {
 		out = append(out, n)
 	}
 	return out
 }
 
-// Node returns the member with the given ID, or nil.
-func (f *Fleet) Node(id string) *Node {
+// Backend returns the member with the given ID, or nil.
+func (f *Fleet) Backend(id string) Backend {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return f.nodes[id]
 }
 
+// Node returns the in-process member with the given ID, or nil when the
+// ID is unknown or names a remote backend.
+func (f *Fleet) Node(id string) *Node {
+	n, _ := f.Backend(id).(*Node)
+	return n
+}
+
 // Members returns the current node IDs, sorted.
 func (f *Fleet) Members() []string { return f.ring.members() }
 
-// AddNode joins n to the ring and hands it the durable cache entries
-// it now owns: every key whose primary moved onto n is copied from its
-// previous holder, so the new node starts warm for its key range.
-func (f *Fleet) AddNode(n *Node) {
+// AddNode joins the in-process node n to the ring; see AddBackend.
+func (f *Fleet) AddNode(n *Node) { f.AddBackend(n) }
+
+// AddBackend joins b to the ring and — when its durable store is
+// directly readable (in-process nodes) — hands it the cache entries it
+// now owns: every key whose primary moved onto b is copied from its
+// previous holder, so the new member starts warm for its key range.
+// Remote workers recover their own cache directory instead.
+func (f *Fleet) AddBackend(b Backend) {
 	f.mu.Lock()
-	f.nodes[n.ID()] = n
+	f.nodes[b.ID()] = b
 	total := len(f.nodes)
 	f.mu.Unlock()
-	f.ring.add(n.ID())
+	f.ring.add(b.ID())
 	f.met.nodes.Set(int64(total))
-	f.handoffTo(n)
+	f.handoffTo(b)
 }
 
-// handoffTo copies every durable entry whose primary is now n from the
-// other nodes' stores into n's store. Copies are raw verified bytes;
+// handoffTo copies every durable entry whose primary is now b from the
+// other members' stores into b's store. Copies are raw verified bytes;
 // the source keeps its copy (it is now a ring replica for the key, or
-// harmless content-addressed surplus).
-func (f *Fleet) handoffTo(n *Node) {
-	dst := n.DiskStore()
+// harmless content-addressed surplus). Members without a readable store
+// (remote workers) neither give nor receive handoff copies.
+func (f *Fleet) handoffTo(b Backend) {
+	db, ok := b.(diskBacked)
+	if !ok {
+		return
+	}
+	dst := db.DiskStore()
 	if dst == nil {
 		return
 	}
 	for _, o := range f.snapshot() {
-		if o.ID() == n.ID() {
+		if o.ID() == b.ID() {
 			continue
 		}
-		src := o.DiskStore()
+		od, ok := o.(diskBacked)
+		if !ok {
+			continue
+		}
+		src := od.DiskStore()
 		if src == nil {
 			continue
 		}
 		for _, key := range src.Keys() {
-			if f.ring.primary(key) != n.ID() {
+			if f.ring.primary(key) != b.ID() {
 				continue
 			}
 			if payload, ok := src.Get(key); ok {
@@ -307,12 +340,17 @@ func (f *Fleet) RemoveNode(ctx context.Context, id string) error {
 
 	// Capture the store before Shutdown drops the server reference; the
 	// store stays readable after the drain (it holds no descriptors).
-	st := n.DiskStore()
+	// Remote members own their cache directory, so there is nothing to
+	// hand off from the router's side.
+	var st *store.Store
+	if db, ok := n.(diskBacked); ok {
+		st = db.DiskStore()
+	}
 	err := n.Shutdown(ctx)
 	if st != nil {
 		for _, key := range st.Keys() {
 			ownerID := f.ring.primary(key)
-			owner := f.Node(ownerID)
+			owner, _ := f.Backend(ownerID).(diskBacked)
 			if owner == nil {
 				continue
 			}
@@ -346,15 +384,23 @@ type RecoveryStats struct {
 }
 
 // RestartNode restarts a killed node and records its recovery scan in
-// the fleet counters. A no-op for unknown or live nodes.
+// the fleet counters. A no-op for unknown, live, or remote members
+// (remote workers are restarted by their supervisor; the probe loop
+// picks up the new incarnation and folds its recovery scan).
 func (f *Fleet) RestartNode(id string) {
-	n := f.Node(id)
-	if n == nil || n.Healthy() {
+	b := f.Backend(id)
+	if b == nil || b.Healthy() {
 		return
 	}
-	n.Restart()
-	rep := n.DiskRecovery()
-	f.RecordRecovery(RecoveryStats{Recovered: rep.Recovered, Quarantined: rep.Quarantined})
+	c, ok := b.(crasher)
+	if !ok {
+		return
+	}
+	c.Restart()
+	if db, ok := b.(diskBacked); ok {
+		rep := db.DiskRecovery()
+		f.RecordRecovery(RecoveryStats{Recovered: rep.Recovered, Quarantined: rep.Quarantined})
+	}
 }
 
 // hedgeDelay returns how long Submit waits for the active attempt
@@ -371,15 +417,33 @@ func (f *Fleet) hedgeDelay() time.Duration {
 	return f.cfg.HedgeDelay
 }
 
+// clampHedgeDelay decides whether a hedged retry is worth arming for a
+// request with the given context: when the remaining deadline is no
+// longer than the hedge delay, the hedge would launch with no time left
+// to win, so it reports ok=false and no hedge is armed. Without a
+// deadline the delay passes through unchanged.
+func clampHedgeDelay(ctx context.Context, delay time.Duration, now time.Time) (time.Duration, bool) {
+	dl, has := ctx.Deadline()
+	if !has {
+		return delay, true
+	}
+	if remaining := dl.Sub(now); remaining <= delay {
+		return 0, false
+	}
+	return delay, true
+}
+
 // failoverWorthy reports whether an outcome should move the request to
-// the next ring replica: the node is down, draining, or shedding load.
-// Anything else — a result (possibly degraded), an invalid request, a
-// budget error — is a real answer and is returned to the caller.
+// the next ring replica: the node is down, slow past the attempt
+// budget, draining, or shedding load. Anything else — a result
+// (possibly degraded), an invalid request, a budget error — is a real
+// answer and is returned to the caller.
 func failoverWorthy(resp *server.Response, err error) bool {
 	if err == nil || resp != nil {
 		return false
 	}
 	return errors.Is(err, ErrNodeDown) ||
+		errors.Is(err, ErrNodeSlow) ||
 		errors.Is(err, server.ErrDraining) ||
 		errors.Is(err, server.ErrOverloaded)
 }
@@ -388,7 +452,7 @@ func failoverWorthy(resp *server.Response, err error) bool {
 type attempt struct {
 	resp   *server.Response
 	err    error
-	n      *Node
+	b      Backend
 	hedged bool // launched by the hedge timer, not by failover
 	start  time.Time
 	span   *telemetry.TraceSpan // the attempt's "fleet.attempt" span (nil untraced)
@@ -427,9 +491,9 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 		f.met.noReplicas.Inc()
 		return nil, &NoReplicasError{Key: key}
 	}
-	chain := make([]*Node, 0, len(ids))
+	chain := make([]Backend, 0, len(ids))
 	for _, id := range ids {
-		if n := f.Node(id); n != nil {
+		if n := f.Backend(id); n != nil {
 			chain = append(chain, n)
 		}
 	}
@@ -473,9 +537,9 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 		if atc := asp.Context(); atc.Valid() {
 			actx = telemetry.WithTraceContext(subCtx, atc)
 		}
-		go func(n *Node, hedged bool, start time.Time, asp *telemetry.TraceSpan) {
+		go func(n Backend, hedged bool, start time.Time, asp *telemetry.TraceSpan) {
 			resp, err := n.Submit(actx, req)
-			results <- attempt{resp: resp, err: err, n: n, hedged: hedged, start: start, span: asp}
+			results <- attempt{resp: resp, err: err, b: n, hedged: hedged, start: start, span: asp}
 		}(n, hedged, f.cfg.now(), asp)
 		return true
 	}
@@ -505,8 +569,16 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 		return nil, &NoReplicasError{Key: key}
 	}
 
-	hedge := time.NewTimer(f.hedgeDelay())
-	defer hedge.Stop()
+	// Hedge only when the hedge could still win: a request arriving with
+	// less remaining deadline than the hedge delay would launch a second
+	// attempt with no time to answer, doubling load for nothing. A nil
+	// timer channel blocks forever, disabling the hedge arm.
+	var hedgeC <-chan time.Time
+	if d, ok := clampHedgeDelay(ctx, f.hedgeDelay(), f.cfg.now()); ok {
+		hedge := time.NewTimer(d)
+		defer hedge.Stop()
+		hedgeC = hedge.C
+	}
 	hedgeSpent := false
 
 	var last error
@@ -528,7 +600,7 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 			// First real answer wins.
 			seconds := f.cfg.now().Sub(a.start).Seconds()
 			f.lat.observe(seconds)
-			a.n.observeLatency(seconds)
+			a.b.observeLatency(seconds)
 			if a.hedged {
 				f.met.hedgeWins.Inc()
 			}
@@ -538,7 +610,7 @@ func (f *Fleet) submitChain(ctx context.Context, key string, req *server.Request
 			}
 			a.span.End()
 			return a.resp, a.err
-		case <-hedge.C:
+		case <-hedgeC:
 			if !hedgeSpent {
 				hedgeSpent = true
 				if launch(true) {
@@ -574,7 +646,7 @@ func (f *Fleet) Shutdown(ctx context.Context) error {
 	var mu sync.Mutex
 	for _, n := range f.snapshot() {
 		wg.Add(1)
-		go func(n *Node) {
+		go func(n Backend) {
 			defer wg.Done()
 			if err := n.Shutdown(ctx); err != nil {
 				mu.Lock()

@@ -15,18 +15,25 @@ import (
 // codes. Fleet routing failures are transient availability problems,
 // so both map onto 503s on the wire.
 func ErrorCode(err error) string {
+	var wf *WireFailure
 	switch {
 	case errors.Is(err, ErrNoReplicas):
 		return "no_replicas"
 	case errors.Is(err, ErrNodeDown):
 		return "node_down"
+	case errors.Is(err, ErrNodeSlow):
+		return "node_slow"
+	case errors.As(err, &wf):
+		// A remote worker answered a code this tier has no typed mapping
+		// for: pass it through instead of collapsing to "error".
+		return wf.Code
 	}
 	return server.ErrorCode(err)
 }
 
 // httpStatus maps a fleet outcome onto an HTTP status.
 func httpStatus(resp *server.Response, err error) int {
-	if errors.Is(err, ErrNoReplicas) || errors.Is(err, ErrNodeDown) {
+	if errors.Is(err, ErrNoReplicas) || errors.Is(err, ErrNodeDown) || errors.Is(err, ErrNodeSlow) {
 		return http.StatusServiceUnavailable
 	}
 	return server.HTTPStatus(resp, err)
@@ -35,8 +42,11 @@ func httpStatus(resp *server.Response, err error) int {
 // writeOutcome is server.WriteOutcome plus the fleet error codes, the
 // trace-ID stamp on wire errors, and the typed-5xx flight-recorder
 // trigger.
-func writeOutcome(w http.ResponseWriter, id string, resp *server.Response, serr error, traceID string) {
-	wire := server.ToWire(id, resp, serr)
+func writeOutcome(w http.ResponseWriter, req *server.Request, resp *server.Response, serr error, traceID string) {
+	wire := server.ToWire(req.ID, resp, serr)
+	if req.WireSchedule {
+		wire.AttachSchedule(resp)
+	}
 	if wire.Error != nil {
 		wire.Error.Code = ErrorCode(serr)
 	}
@@ -111,7 +121,7 @@ func (f *Fleet) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	req := reqs[0]
 	resp, serr := f.Submit(ctx, req)
-	writeOutcome(w, req.ID, resp, serr, traceID)
+	writeOutcome(w, req, resp, serr, traceID)
 }
 
 // serveBatch fans a batch out through the router; each item routes,
@@ -132,6 +142,9 @@ func (f *Fleet) serveBatch(ctx context.Context, w http.ResponseWriter, reqs []*s
 			defer wg.Done()
 			resp, err := f.Submit(ctx, req)
 			wire := server.ToWire(req.ID, resp, err)
+			if req.WireSchedule {
+				wire.AttachSchedule(resp)
+			}
 			if wire.Error != nil {
 				wire.Error.Code = ErrorCode(err)
 			}
@@ -152,6 +165,8 @@ type fleetStatus struct {
 type nodeStatus struct {
 	ID      string          `json:"id"`
 	Healthy bool            `json:"healthy"`
+	Remote  bool            `json:"remote,omitempty"`
+	PID     int             `json:"pid,omitempty"` // remote worker's last-known PID
 	Durable int             `json:"durable_entries"`
 	Latency *latencySummary `json:"latency,omitempty"`
 }
@@ -179,15 +194,21 @@ func summarizeLatency(w *latencyWindow) *latencySummary {
 func (f *Fleet) handleFleet(w http.ResponseWriter, r *http.Request) {
 	var st fleetStatus
 	for _, id := range f.Members() {
-		n := f.Node(id)
-		if n == nil {
+		b := f.Backend(id)
+		if b == nil {
 			continue
 		}
-		ns := nodeStatus{ID: id, Healthy: n.Healthy()}
-		if s := n.DiskStore(); s != nil {
-			ns.Durable = s.Len()
+		ns := nodeStatus{ID: id, Healthy: b.Healthy()}
+		if db, ok := b.(diskBacked); ok {
+			if s := db.DiskStore(); s != nil {
+				ns.Durable = s.Len()
+			}
 		}
-		ns.Latency = summarizeLatency(n.lat)
+		if rn, ok := b.(*RemoteNode); ok {
+			ns.Remote = true
+			ns.PID = rn.PID()
+		}
+		ns.Latency = summarizeLatency(b.latWindow())
 		st.Nodes = append(st.Nodes, ns)
 	}
 	st.Latency = summarizeLatency(f.lat)

@@ -16,6 +16,12 @@ var (
 	// or killed mid-flight, losing the answer). The router treats it as
 	// a failover trigger, never surfaces it while replicas remain.
 	ErrNodeDown = errors.New("fleet: node down")
+	// ErrNodeSlow: the node did not answer within the per-attempt
+	// transport budget but is not known to be dead — the connection was
+	// accepted and simply outlived the attempt deadline. The router
+	// fails over exactly like node-down, but the health verdict is left
+	// to the prober: a slow worker must not be Kill-marked.
+	ErrNodeSlow = errors.New("fleet: node slow")
 	// ErrNoReplicas: every replica in the key's chain was down,
 	// draining or overloaded. Carries the last underlying outcome.
 	ErrNoReplicas = errors.New("fleet: no replica available")
@@ -37,10 +43,10 @@ var (
 //     store's recovery scan brings back every durable entry that
 //     survived, quarantining any corruption.
 type Node struct {
+	backendLatency
 	id  string
 	dir string // durable cache directory ("" = memory-only node)
 	cfg server.Config
-	lat *latencyWindow // winning-attempt latencies routed to this node
 
 	mu   sync.Mutex
 	srv  *server.Server
@@ -57,23 +63,10 @@ type Node struct {
 func NewNode(id, dir string, cfg server.Config) *Node {
 	cfg.CacheDir = dir
 	cfg.Node = id // name this node in distributed-trace spans
-	n := &Node{id: id, dir: dir, cfg: cfg, lat: newLatencyWindow()}
+	n := &Node{backendLatency: newBackendLatency(), id: id, dir: dir, cfg: cfg}
 	n.srv = server.New(cfg)
 	return n
 }
-
-// observeLatency folds one winning-attempt latency into the node's
-// sliding window; the router calls it on every real answer this node
-// produced. The window survives Kill/Restart — it describes the node's
-// recent service history, not one server incarnation.
-func (n *Node) observeLatency(seconds float64) { n.lat.observe(seconds) }
-
-// LatencyQuantiles returns the requested percentiles (e.g. 50, 95, 99)
-// over the node's recent winning-attempt latencies, in seconds.
-func (n *Node) LatencyQuantiles(ps ...float64) []float64 { return n.lat.quantiles(ps...) }
-
-// LatencySamples returns how many latencies the node's window holds.
-func (n *Node) LatencySamples() int { return n.lat.samples() }
 
 // ID returns the node's stable identity on the ring.
 func (n *Node) ID() string { return n.id }
@@ -166,6 +159,14 @@ func (n *Node) DiskStore() *store.Store {
 	}
 	return n.srv.DiskStore()
 }
+
+// Node is the in-process Backend (and supports crash simulation and
+// direct durable-store access, which RemoteNode does not).
+var (
+	_ Backend    = (*Node)(nil)
+	_ diskBacked = (*Node)(nil)
+	_ crasher    = (*Node)(nil)
+)
 
 // DiskRecovery reports the last startup scan's recovery outcome.
 func (n *Node) DiskRecovery() store.RecoveryReport {

@@ -1,0 +1,518 @@
+// Package supervisor keeps worker processes alive: it spawns them,
+// waits for their ready line, restarts crashes with exponential backoff,
+// and gives up on crash loops so a persistently-broken worker leaves
+// the fleet instead of flapping in it.
+//
+// The package is deliberately ignorant of what a worker *is*: callers
+// provide a command factory and an Events bundle, and the supervisor
+// reports lifecycle transitions through it. The fleet glues Ready to
+// RemoteNode.SetTarget and GiveUp to Fleet.RemoveNode.
+package supervisor
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pipesched"
+	"pipesched/internal/telemetry"
+)
+
+// readyPrefix opens the line a worker prints to stdout once its
+// listener is up. The supervisor scans for it to learn the bound
+// address (workers bind :0) and the PID, and to distinguish "slow to
+// boot" from "up".
+const readyPrefix = "pipesched-worker-ready"
+
+// FormatReady renders the ready line a worker prints on startup.
+func FormatReady(addr string, pid int) string {
+	return fmt.Sprintf("%s addr=%s pid=%d", readyPrefix, addr, pid)
+}
+
+// ParseReady recognizes a ready line; ok is false for any other output.
+func ParseReady(line string) (addr string, pid int, ok bool) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, readyPrefix) {
+		return "", 0, false
+	}
+	for _, f := range strings.Fields(line[len(readyPrefix):]) {
+		switch {
+		case strings.HasPrefix(f, "addr="):
+			addr = f[len("addr="):]
+		case strings.HasPrefix(f, "pid="):
+			pid, _ = strconv.Atoi(f[len("pid="):])
+		}
+	}
+	return addr, pid, addr != ""
+}
+
+// ErrGaveUp reports a worker abandoned after crash-looping.
+var ErrGaveUp = errors.New("supervisor: worker gave up after crash loop")
+
+// State is one worker's lifecycle position.
+type State int
+
+const (
+	// Starting: spawned, ready line not yet seen.
+	Starting State = iota
+	// Running: ready line seen; the process is serving.
+	Running
+	// Backoff: the process exited; the supervisor is waiting out the
+	// restart delay.
+	Backoff
+	// GaveUp: too many starts within the crash-loop window; the
+	// supervisor stopped restarting. Terminal.
+	GaveUp
+	// Stopped: Stop was called. Terminal.
+	Stopped
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Starting:
+		return "starting"
+	case Running:
+		return "running"
+	case Backoff:
+		return "backoff"
+	case GaveUp:
+		return "gave_up"
+	case Stopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Config tunes one Supervisor. The zero value is usable.
+type Config struct {
+	// ReadyTimeout bounds spawn→ready-line; a worker that never reports
+	// ready is killed and counted as a crash. Default 10s.
+	ReadyTimeout time.Duration
+	// BackoffBase is the first restart delay; successive crashes double
+	// it up to BackoffMax. Defaults 100ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CrashLoopLimit starts within CrashLoopWindow trip the give-up: the
+	// worker transitions to GaveUp instead of restarting again.
+	// Defaults: 5 starts / 30s.
+	CrashLoopLimit  int
+	CrashLoopWindow time.Duration
+	// DrainTimeout is how long Stop waits after SIGTERM before
+	// escalating to SIGKILL. Default 5s.
+	DrainTimeout time.Duration
+	// Metrics wires the supervisor into a telemetry metric set.
+	Metrics *pipesched.Telemetry
+	// Logf, when set, receives one line per lifecycle transition.
+	Logf func(format string, args ...any)
+
+	now func() time.Time // test clock; default time.Now
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 10 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.CrashLoopLimit <= 0 {
+		c.CrashLoopLimit = 5
+	}
+	if c.CrashLoopWindow <= 0 {
+		c.CrashLoopWindow = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// metrics is the supervisor metric set; nil fields are no-ops.
+type metrics struct {
+	spawns   *telemetry.Counter // pipesched_fleet_worker_spawns_total
+	restarts *telemetry.Counter // pipesched_fleet_worker_restarts_total
+	giveups  *telemetry.Counter // pipesched_fleet_worker_crashloop_giveups_total
+	running  *telemetry.Gauge   // pipesched_fleet_workers_running
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	m := &metrics{}
+	if reg == nil {
+		return m
+	}
+	m.spawns = reg.Counter("pipesched_fleet_worker_spawns_total", "Worker processes spawned by the supervisor (first starts and restarts).")
+	m.restarts = reg.Counter("pipesched_fleet_worker_restarts_total", "Worker processes restarted after a crash or ready timeout.")
+	m.giveups = reg.Counter("pipesched_fleet_worker_crashloop_giveups_total", "Workers abandoned after exceeding the crash-loop limit.")
+	m.running = reg.Gauge("pipesched_fleet_workers_running", "Worker processes currently in the running state.")
+	return m
+}
+
+// Events reports one worker's lifecycle transitions. All callbacks are
+// optional and are invoked from the worker's supervision goroutine —
+// keep them quick, or hand off.
+type Events struct {
+	// Ready: the worker printed its ready line; addr is where it
+	// listens, pid its process ID. Fires on every (re)start.
+	Ready func(w *Worker, addr string, pid int)
+	// Exit: the worker process exited (err from Wait; nil on clean
+	// exit). Fires before the restart decision.
+	Exit func(w *Worker, err error)
+	// GiveUp: the crash-loop limit tripped; the worker is terminal.
+	GiveUp func(w *Worker)
+}
+
+// Supervisor runs a set of supervised workers.
+type Supervisor struct {
+	cfg Config
+	met *metrics
+
+	mu      sync.Mutex
+	workers map[string]*Worker
+	closed  bool
+}
+
+// New builds a supervisor.
+func New(cfg Config) *Supervisor {
+	cfg = cfg.withDefaults()
+	return &Supervisor{
+		cfg:     cfg,
+		met:     newMetrics(cfg.Metrics.Registry()),
+		workers: map[string]*Worker{},
+	}
+}
+
+// Worker is one supervised process slot: the identity persists across
+// restarts while the process underneath changes.
+type Worker struct {
+	sup     *Supervisor
+	id      string
+	command func() *exec.Cmd
+	ev      Events
+
+	stop chan struct{} // closed by Stop
+	done chan struct{} // closed when the supervision loop exits
+
+	mu       sync.Mutex
+	state    State
+	cmd      *exec.Cmd
+	pid      int
+	addr     string
+	restarts int
+	starts   []time.Time // spawn times inside the crash-loop window
+}
+
+// Start spawns and supervises a worker. command builds a fresh
+// exec.Cmd per (re)start — its stdout MUST be left unset (the
+// supervisor owns it, scanning for the ready line); stderr may be
+// pointed anywhere. The returned Worker is already spawning.
+func (s *Supervisor) Start(id string, command func() *exec.Cmd, ev Events) (*Worker, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("supervisor: closed")
+	}
+	if _, dup := s.workers[id]; dup {
+		return nil, fmt.Errorf("supervisor: duplicate worker %q", id)
+	}
+	w := &Worker{
+		sup:     s,
+		id:      id,
+		command: command,
+		ev:      ev,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.workers[id] = w
+	go w.run()
+	return w, nil
+}
+
+// Worker returns the worker with the given ID, or nil.
+func (s *Supervisor) Worker(id string) *Worker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers[id]
+}
+
+// Stop stops every worker (SIGTERM → drain → SIGKILL) and waits.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	s.closed = true
+	ws := make([]*Worker, 0, len(s.workers))
+	for _, w := range s.workers {
+		ws = append(ws, w)
+	}
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *Worker) { defer wg.Done(); w.Stop() }(w)
+	}
+	wg.Wait()
+}
+
+// ID returns the worker's stable identity.
+func (w *Worker) ID() string { return w.id }
+
+// State returns the worker's current lifecycle state.
+func (w *Worker) State() State {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+// PID returns the current (or last) process's PID, 0 before first spawn.
+func (w *Worker) PID() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pid
+}
+
+// Addr returns the address from the last ready line.
+func (w *Worker) Addr() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.addr
+}
+
+// Restarts returns how many times the worker has been respawned after a
+// crash (the first spawn is not a restart).
+func (w *Worker) Restarts() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.restarts
+}
+
+// Kill SIGKILLs the current process — the chaos lever. The supervision
+// loop observes the exit and restarts per policy.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	cmd := w.cmd
+	w.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+}
+
+// Stop ends supervision: the current process gets SIGTERM, then
+// DrainTimeout to exit, then SIGKILL. Blocks until the loop exits.
+func (w *Worker) Stop() {
+	w.mu.Lock()
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	cmd := w.cmd
+	w.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+	}
+	select {
+	case <-w.done:
+	case <-time.After(w.sup.cfg.DrainTimeout):
+		if cmd != nil && cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		<-w.done
+	}
+}
+
+// setState transitions the worker, maintaining the running gauge.
+func (w *Worker) setState(st State) {
+	w.mu.Lock()
+	prev := w.state
+	w.state = st
+	w.mu.Unlock()
+	if prev != Running && st == Running {
+		w.sup.met.running.Add(1)
+	}
+	if prev == Running && st != Running {
+		w.sup.met.running.Add(-1)
+	}
+	w.sup.cfg.Logf("supervisor: worker %s: %s -> %s", w.id, prev, st)
+}
+
+// stopped reports whether Stop was requested.
+func (w *Worker) stopped() bool {
+	select {
+	case <-w.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the supervision loop: spawn → await ready → await exit →
+// backoff → respawn, with the crash-loop breaker in front of every
+// spawn.
+func (w *Worker) run() {
+	defer close(w.done)
+	cfg := w.sup.cfg
+	backoff := cfg.BackoffBase
+	first := true
+	for {
+		if w.stopped() {
+			w.setState(Stopped)
+			return
+		}
+		// Crash-loop breaker: starting again would exceed the limit
+		// within the window → terminal give-up.
+		now := cfg.now()
+		w.mu.Lock()
+		keep := w.starts[:0]
+		for _, t := range w.starts {
+			if now.Sub(t) <= cfg.CrashLoopWindow {
+				keep = append(keep, t)
+			}
+		}
+		w.starts = append(keep, now)
+		tripped := len(w.starts) > cfg.CrashLoopLimit
+		w.mu.Unlock()
+		if tripped {
+			w.sup.met.giveups.Inc()
+			w.setState(GaveUp)
+			if w.ev.GiveUp != nil {
+				w.ev.GiveUp(w)
+			}
+			return
+		}
+		if !first {
+			w.sup.met.restarts.Inc()
+			w.mu.Lock()
+			w.restarts++
+			w.mu.Unlock()
+		}
+		first = false
+
+		err := w.superviseOnce()
+		if w.stopped() {
+			w.setState(Stopped)
+			return
+		}
+		if w.ev.Exit != nil {
+			w.ev.Exit(w, err)
+		}
+		w.setState(Backoff)
+		select {
+		case <-w.stop:
+			w.setState(Stopped)
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > cfg.BackoffMax {
+			backoff = cfg.BackoffMax
+		}
+	}
+}
+
+// superviseOnce runs one process incarnation to its exit: spawn, scan
+// stdout for the ready line (killing a worker that never reports
+// ready), fire Ready, wait. The returned error is the exit outcome.
+func (w *Worker) superviseOnce() error {
+	cfg := w.sup.cfg
+	cmd := w.command()
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	w.sup.met.spawns.Inc()
+	w.mu.Lock()
+	w.cmd = cmd
+	w.pid = cmd.Process.Pid
+	w.mu.Unlock()
+	w.setState(Starting)
+
+	// Scan stdout for the ready line, then keep draining so the worker
+	// never blocks on a full pipe.
+	readyCh := make(chan [2]string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 64<<10), 64<<10)
+		reported := false
+		for sc.Scan() {
+			if reported {
+				continue
+			}
+			if addr, pid, ok := ParseReady(sc.Text()); ok {
+				reported = true
+				readyCh <- [2]string{addr, strconv.Itoa(pid)}
+			}
+		}
+	}()
+
+	// Reap in the background so both arms below can select on it.
+	exitCh := make(chan error, 1)
+	go func() { exitCh <- cmd.Wait() }()
+
+	select {
+	case r := <-readyCh:
+		pid, _ := strconv.Atoi(r[1])
+		if pid == 0 {
+			pid = cmd.Process.Pid
+		}
+		w.mu.Lock()
+		w.addr = r[0]
+		w.pid = pid
+		w.mu.Unlock()
+		w.setState(Running)
+		if w.ev.Ready != nil {
+			w.ev.Ready(w, r[0], pid)
+		}
+	case err := <-exitCh:
+		// Died before ready: a crash (possibly instant — bad flags,
+		// missing binary). Count restarts the same way.
+		if err == nil {
+			err = errors.New("supervisor: worker exited before ready")
+		}
+		return err
+	case <-time.After(cfg.ReadyTimeout):
+		// Hung boot: kill and treat as crash.
+		_ = cmd.Process.Kill()
+		<-exitCh
+		return fmt.Errorf("supervisor: worker %s not ready within %s", w.id, cfg.ReadyTimeout)
+	case <-w.stop:
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-exitCh:
+		case <-time.After(cfg.DrainTimeout):
+			_ = cmd.Process.Kill()
+			<-exitCh
+		}
+		return nil
+	}
+
+	select {
+	case err := <-exitCh:
+		return err
+	case <-w.stop:
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-exitCh:
+		case <-time.After(cfg.DrainTimeout):
+			_ = cmd.Process.Kill()
+			<-exitCh
+		}
+		return nil
+	}
+}

@@ -1,0 +1,212 @@
+package supervisor
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+
+	"pipesched/internal/telemetry"
+)
+
+func TestParseReady(t *testing.T) {
+	addr, pid, ok := ParseReady(FormatReady("127.0.0.1:4455", 321))
+	if !ok || addr != "127.0.0.1:4455" || pid != 321 {
+		t.Fatalf("round trip: addr=%q pid=%d ok=%v", addr, pid, ok)
+	}
+	if _, _, ok := ParseReady("some other log line"); ok {
+		t.Fatal("non-ready line parsed as ready")
+	}
+	if _, _, ok := ParseReady("pipesched-worker-ready pid=5"); ok {
+		t.Fatal("ready line without addr must not parse")
+	}
+	// Trailing whitespace and extra fields are tolerated.
+	if addr, _, ok := ParseReady("pipesched-worker-ready addr=[::1]:80 pid=9 extra=x\n"); !ok || addr != "[::1]:80" {
+		t.Fatalf("tolerant parse failed: %q %v", addr, ok)
+	}
+}
+
+// shWorker builds a command factory running an inline shell script —
+// the stand-in for a worker binary in unit tests.
+func shWorker(script string) func() *exec.Cmd {
+	return func() *exec.Cmd { return exec.Command("/bin/sh", "-c", script) }
+}
+
+// readyScript prints a well-formed ready line (the shell's own PID)
+// and then holds the process alive.
+const readyScript = `echo "pipesched-worker-ready addr=127.0.0.1:1234 pid=$$"; exec sleep 300`
+
+func testConfig(reg *telemetry.Registry) Config {
+	return Config{
+		ReadyTimeout:    5 * time.Second,
+		BackoffBase:     10 * time.Millisecond,
+		BackoffMax:      50 * time.Millisecond,
+		CrashLoopLimit:  3,
+		CrashLoopWindow: time.Minute,
+		DrainTimeout:    time.Second,
+		Metrics:         telemetry.NewMetrics(reg),
+	}
+}
+
+func TestSupervisorReadyThenKillRestarts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(testConfig(reg))
+	defer s.Stop()
+
+	type readyEv struct {
+		addr string
+		pid  int
+	}
+	readies := make(chan readyEv, 8)
+	w, err := s.Start("w0", shWorker(readyScript), Events{
+		Ready: func(_ *Worker, addr string, pid int) { readies <- readyEv{addr, pid} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first readyEv
+	select {
+	case first = <-readies:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no ready event")
+	}
+	if first.addr != "127.0.0.1:1234" || first.pid <= 0 {
+		t.Fatalf("ready event = %+v", first)
+	}
+	if st := w.State(); st != Running {
+		t.Fatalf("state = %v, want running", st)
+	}
+	if w.PID() != first.pid {
+		t.Fatalf("PID() = %d, ready said %d", w.PID(), first.pid)
+	}
+
+	// The chaos lever: SIGKILL. The supervisor must respawn.
+	w.Kill()
+	var second readyEv
+	select {
+	case second = <-readies:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no ready event after kill")
+	}
+	if second.pid == first.pid {
+		t.Fatalf("restart reused pid %d — not a new process", second.pid)
+	}
+	if w.Restarts() != 1 {
+		t.Fatalf("Restarts() = %d, want 1", w.Restarts())
+	}
+}
+
+func TestSupervisorCrashLoopGivesUp(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(testConfig(reg))
+	defer s.Stop()
+
+	exits := make(chan error, 16)
+	gaveUp := make(chan struct{})
+	w, err := s.Start("loop", shWorker("exit 3"), Events{
+		Exit:   func(_ *Worker, err error) { exits <- err },
+		GiveUp: func(_ *Worker) { close(gaveUp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-gaveUp:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("crash loop never gave up (state %v, restarts %d)", w.State(), w.Restarts())
+	}
+	if st := w.State(); st != GaveUp {
+		t.Fatalf("state = %v, want gave_up", st)
+	}
+	// The breaker allows CrashLoopLimit starts inside the window, so the
+	// worker saw exactly that many exits before going terminal.
+	if n := len(exits); n != 3 {
+		t.Fatalf("exit events = %d, want CrashLoopLimit=3", n)
+	}
+	// Further time passes; the loop must stay terminal.
+	time.Sleep(100 * time.Millisecond)
+	if st := w.State(); st != GaveUp {
+		t.Fatalf("give-up not terminal: state became %v", st)
+	}
+}
+
+func TestSupervisorReadyTimeoutCountsAsCrash(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.ReadyTimeout = 100 * time.Millisecond
+	s := New(cfg)
+	defer s.Stop()
+
+	gaveUp := make(chan struct{})
+	// Never prints a ready line: each incarnation is killed at the ready
+	// timeout and counted as a crash until the breaker trips.
+	_, err := s.Start("mute", shWorker("exec sleep 300"), Events{
+		GiveUp: func(_ *Worker) { close(gaveUp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gaveUp:
+	case <-time.After(15 * time.Second):
+		t.Fatal("mute worker never tripped the crash-loop breaker")
+	}
+}
+
+func TestSupervisorStopDrainsThenKills(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.DrainTimeout = 200 * time.Millisecond
+	s := New(cfg)
+
+	readies := make(chan struct{}, 4)
+	// Ignores SIGTERM: Stop must escalate to SIGKILL after DrainTimeout
+	// and still return promptly.
+	w, err := s.Start("stubborn", shWorker(
+		`trap "" TERM; echo "pipesched-worker-ready addr=127.0.0.1:1 pid=$$"; while :; do sleep 1; done`),
+		Events{Ready: func(_ *Worker, _ string, _ int) { readies <- struct{}{} }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-readies:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no ready event")
+	}
+
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop hung on a SIGTERM-ignoring worker")
+	}
+	if st := w.State(); st != Stopped {
+		t.Fatalf("state = %v, want stopped", st)
+	}
+}
+
+func TestSupervisorMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(testConfig(reg))
+	defer s.Stop()
+
+	gaveUp := make(chan struct{})
+	if _, err := s.Start("m", shWorker("exit 1"), Events{GiveUp: func(_ *Worker) { close(gaveUp) }}); err != nil {
+		t.Fatal(err)
+	}
+	<-gaveUp
+
+	snap := reg.Snapshot()
+	counter := func(name string) int64 { return snap[name] }
+	if got := counter("pipesched_fleet_worker_spawns_total"); got != 3 {
+		t.Fatalf("spawns = %v, want 3", got)
+	}
+	if got := counter("pipesched_fleet_worker_restarts_total"); got != 2 {
+		t.Fatalf("restarts = %v, want 2", got)
+	}
+	if got := counter("pipesched_fleet_worker_crashloop_giveups_total"); got != 1 {
+		t.Fatalf("giveups = %v, want 1", got)
+	}
+}

@@ -1,0 +1,388 @@
+// Package netchaos is an in-path TCP fault-injection proxy for the
+// process-fleet chaos tests: it sits between the router's RemoteNode
+// and a worker process and injects the failures real networks produce —
+// latency, bandwidth caps, connection drops mid-body, response
+// truncation, and full partitions.
+//
+// Faults are driven by deterministic/seeded Plans in the idiom of
+// internal/faultinject: an Nth plan fires on exactly the Nth connection
+// every run; a Prob plan draws from a seeded RNG so a failing soak
+// reproduces with its logged seed; Times bounds the blast radius. A
+// partition is a switch, not a plan: flip it on and every existing
+// connection is severed while new ones die at accept.
+package netchaos
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"pipesched/internal/telemetry"
+)
+
+// Plan describes the faults to inject on connections crossing the
+// proxy. The zero Plan forwards everything untouched.
+type Plan struct {
+	// Latency sleeps this long before any upstream byte is forwarded to
+	// the client (connection-level added RTT).
+	Latency time.Duration
+	// BandwidthBPS caps the upstream→client copy rate in bytes/second
+	// (0 = unlimited). The cap shapes the response stream, which is
+	// where compile answers travel.
+	BandwidthBPS int
+	// DropAfter, when > 0, severs the connection with a hard reset after
+	// that many upstream→client bytes — the client sees a connection
+	// reset mid-body.
+	DropAfter int64
+	// TruncateAfter, when > 0 (and DropAfter is 0), closes the client
+	// side cleanly after that many upstream→client bytes — the client
+	// sees a well-formed TCP close around a truncated JSON document.
+	TruncateAfter int64
+	// Times bounds how many connections this plan faults; 0 means every
+	// eligible connection.
+	Times int
+	// Nth, when > 0, faults only the Nth accepted connection (1-based) —
+	// fully deterministic. Overrides Prob; Times is ignored.
+	Nth int
+	// Prob, when in (0, 1), faults each connection with this
+	// probability, drawn from the proxy's seeded RNG. 0 means fault
+	// every connection (a Times budget still applies).
+	Prob float64
+}
+
+// faulty reports whether the plan does anything at all.
+func (p Plan) faulty() bool {
+	return p.Latency > 0 || p.BandwidthBPS > 0 || p.DropAfter > 0 || p.TruncateAfter > 0
+}
+
+// metrics is the proxy metric set; nil fields are no-ops.
+type metrics struct {
+	conns  *telemetry.Counter            // pipesched_netchaos_connections_total
+	active *telemetry.Gauge              // pipesched_netchaos_active_conns
+	faults map[string]*telemetry.Counter // pipesched_netchaos_faults_total{kind}
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	m := &metrics{faults: map[string]*telemetry.Counter{}}
+	if reg == nil {
+		return m
+	}
+	m.conns = reg.Counter("pipesched_netchaos_connections_total", "Connections accepted by the chaos proxy.")
+	m.active = reg.Gauge("pipesched_netchaos_active_conns", "Connections currently flowing through the chaos proxy.")
+	for _, kind := range []string{"latency", "bandwidth", "drop", "truncate", "partition"} {
+		m.faults[kind] = reg.Counter("pipesched_netchaos_faults_total",
+			"Faults injected by the chaos proxy, by kind.", "kind", kind)
+	}
+	return m
+}
+
+func (m *metrics) fault(kind string) { m.faults[kind].Inc() }
+
+// Proxy is one in-path chaos proxy: listen address fixed for its
+// lifetime (the router points at it), target retargetable (the worker
+// behind it changes port on every restart).
+type Proxy struct {
+	ln  net.Listener
+	met *metrics
+
+	mu          sync.Mutex
+	target      string
+	plan        Plan
+	rng         *rand.Rand
+	crossings   int
+	fired       int
+	partitioned bool
+	conns       map[net.Conn]struct{}
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy listening on listen (use "127.0.0.1:0" for an
+// ephemeral port; Addr reports it), forwarding to target. reg may be
+// nil.
+func New(listen, target string, reg *telemetry.Registry) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		met:    newMetrics(reg),
+		target: target,
+		rng:    rand.New(rand.NewSource(1)),
+		conns:  map[net.Conn]struct{}{},
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — the stable address the
+// router should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTarget repoints the proxy at a new upstream (a restarted worker's
+// fresh port). Existing connections to the old target are severed: to
+// the client that is exactly a node crash.
+func (p *Proxy) SetTarget(target string) {
+	p.mu.Lock()
+	p.target = target
+	conns := p.drainConnsLocked()
+	p.mu.Unlock()
+	closeAll(conns)
+}
+
+// Target returns the current upstream address.
+func (p *Proxy) Target() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target
+}
+
+// SetPlan installs (or, with a zero Plan, clears) the fault plan and
+// re-seeds the probabilistic draw; crossing/fired accounting restarts.
+func (p *Proxy) SetPlan(plan Plan, seed int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.plan = plan
+	p.rng = rand.New(rand.NewSource(seed))
+	p.crossings = 0
+	p.fired = 0
+}
+
+// Fired reports how many connections the current plan has faulted.
+func (p *Proxy) Fired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// Partition flips the full-partition switch: while on, every accepted
+// connection dies immediately and every existing connection is severed.
+// The listener stays open — a partition is a reachability failure, not
+// a process death, and heals without a new socket.
+func (p *Proxy) Partition(on bool) {
+	p.mu.Lock()
+	was := p.partitioned
+	p.partitioned = on
+	var conns []net.Conn
+	if on && !was {
+		conns = p.drainConnsLocked()
+	}
+	p.mu.Unlock()
+	if on && !was {
+		p.met.fault("partition")
+	}
+	closeAll(conns)
+}
+
+// Partitioned reports the switch state.
+func (p *Proxy) Partitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned
+}
+
+// Close stops the proxy and severs everything.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := p.drainConnsLocked()
+	p.mu.Unlock()
+	_ = p.ln.Close()
+	closeAll(conns)
+	p.wg.Wait()
+}
+
+// drainConnsLocked empties the active-connection set and returns it for
+// closing outside the lock.
+func (p *Proxy) drainConnsLocked() []net.Conn {
+	out := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		out = append(out, c)
+	}
+	p.conns = map[net.Conn]struct{}{}
+	return out
+}
+
+func closeAll(conns []net.Conn) {
+	for _, c := range conns {
+		if tc, ok := c.(*net.TCPConn); ok {
+			// SetLinger(0) turns Close into an RST: the peer sees a hard
+			// reset, not a graceful close — a severed link, not a goodbye.
+			_ = tc.SetLinger(0)
+		}
+		_ = c.Close()
+	}
+}
+
+// take consumes one connection's fault decision, mirroring
+// faultinject's Nth/Prob/Times semantics.
+func (p *Proxy) take() *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.plan.faulty() {
+		return nil
+	}
+	p.crossings++
+	switch {
+	case p.plan.Nth > 0:
+		if p.crossings != p.plan.Nth {
+			return nil
+		}
+	case p.plan.Prob > 0:
+		if p.plan.Times > 0 && p.fired >= p.plan.Times {
+			return nil
+		}
+		if p.rng.Float64() >= p.plan.Prob {
+			return nil
+		}
+	default:
+		if p.plan.Times > 0 && p.fired >= p.plan.Times {
+			return nil
+		}
+	}
+	p.fired++
+	plan := p.plan
+	return &plan
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.met.conns.Inc()
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		if p.partitioned {
+			p.mu.Unlock()
+			// Accept-then-reset: to the dialer the link is dead.
+			closeAll([]net.Conn{conn})
+			continue
+		}
+		target := p.target
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+
+		plan := p.take()
+		p.wg.Add(1)
+		go p.serve(conn, target, plan)
+	}
+}
+
+// forget removes a finished connection from the active set.
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// serve pipes one client connection to the target, applying the
+// connection's fault plan to the upstream→client direction (where the
+// response body travels).
+func (p *Proxy) serve(client net.Conn, target string, plan *Plan) {
+	defer p.wg.Done()
+	defer p.forget(client)
+	defer client.Close()
+	p.met.active.Add(1)
+	defer p.met.active.Add(-1)
+
+	upstream, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		// Target gone (worker between death and restart): reset the
+		// client so it sees a dead node, not a hang.
+		closeAll([]net.Conn{client})
+		return
+	}
+	defer upstream.Close()
+
+	if plan != nil && plan.Latency > 0 {
+		p.met.fault("latency")
+		time.Sleep(plan.Latency)
+	}
+
+	// client→upstream: always clean (requests are small; the interesting
+	// failure surface is the response path).
+	go func() {
+		_, _ = io.Copy(upstream, client)
+		// Half-close so the worker sees EOF on the request stream.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+
+	// upstream→client with the plan applied.
+	var w io.Writer = client
+	var budget int64 = -1 // bytes until the planned failure; -1 = none
+	kind := ""
+	if plan != nil {
+		switch {
+		case plan.DropAfter > 0:
+			budget, kind = plan.DropAfter, "drop"
+		case plan.TruncateAfter > 0:
+			budget, kind = plan.TruncateAfter, "truncate"
+		}
+		if plan.BandwidthBPS > 0 {
+			p.met.fault("bandwidth")
+			w = &throttledWriter{w: client, bps: plan.BandwidthBPS}
+		}
+	}
+	if budget < 0 {
+		_, _ = io.Copy(w, upstream)
+		return
+	}
+	_, _ = io.CopyN(w, upstream, budget)
+	p.met.fault(kind)
+	if kind == "drop" {
+		// Hard reset mid-body: the client reads ECONNRESET.
+		closeAll([]net.Conn{client})
+		return
+	}
+	// Clean close mid-body: the client reads a truncated document then a
+	// normal EOF — unexpected EOF at the JSON layer.
+	_ = client.Close()
+}
+
+// throttledWriter caps a copy to bps bytes/second in coarse chunks —
+// crude but deterministic enough to make a response take real time.
+type throttledWriter struct {
+	w   io.Writer
+	bps int
+}
+
+func (t *throttledWriter) Write(b []byte) (int, error) {
+	written := 0
+	for len(b) > 0 {
+		chunk := t.bps / 10 // ~100ms granularity
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > len(b) {
+			chunk = len(b)
+		}
+		n, err := t.w.Write(b[:chunk])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		b = b[chunk:]
+		if len(b) > 0 {
+			time.Sleep(time.Duration(float64(chunk) / float64(t.bps) * float64(time.Second)))
+		}
+	}
+	return written, nil
+}

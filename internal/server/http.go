@@ -37,7 +37,38 @@ type WireResponse struct {
 	Deduped  bool       `json:"deduped,omitempty"`
 	FastPath bool       `json:"fast_path,omitempty"`
 	Retries  int        `json:"retries,omitempty"`
-	Error    *WireError `json:"error,omitempty"`
+	// Schedule is the machine-readable schedule, attached only when the
+	// request set WireSchedule (the fleet's remote transport does).
+	Schedule *WireSchedule `json:"schedule,omitempty"`
+	Error    *WireError    `json:"error,omitempty"`
+}
+
+// WireSchedule carries the schedule itself — not just its cost — so the
+// receiving side can rebuild a pipesched.Compiled and sim-verify it.
+// Tuples is the post-optimize block in the textual tuple format
+// (ir.ParseBlock round-trips it); Order/Eta/Pipes index into it exactly
+// as in Compiled.
+type WireSchedule struct {
+	Tuples string `json:"tuples"`
+	Order  []int  `json:"order"`
+	Eta    []int  `json:"eta"`
+	Pipes  []int  `json:"pipes"`
+}
+
+// AttachSchedule copies resp's schedule onto the wire response when the
+// compiled result carries one. InitialNOPs rides along so the rebuilt
+// Compiled reports the same seed cost.
+func (w *WireResponse) AttachSchedule(resp *Response) {
+	if w == nil || resp == nil || resp.Compiled == nil || resp.Compiled.Original == nil {
+		return
+	}
+	c := resp.Compiled
+	w.Schedule = &WireSchedule{
+		Tuples: c.Original.String(),
+		Order:  c.Order,
+		Eta:    c.Eta,
+		Pipes:  c.Pipes,
+	}
 }
 
 // WireError is the JSON shape of a typed failure. TraceID joins a
@@ -183,7 +214,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	req := reqs[0]
 	resp, serr := s.Submit(ctx, req)
-	WriteTracedOutcome(w, req.ID, resp, serr, traceID)
+	wire := ToWire(req.ID, resp, serr)
+	if req.WireSchedule {
+		wire.AttachSchedule(resp)
+	}
+	WriteWireOutcome(w, wire, resp, serr, traceID)
 }
 
 // WriteOutcome renders one single-request outcome: status from
@@ -198,6 +233,14 @@ func WriteOutcome(w http.ResponseWriter, id string, resp *Response, serr error) 
 // flight-recorder dump so the black box captures the spans that led to
 // it.
 func WriteTracedOutcome(w http.ResponseWriter, id string, resp *Response, serr error, traceID string) {
+	WriteWireOutcome(w, ToWire(id, resp, serr), resp, serr, traceID)
+}
+
+// WriteWireOutcome renders an already-built wire response with the
+// status, Retry-After and flight-recorder behavior of
+// WriteTracedOutcome; callers use it when the wire body needs
+// per-request decoration (e.g. AttachSchedule) first.
+func WriteWireOutcome(w http.ResponseWriter, wire *WireResponse, resp *Response, serr error, traceID string) {
 	status := HTTPStatus(resp, serr)
 	var oe *OverloadError
 	if errors.As(serr, &oe) {
@@ -206,7 +249,6 @@ func WriteTracedOutcome(w http.ResponseWriter, id string, resp *Response, serr e
 	if status >= 500 {
 		telemetry.ActiveTracer().Trigger(fmt.Sprintf("http_%d", status))
 	}
-	wire := ToWire(id, resp, serr)
 	wire.StampTrace(traceID)
 	WriteJSON(w, status, wire)
 }
@@ -274,6 +316,9 @@ func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, reqs []*
 			defer wg.Done()
 			resp, err := s.Submit(ctx, req)
 			out.Responses[i] = ToWire(req.ID, resp, err)
+			if req.WireSchedule {
+				out.Responses[i].AttachSchedule(resp)
+			}
 			out.Responses[i].StampTrace(traceID)
 		}(i, req)
 	}

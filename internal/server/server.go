@@ -147,6 +147,13 @@ type Request struct {
 	// TimeoutMS is the compile budget in milliseconds (queue wait
 	// included); 0 selects the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// WireSchedule asks the HTTP layer to attach the full schedule
+	// (tuples, order, eta, pipes) to the wire response, so a routing
+	// tier can reconstruct a verifiable Compiled from the JSON alone.
+	// The fleet's RemoteNode sets it on every forwarded request. It is
+	// a transport concern and deliberately outside the cache
+	// fingerprint.
+	WireSchedule bool `json:"wire_schedule,omitempty"`
 }
 
 // MachineSpec selects the target machine: a named preset or an inline
