@@ -17,6 +17,8 @@
 //	-tuples          input is tuple code, not source
 //	-O               run the traditional optimizations before scheduling
 //	-mode m          delay mechanism: nop | explicit | implicit
+//	-sched m         scheduler mode: paper | minreg-lex | minreg-k=<k> |
+//	                 scoreboard[=<window>x<width>]
 //	-lambda n        curtail point (0 = library default, <0 = unlimited)
 //	-timeout d       wall-clock compile budget, e.g. 500ms (0 = none)
 //	-registers n     architectural registers (0 = unlimited)
@@ -88,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tuples    = fs.Bool("tuples", false, "input is tuple code instead of source")
 		optimize  = fs.Bool("O", false, "optimize before scheduling")
 		modeName  = fs.String("mode", "nop", "delay mechanism: nop|explicit|implicit|tera")
+		schedName = fs.String("sched", "", "scheduler mode: paper|minreg-lex|minreg-k=<k>|scoreboard[=<window>x<width>]")
 		lambda    = fs.Int64("lambda", 0, "curtail point (0 = default, <0 = unlimited)")
 		timeout   = fs.Duration("timeout", 0, "wall-clock compile budget (0 = none); on expiry the best schedule found so far is emitted with exit status 2")
 		registers = fs.Int("registers", 0, "architectural registers (0 = unlimited)")
@@ -115,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	mode, err := pickMode(*modeName)
+	if err != nil {
+		return fail(err)
+	}
+	sched, err := pipesched.ParseSchedMode(*schedName)
 	if err != nil {
 		return fail(err)
 	}
@@ -159,6 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := pipesched.Options{
+		Sched:           sched,
 		Lambda:          *lambda,
 		Optimize:        *optimize,
 		Registers:       *registers,
@@ -288,6 +296,12 @@ func emit(stdout, stderr io.Writer, c *pipesched.Compiled, m *pipesched.Machine,
 		"machine=%s block=%s instructions=%d nops=%d ticks=%d optimal=%t quality=%s",
 		m.Name, c.Scheduled.Label, c.Scheduled.Len(), c.TotalNOPs, c.Ticks,
 		c.Optimal, c.Quality)
+	if !c.Sched.IsPaper() {
+		line += " sched=" + c.Sched.String()
+		if c.Sched.NeedsPressure() {
+			line += fmt.Sprintf(" maxlive=%d", c.MaxLive)
+		}
+	}
 	if c.Quality != pipesched.Optimal && reason != "" {
 		line += " reason=" + reason
 	}

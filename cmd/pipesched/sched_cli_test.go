@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSchedFlag exercises the -sched flag end to end through the
+// driver: each mode compiles, the stats line names the mode (plus
+// MAXLIVE for the pressure modes), and a malformed mode is a hard
+// usage failure.
+func TestRunSchedFlag(t *testing.T) {
+	dir := t.TempDir()
+	tup := filepath.Join(dir, "in.tup")
+	block := `b:
+  1: Load #a
+  2: Mul @1, @1
+  3: Load #b
+  4: Add @2, @3
+  5: Store #c, @4
+`
+	if err := os.WriteFile(tup, []byte(block), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		sched string
+		want  []string
+	}{
+		{"minreg-lex", "minreg-lex", []string{"sched=minreg-lex", "maxlive="}},
+		{"minreg-k", "minreg-k=3", []string{"sched=minreg-k=3", "maxlive="}},
+		{"scoreboard", "scoreboard=4x2", []string{"sched=scoreboard=4x2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run([]string{"-tuples", "-sched", tc.sched, "-stats", tup}, &stdout, &stderr)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Fatal("no assembly emitted")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(stderr.String(), want) {
+					t.Errorf("stats line missing %q:\n%s", want, stderr.String())
+				}
+			}
+		})
+	}
+
+	t.Run("bad-sched", func(t *testing.T) {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-tuples", "-sched", "minreg-k=0", tup}, &stdout, &stderr); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+	})
+}
+
+// TestVerifyModeFlag: `pipesched verify -mode=...` soaks the selected
+// scheduler mode and names it (canonically) in the summary line.
+func TestVerifyModeFlag(t *testing.T) {
+	for _, mode := range []string{"minreg-lex", "minreg-k=2", "scoreboard"} {
+		var out, errb bytes.Buffer
+		code := runVerify([]string{"-blocks", "4", "-machines", "2", "-seed", "11", "-max-statements", "4", "-mode", mode}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("mode %s: exit %d, stderr:\n%s", mode, code, errb.String())
+		}
+		canon := mode
+		if mode == "scoreboard" {
+			canon = "scoreboard=8x2"
+		}
+		if !strings.Contains(out.String(), "mode="+canon) || !strings.Contains(out.String(), "divergences=0") {
+			t.Errorf("mode %s: unexpected summary: %q", mode, out.String())
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := runVerify([]string{"-blocks", "1", "-mode", "warp"}, &out, &errb); code != 1 {
+		t.Fatalf("bad mode accepted: exit %d", code)
+	}
+}

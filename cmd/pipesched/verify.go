@@ -34,6 +34,7 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 		noMeta    = fs.Bool("no-metamorphic", false, "skip the metamorphic invariants")
 		noExh     = fs.Bool("no-exhaustive", false, "skip the exhaustive reference enumerations")
 		exhOrders = fs.Int64("exhaustive-orders", 0, "legal-order cap for the exhaustive reference (0 = default 20000)")
+		mode      = fs.String("mode", "", "scheduler mode to soak: paper|minreg-lex|minreg-k=<k>|scoreboard[=<window>x<width>] (empty = paper)")
 		progress  = fs.Bool("progress", false, "report progress to stderr every 10% of blocks")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +51,7 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 		Seed:          *seed,
 		Workers:       *workers,
 		MaxStatements: *maxStmts,
+		Mode:          *mode,
 		MachineParams: machine.Params{},
 		Check: oracle.Config{
 			Lambda:            *lambda,
@@ -84,8 +86,11 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pipesched verify: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "verify: seed=%d pairs=%d tuples=%d divergences=%d checks: %s\n",
-		*seed, sum.Pairs, sum.Tuples, sum.Divergences, sum.Checks())
+	// Run validated the mode string; render its canonical form.
+	sm, _ := machine.ParseSchedMode(cfg.Mode)
+	modeLabel := sm.String()
+	fmt.Fprintf(stdout, "verify: mode=%s seed=%d pairs=%d tuples=%d divergences=%d checks: %s\n",
+		modeLabel, *seed, sum.Pairs, sum.Tuples, sum.Divergences, sum.Checks())
 	if sum.Divergences > 0 {
 		for i, a := range sum.Artifacts {
 			if i >= 10 {

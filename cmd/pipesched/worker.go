@@ -5,13 +5,16 @@
 //   - on startup it prints a machine-readable ready line to stdout
 //     ("pipesched-worker-ready addr=... pid=...") so a supervisor
 //     learns the bound address (workers usually bind :0) and PID;
+//
 //   - every HTTP response carries X-Pipesched-Worker-PID, so failover
 //     traces can prove which process incarnation served each attempt;
+//
 //   - GET /workerz reports the worker's identity, draining state and
 //     durable-cache recovery counts — the router's failure detector;
+//
 //   - SIGTERM drains gracefully, exactly like serve.
 //
-//	pipesched worker -node w0 -addr 127.0.0.1:0 -cache-dir /var/cache/w0
+//     pipesched worker -node w0 -addr 127.0.0.1:0 -cache-dir /var/cache/w0
 package main
 
 import (

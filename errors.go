@@ -84,11 +84,22 @@ var (
 	// before cancellation was returned.
 	ErrCanceled = errors.New("pipesched: compilation canceled")
 	// ErrInvalidMachine wraps every structurally-invalid machine
-	// description error (see machine.Validate).
+	// description error (see machine.Validate). Invalid scheduler-mode
+	// parameters (Options.Sched) are part of the same family.
 	ErrInvalidMachine = machine.ErrInvalid
 	// ErrInvalidBlock wraps every structurally-invalid tuple block error
 	// (see ir.Block.Validate).
 	ErrInvalidBlock = ir.ErrInvalidBlock
+	// ErrInfeasible: the minreg-k mode's register-pressure bound admits no
+	// legal schedule of the block; the completed search is the proof.
+	// Unlike the degradation sentinels above it accompanies a nil result —
+	// there is no schedule to return.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrModeUnsupported: the selected scheduler mode is not supported by
+	// this entry point (ScheduleLarge supports the paper mode only; the
+	// sequence entry points cannot thread pipeline state through the
+	// scoreboard model).
+	ErrModeUnsupported = errors.New("pipesched: scheduler mode not supported by this entry point")
 )
 
 // StageError reports a failure isolated at one pipeline-stage boundary:

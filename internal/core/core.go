@@ -53,8 +53,27 @@ import (
 // budget (the paper's rule [2]).
 var ErrBudget = errors.New("core: search budget λ exhausted")
 
+// ErrInfeasible reports that the minreg-k mode's register-pressure
+// constraint admits NO legal schedule of the block: the search (or the
+// root pressure floor) proved that every topological order needs more
+// than k simultaneously live values. It is returned only with a
+// completed proof — a curtailed search that merely failed to find a
+// feasible schedule wraps its stop reason (ErrBudget or the context
+// error) instead.
+var ErrInfeasible = errors.New("core: register-pressure bound admits no legal schedule")
+
 // Options configures the search.
 type Options struct {
+	// Sched selects the scheduler machine model (DESIGN.md §15). The
+	// zero value is the paper's model: minimize total NOPs on the
+	// in-order multi-pipeline machine. machine.SchedMinRegLex minimizes
+	// (NOPs, MAXLIVE) lexicographically; machine.SchedMinRegK minimizes
+	// NOPs subject to MAXLIVE ≤ K (Find returns ErrInfeasible when the
+	// constraint is proven unsatisfiable); machine.SchedScoreboard
+	// schedules for an out-of-order issue window and minimizes stall
+	// ticks (see scoreboard.go for that mode's result conventions).
+	Sched machine.SchedMode
+
 	// Lambda is the curtail point λ: the maximum number of Ω invocations
 	// (search steps) before the search gives up optimality and returns
 	// the best schedule found. Zero or negative means unlimited.
@@ -90,7 +109,11 @@ type Options struct {
 	// StrongEquivalence enables the extension filter: among unscheduled
 	// instructions that are provably interchangeable (same pipeline set,
 	// identical predecessor and successor dependence structure), only the
-	// lowest-numbered may be placed first. Off by default for fidelity.
+	// lowest-numbered may be placed first. It supersedes the paper's [5c]
+	// swap filter, which is disabled while this is on: [5c]-equivalent
+	// pairs always share a class, and running both rules lets each defer
+	// to a subtree the other pruned (see the dfs candidate loop). Off by
+	// default for fidelity.
 	StrongEquivalence bool
 
 	// SeedPriority picks the list-scheduling discipline for the initial
@@ -153,6 +176,7 @@ type Stats struct {
 	PrunedAlphaBeta   int64 // placements abandoned by α–β
 	PrunedLowerBound  int64 // placements abandoned by the critical-path bound
 	PrunedResource    int64 // placements abandoned by the enqueue-occupancy bound
+	PrunedPressure    int64 // placements abandoned by the MAXLIVE ≤ k constraint
 	MemoHits          int64 // placements abandoned by dominance (revisited state)
 	Curtailed         bool  // search stopped early (λ, deadline or cancellation)
 	Elapsed           time.Duration
@@ -182,6 +206,21 @@ type Schedule struct {
 	// Options.Ctx ended it. Optimal == (Stopped == nil).
 	Stopped error
 	Stats   Stats
+
+	// MaxLive is the schedule's peak register pressure, filled by the
+	// register-pressure modes (machine.SchedMinRegLex / SchedMinRegK);
+	// 0 in the other modes. It always equals regalloc.Pressure of the
+	// scheduled block — the oracle enforces that.
+	MaxLive int
+
+	// IssueTicks, filled by the scoreboard mode only, gives the absolute
+	// issue tick of each position of Order (ticks start at 1; several
+	// positions may share a tick up to the issue width). In that mode
+	// TotalNOPs holds the schedule's stall count — the final issue tick
+	// minus the width-limited minimum ⌈N/width⌉ — and Eta is all zeros
+	// (an out-of-order core interlocks in hardware; no NOP padding is
+	// emitted).
+	IssueTicks []int
 }
 
 // searcher carries the mutable state of one search.
@@ -197,6 +236,19 @@ type searcher struct {
 	stats     Stats
 	curtail   bool
 	stopErr   error // why the search stopped early (ErrBudget or ctx error)
+
+	// Mode state (see minreg.go). bestCost is the incumbent in the
+	// mode's packed order: plain NOPs for paper/minreg-k, (NOPs,
+	// MAXLIVE) packed lexicographically for minreg-lex. rootCost is the
+	// same packing of the root lower bounds; incumbent ≤ rootCost is the
+	// mode-aware optimality certificate.
+	lex       bool         // minreg-lex: lexicographic (NOPs, MAXLIVE)
+	kBound    int          // minreg-k: MAXLIVE bound (0 = unconstrained)
+	lt        *liveTracker // non-nil in the register-pressure modes
+	bestCost  int64        // packed incumbent cost (1<<62 = no incumbent yet)
+	bestPeak  int          // MAXLIVE of the incumbent (pressure modes)
+	rootCost  int64        // packed root lower bound
+	peakFloor int          // admissible root lower bound on MAXLIVE
 
 	equivClass []int         // StrongEquivalence: canonical representative per node
 	bnd        *bound.Engine // lower-bound engine (nil when fully disabled)
@@ -238,35 +290,40 @@ func boundConfig(opts Options) bound.Config {
 	return cfg
 }
 
+// noIncumbent is bestCost before any feasible schedule is known (only
+// reachable in minreg-k mode, whose seed may violate the constraint).
+const noIncumbent = int64(1) << 62
+
 // sharedBound is the cross-worker state of a parallel search: the best
-// complete-schedule cost seen anywhere (for α–β) and the global Ω-call
-// budget.
+// complete-schedule packed cost seen anywhere (for α–β) and the global
+// Ω-call budget.
 type sharedBound struct {
-	best   atomic.Int64
+	best   atomic.Int64 // packed cost (mode's order), noIncumbent when empty
 	omega  atomic.Int64
 	lambda int64
 }
 
-// bound returns the α–β cutoff: the cheapest complete schedule known to
-// this searcher or, in a parallel search, to any worker.
-func (s *searcher) bound() int {
-	b := s.bestTotal
+// bound returns the α–β cutoff in the mode's packed cost order: the
+// cheapest complete schedule known to this searcher or, in a parallel
+// search, to any worker.
+func (s *searcher) bound() int64 {
+	b := s.bestCost
 	if s.shared != nil {
-		if g := int(s.shared.best.Load()); g < b {
+		if g := s.shared.best.Load(); g < b {
 			b = g
 		}
 	}
 	return b
 }
 
-// publish makes a new incumbent cost visible to sibling workers.
-func (s *searcher) publish(total int) {
+// publish makes a new incumbent packed cost visible to sibling workers.
+func (s *searcher) publish(cost int64) {
 	if s.shared == nil {
 		return
 	}
 	for {
 		cur := s.shared.best.Load()
-		if int64(total) >= cur || s.shared.best.CompareAndSwap(cur, int64(total)) {
+		if cost >= cur || s.shared.best.CompareAndSwap(cur, cost) {
 			return
 		}
 	}
@@ -316,6 +373,12 @@ var errIllegalSeed = fmt.Errorf("core: initial order violates dependences")
 
 // Find runs the search and returns the best schedule discovered.
 func Find(g *dag.Graph, m *machine.Machine, opts Options) (*Schedule, error) {
+	if err := opts.Sched.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Sched.Kind == machine.SchedScoreboard {
+		return findScoreboard(g, m, opts)
+	}
 	if g.N == 0 {
 		return &Schedule{Optimal: true, Order: []int{}, Eta: []int{}, Pipes: []int{}}, nil
 	}
@@ -334,6 +397,20 @@ func Find(g *dag.Graph, m *machine.Machine, opts Options) (*Schedule, error) {
 		eval: nopins.NewEvaluator(g, m, opts.Assign),
 		perm: append([]int(nil), seed...),
 	}
+	s.lex = opts.Sched.Kind == machine.SchedMinRegLex
+	if opts.Sched.Kind == machine.SchedMinRegK {
+		s.kBound = opts.Sched.K
+	}
+	if opts.Sched.NeedsPressure() {
+		s.lt = newLiveTracker(g)
+		s.peakFloor = bound.PressureFloor(g)
+		if s.kBound > 0 && s.peakFloor > s.kBound {
+			// The static pressure floor already exceeds k: every legal
+			// order is infeasible, no search needed.
+			return nil, fmt.Errorf("%w: every legal order of block %q needs MAXLIVE ≥ %d, bound is %d",
+				ErrInfeasible, g.Block.Label, s.peakFloor, s.kBound)
+		}
+	}
 	if opts.Entry != nil {
 		s.eval.SetEntryState(opts.Entry)
 	}
@@ -341,48 +418,80 @@ func Find(g *dag.Graph, m *machine.Machine, opts Options) (*Schedule, error) {
 		s.equivClass = equivalenceClasses(g, m)
 	}
 	s.attachEngines()
+	s.rootCost = s.packCost(s.rootLB, s.peakFloor)
 	if opts.Entry != nil {
 		s.startTick = opts.Entry.StartTick
 	}
 
 	start := time.Now()
 
-	// Step [1]: price the initial schedule; it becomes π, the incumbent.
+	// Step [1]: price the initial schedule; it becomes π, the incumbent —
+	// unless minreg-k rejects its pressure, in which case the search
+	// starts with no incumbent at all (α–β against noIncumbent).
 	seedRes, err := s.eval.EvaluateOrder(seed)
 	if err != nil {
 		return nil, err
 	}
 	s.stats.SeedOmegaCalls = int64(g.N)
 	s.stats.SchedulesExamined = 1
-	s.best = seedRes
-	s.bestTotal = seedRes.TotalNOPs
+	s.bestCost = noIncumbent
+	s.bestTotal = 1 << 30
+	seedPeak := 0
+	if s.lt != nil {
+		seedPeak = peakOf(g, seed)
+	}
+	if feasiblePeak(opts.Sched, seedPeak) {
+		s.best = seedRes
+		s.bestTotal = seedRes.TotalNOPs
+		s.bestPeak = seedPeak
+		s.bestCost = s.packCost(seedRes.TotalNOPs, seedPeak)
+	}
 
 	// Optionally also price the greedy baseline's order and keep the
 	// cheaper incumbent (the search explores the same space either way;
 	// a tighter incumbent only prunes more).
-	if opts.InitialOrder == nil && !opts.DisableGreedySeed && s.bestTotal > 0 {
+	if opts.InitialOrder == nil && !opts.DisableGreedySeed && s.bestCost > 0 {
 		greedyOrder := gross.Schedule(g, m, opts.Assign).Order
 		if greedyRes, err := s.eval.EvaluateOrder(greedyOrder); err == nil {
 			s.stats.SeedOmegaCalls += int64(g.N)
 			s.stats.SchedulesExamined++
-			if greedyRes.TotalNOPs < s.bestTotal {
+			greedyPeak := 0
+			if s.lt != nil {
+				greedyPeak = peakOf(g, greedyOrder)
+			}
+			if c := s.packCost(greedyRes.TotalNOPs, greedyPeak); feasiblePeak(opts.Sched, greedyPeak) && c < s.bestCost {
 				s.best = greedyRes
 				s.bestTotal = greedyRes.TotalNOPs
+				s.bestPeak = greedyPeak
+				s.bestCost = c
 				seedRes = greedyRes
 			}
 		}
 	}
 
 	// Steps [2]–[8]: depth-first search over swaps, unless the seed is
-	// already provably optimal — zero NOPs cannot be beaten, and a seed
-	// matching the root lower bound cannot be beaten either (the bound
-	// engine's optimality certificate; skipping the search costs nothing).
-	if s.bestTotal > 0 && (s.bnd == nil || s.bestTotal > s.rootLB) {
+	// already provably optimal — packed cost zero cannot be beaten, and a
+	// seed matching the packed root lower bound cannot be beaten either
+	// (the bound engine's optimality certificate; skipping the search
+	// costs nothing). In minreg-lex the certificate needs BOTH floors:
+	// NOP-optimality alone does not prove pressure-optimality.
+	if s.bestCost > 0 && (s.bnd == nil || s.bestCost > s.rootCost) {
 		s.eval.Reset()
 		s.dfs(0)
 	}
 	s.stats.Elapsed = time.Since(start)
 	s.stats.Curtailed = s.curtail
+
+	if len(s.best.Order) != s.g.N {
+		// minreg-k only: no feasible schedule was ever found. A completed
+		// search is a proof of infeasibility; a curtailed one is not.
+		if s.curtail {
+			return nil, fmt.Errorf("core: no schedule with MAXLIVE ≤ %d found before the search stopped: %w",
+				s.kBound, s.stopErr)
+		}
+		return nil, fmt.Errorf("%w: exhausted search found no order of block %q with MAXLIVE ≤ %d",
+			ErrInfeasible, g.Block.Label, s.kBound)
+	}
 
 	return &Schedule{
 		Order:       s.best.Order,
@@ -396,6 +505,7 @@ func Find(g *dag.Graph, m *machine.Machine, opts Options) (*Schedule, error) {
 		Gap:         certifiedGap(s.curtail, s.best.TotalNOPs, s.rootLB),
 		Stopped:     s.stopErr,
 		Stats:       s.stats,
+		MaxLive:     s.bestPeak,
 	}, nil
 }
 
@@ -442,7 +552,19 @@ func (s *searcher) dfs(i int) bool {
 					continue
 				}
 			}
-			if !s.opts.DisableEquivalence && s.equivalentSwap(kappa, xi) {
+			// [5c] is suppressed when the strong-equivalence filter is
+			// active: every [5c]-equivalent pair (no pipes, no preds,
+			// identical successors) necessarily shares a strong-equivalence
+			// class, and the class's canonical within-class ordering
+			// already deduplicates those swaps. Running both rules is
+			// unsound, not merely redundant — [5c]'s witness is "κ at this
+			// position was explored", but the strong filter may have
+			// blocked κ here (deferring to lower-numbered-twin-first
+			// orders), so each rule defers to a subtree the other pruned
+			// and the whole class vanishes from this position. Caught by
+			// the differential oracle as a claimed-optimal schedule one
+			// NOP above the true optimum.
+			if !s.opts.StrongEquivalence && !s.opts.DisableEquivalence && s.equivalentSwap(kappa, xi) {
 				s.stats.PrunedEquivalence++
 				s.trace(TraceEquiv, i, xi, 0, s.eval.TotalNOPs())
 				continue
@@ -497,6 +619,10 @@ func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
 		eta = s.eval.Push(xi)
 	}
 	defer s.eval.Pop()
+	if s.lt != nil {
+		s.lt.push(xi)
+		defer s.lt.pop(xi)
+	}
 	if s.bnd != nil {
 		pos := s.eval.Len() - 1
 		s.bnd.Push(xi, s.eval.PipeAt(pos), s.eval.IssueAt(pos))
@@ -504,19 +630,36 @@ func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
 	}
 	s.trace(TracePlace, i, xi, eta, s.eval.TotalNOPs())
 
+	// minreg-k feasibility: the running MAXLIVE never decreases along a
+	// branch, so a prefix already over the bound has no feasible
+	// completion — an exact prune, not a heuristic.
+	if s.kBound > 0 && s.livePeak() > s.kBound {
+		s.stats.PrunedPressure++
+		s.trace(TracePressure, i, xi, 0, s.eval.TotalNOPs())
+		return !s.curtail
+	}
+
+	// curCost is the prefix's packed cost: both components (NOPs and, in
+	// minreg-lex, MAXLIVE) are non-decreasing along a branch, so it is an
+	// admissible lower bound on any completion's packed cost.
+	curCost := s.packCost(s.eval.TotalNOPs(), s.livePeak())
+
 	// Lower-bound engine: from the just-issued tick, the schedule cannot
 	// finish before the longest scheduled dependent chain has drained
 	// (critical-path bound) nor before every pipeline has accepted its
 	// remaining forced instructions (resource bound). Final NOPs = final
 	// issue tick − instructions − entry offset, so a bound on the final
 	// tick bounds the final cost; if even an admissible bound cannot beat
-	// the incumbent, the branch is hopeless. The α–β class keeps branches
+	// the incumbent, the branch is hopeless. (In minreg-lex each NOP
+	// bound is packed with the current peak — admissible because packing
+	// is monotone in both components.) The α–β class keeps branches
 	// already at incumbent cost (the outer guard), so each prune is
 	// attributed to exactly one class.
-	if s.bnd != nil && !s.opts.DisableLowerBound && s.eval.TotalNOPs() < s.bound() {
+	if s.bnd != nil && !s.opts.DisableLowerBound && curCost < s.bound() {
 		cp, res := s.bnd.Lower(s.eval.IssueAt(s.eval.Len() - 1))
-		if b := s.bound(); cp >= b || res >= b {
-			if cp >= b {
+		cpC, resC := s.packCost(cp, s.livePeak()), s.packCost(res, s.livePeak())
+		if b := s.bound(); cpC >= b || resC >= b {
+			if cpC >= b {
 				s.stats.PrunedLowerBound++
 				s.trace(TraceLowerBound, i, xi, 0, s.eval.TotalNOPs())
 			} else {
@@ -528,20 +671,23 @@ func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
 	}
 
 	// Step [6]: α–β — descend only while strictly cheaper than the best
-	// complete schedule (η never decreases along a branch).
-	if s.eval.TotalNOPs() < s.bound() {
+	// complete schedule (the packed prefix cost never decreases along a
+	// branch).
+	if curCost < s.bound() {
 		if s.eval.Len() == s.g.N {
 			// Step [3]: complete and strictly better.
 			s.stats.SchedulesExamined++
 			s.stats.Improvements++
 			s.best = s.eval.Snapshot()
 			s.bestTotal = s.best.TotalNOPs
-			s.publish(s.bestTotal)
+			s.bestPeak = s.livePeak()
+			s.bestCost = curCost
+			s.publish(s.bestCost)
 			s.trace(TraceImprove, i, xi, eta, s.bestTotal)
-			if s.bnd != nil && s.bestTotal <= s.rootLB {
-				// The incumbent meets the root lower bound: provably
-				// optimal, nothing left to search. Unwind without
-				// marking a curtailment.
+			if s.bnd != nil && s.bestCost <= s.rootCost {
+				// The incumbent meets the packed root lower bound:
+				// provably optimal, nothing left to search. Unwind
+				// without marking a curtailment.
 				s.done = true
 				return false
 			}
@@ -550,13 +696,14 @@ func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
 				return false
 			}
 			// Dominance: if this exact residual scheduling problem was
-			// already fully explored at an equal-or-lower cost-so-far,
-			// this visit cannot improve on what that one saw (or pruned
-			// against a then-no-tighter incumbent).
+			// already fully explored at a component-wise equal-or-lower
+			// (cost-so-far, peak-so-far), this visit cannot improve on
+			// what that one saw (or pruned against a then-no-tighter
+			// incumbent).
 			var key string
 			if s.table != nil {
 				key = s.memoKey()
-				if s.table.Dominated(key, s.eval.TotalNOPs()) {
+				if s.table.Dominated(key, s.eval.TotalNOPs(), s.livePeak()) {
 					s.stats.MemoHits++
 					s.trace(TraceMemo, i, xi, 0, s.eval.TotalNOPs())
 					return !s.curtail
@@ -569,7 +716,7 @@ func (s *searcher) placeOnPipe(i, xi, pipe int, explicit bool) bool {
 			// stopped subtree returned false above): dominance from a
 			// partially searched state could prune the only optimum.
 			if s.table != nil {
-				s.table.Store(key, s.eval.TotalNOPs())
+				s.table.Store(key, s.eval.TotalNOPs(), s.livePeak())
 			}
 		}
 	} else {
@@ -717,6 +864,7 @@ const (
 	TraceAlphaBeta  TraceAction = "prune-alphabeta"   // cost cutoff after placement
 	TraceLowerBound TraceAction = "prune-lowerbound"  // critical-path cutoff
 	TraceResource   TraceAction = "prune-resource"    // enqueue-occupancy cutoff
+	TracePressure   TraceAction = "prune-pressure"    // MAXLIVE ≤ k cutoff
 	TraceMemo       TraceAction = "prune-memo"        // dominance table hit
 	TraceCurtail    TraceAction = "curtail"           // λ reached
 )

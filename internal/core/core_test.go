@@ -261,6 +261,62 @@ func TestStrongEquivalencePrunesInterchangeableLoads(t *testing.T) {
 	}
 }
 
+func TestStrongEquivalenceDoesNotStarveTwinClass(t *testing.T) {
+	// Regression for a circular deferral between [5c] and the strong
+	// filter, caught by the differential oracle: with both rules active,
+	// the twin blocked by the strong filter (higher node number, twin
+	// unscheduled) sat at Π[i], so [5c] then skipped the lower-numbered
+	// twin as "equivalent to Π[i]" — and the whole class vanished from
+	// that position. On this pair the search certified 2 NOPs as optimal
+	// while the true optimum is 1 (schedule the unused Sub before the
+	// second Load pair so the Div's enqueue slot drains earlier).
+	mj := `{"name": "fuzz-fd4012be", "pipelines": [
+	  {"Function": "multiplier", "ID": 1, "Latency": 4, "Enqueue": 4},
+	  {"Function": "fpu", "ID": 2, "Latency": 2, "Enqueue": 2}],
+	  "ops": {"Div": [1], "Mod": [2], "Mul": [2], "Neg": [1], "Sub": [1]}}`
+	m, err := machine.ParseJSON([]byte(mj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustGraph(t, `synth:
+  1: Load #v0
+  2: Const 14
+  3: Sub @1, @2
+  5: Load #v1
+  6: Load #v3
+  7: Div @5, @6`)
+	modes := map[string]machine.SchedMode{
+		"paper":      {},
+		"minreg-lex": machine.MinRegLex(),
+		"minreg-k=3": machine.MinRegK(3),
+	}
+	for name, mode := range modes {
+		t.Run(name, func(t *testing.T) {
+			plain, err := Find(g, m, Options{Sched: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			strong, err := Find(g, m, Options{Sched: mode, StrongEquivalence: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.TotalNOPs != 1 || !plain.Optimal {
+				t.Fatalf("plain search: nops=%d optimal=%v, want 1/true", plain.TotalNOPs, plain.Optimal)
+			}
+			if strong.TotalNOPs != 1 || !strong.Optimal {
+				t.Errorf("strong-equivalence search: nops=%d optimal=%v, want 1/true", strong.TotalNOPs, strong.Optimal)
+			}
+			par, err := FindParallel(g, m, Options{Sched: mode, StrongEquivalence: true}, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.TotalNOPs != 1 || !par.Optimal {
+				t.Errorf("parallel strong-equivalence search: nops=%d optimal=%v, want 1/true", par.TotalNOPs, par.Optimal)
+			}
+		})
+	}
+}
+
 func TestAssignmentSearchBeatsFixedOnExampleMachine(t *testing.T) {
 	// Two independent Add chains fight over one adder under fixed
 	// assignment but spread over both adders with assignment search.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -28,6 +29,11 @@ import (
 // events interleave (in nondeterministic order) but never race.
 // workers <= 0 selects GOMAXPROCS.
 //
+// All scheduler modes are supported; the incumbent comparisons use the
+// mode's packed cost (NOPs, or lexicographic (NOPs, MAXLIVE)), and the
+// scoreboard mode — whose search core is separate — delegates to the
+// sequential findScoreboard.
+//
 // The lower-bound engine and dominance table are private per worker:
 // each worker owns one bound.Engine per subtree and ONE memo.Table for
 // its lifetime, so no counter or table access crosses goroutines.
@@ -35,6 +41,12 @@ import (
 // incumbent only tightens over time. Per-worker Stats are folded into
 // the aggregate exactly once, after the WaitGroup barrier.
 func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (*Schedule, error) {
+	if err := opts.Sched.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Sched.Kind == machine.SchedScoreboard {
+		return findScoreboard(g, m, opts)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -50,13 +62,35 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 		return nil, errIllegalSeed
 	}
 
+	lex := opts.Sched.Kind == machine.SchedMinRegLex
+	kBound := 0
+	if opts.Sched.Kind == machine.SchedMinRegK {
+		kBound = opts.Sched.K
+	}
+	pressure := opts.Sched.NeedsPressure()
+	packFor := func(nops, peak int) int64 {
+		if lex {
+			return packLex(nops, peak)
+		}
+		return int64(nops)
+	}
+	peakFloor := 0
+	if pressure {
+		peakFloor = bound.PressureFloor(g)
+		if kBound > 0 && peakFloor > kBound {
+			return nil, fmt.Errorf("%w: every legal order of block %q needs MAXLIVE ≥ %d, bound is %d",
+				ErrInfeasible, g.Block.Label, peakFloor, kBound)
+		}
+	}
+
 	start := time.Now()
 
 	// Price the incumbent exactly as Find does (list seed, optionally
 	// improved by the greedy baseline), counting only Ω work that was
 	// actually performed: the greedy order is priced — and charged —
 	// only when the seed is not already free and no caller-fixed order
-	// suppresses it.
+	// suppresses it. In minreg-k a seed over the pressure bound leaves
+	// the search with no incumbent.
 	incumbentEval := nopins.NewEvaluator(g, m, opts.Assign)
 	if opts.Entry != nil {
 		incumbentEval.SetEntryState(opts.Entry)
@@ -65,18 +99,34 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 	if err != nil {
 		return nil, err
 	}
-	best := seedRes
 	agg := Stats{
 		SeedOmegaCalls:    int64(g.N),
 		SchedulesExamined: 1,
 	}
-	if opts.InitialOrder == nil && !opts.DisableGreedySeed && best.TotalNOPs > 0 {
+	var best nopins.Result
+	bestCost, bestPeak := noIncumbent, 0
+	seedPeak := 0
+	if pressure {
+		seedPeak = peakOf(g, seed)
+	}
+	if feasiblePeak(opts.Sched, seedPeak) {
+		best = seedRes
+		bestPeak = seedPeak
+		bestCost = packFor(seedRes.TotalNOPs, seedPeak)
+	}
+	if opts.InitialOrder == nil && !opts.DisableGreedySeed && bestCost > 0 {
 		greedyOrder := gross.Schedule(g, m, opts.Assign).Order
 		if greedyRes, err := incumbentEval.EvaluateOrder(greedyOrder); err == nil {
 			agg.SeedOmegaCalls += int64(g.N)
 			agg.SchedulesExamined++
-			if greedyRes.TotalNOPs < best.TotalNOPs {
+			greedyPeak := 0
+			if pressure {
+				greedyPeak = peakOf(g, greedyOrder)
+			}
+			if c := packFor(greedyRes.TotalNOPs, greedyPeak); feasiblePeak(opts.Sched, greedyPeak) && c < bestCost {
 				best = greedyRes
+				bestPeak = greedyPeak
+				bestCost = c
 			}
 		}
 	}
@@ -89,13 +139,14 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 	if haveEngine {
 		rootLB = bound.New(g, m, boundConfig(opts)).Root()
 	}
-	if best.TotalNOPs == 0 || (haveEngine && best.TotalNOPs <= rootLB) {
+	rootCost := packFor(rootLB, peakFloor)
+	if bestCost == 0 || (haveEngine && bestCost != noIncumbent && bestCost <= rootCost) {
 		agg.Elapsed = time.Since(start)
 		return &Schedule{
 			Order: best.Order, Eta: best.Eta, Pipes: best.Pipes,
 			TotalNOPs: best.TotalNOPs, Ticks: best.Ticks,
 			InitialNOPs: seedRes.TotalNOPs, Optimal: true,
-			RootLB: rootLB, Stats: agg,
+			RootLB: rootLB, Stats: agg, MaxLive: bestPeak,
 		}, nil
 	}
 
@@ -104,6 +155,9 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 	// interchangeable only when they also share identical successor
 	// structure (see equivalentSwap for why the bare no-pipe/no-pred
 	// condition over-prunes) — keep the first of each such group.
+	// (Identical successor structure also preserves the MAXLIVE of the
+	// exchanged completion, so the filter stays exact in the pressure
+	// modes.)
 	var candidates []int
 	for _, u := range seed {
 		if len(g.Preds[u]) > 0 {
@@ -125,11 +179,13 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 	}
 
 	shared := &sharedBound{lambda: opts.Lambda}
-	shared.best.Store(int64(best.TotalNOPs))
+	shared.best.Store(bestCost)
 
 	type result struct {
 		idx     int
 		best    nopins.Result
+		peak    int
+		cost    int64
 		found   bool
 		curtail bool
 		stopErr error
@@ -150,7 +206,7 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 				table = memo.NewTable(opts.MemoEntries)
 			}
 			for idx := range jobs {
-				if haveEngine && int(shared.best.Load()) <= rootLB {
+				if haveEngine && shared.best.Load() <= rootCost {
 					// A sibling already proved the incumbent optimal;
 					// remaining subtrees cannot improve on it.
 					continue
@@ -165,10 +221,18 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 					// Local incumbent cost only; the schedule itself
 					// stays empty until this subtree improves on it.
 					bestTotal: 1 << 30,
+					bestCost:  noIncumbent,
 					shared:    shared,
 					table:     table,
 					rootLB:    rootLB,
+					rootCost:  rootCost,
+					lex:       lex,
+					kBound:    kBound,
+					peakFloor: peakFloor,
 					worker:    worker,
+				}
+				if pressure {
+					s.lt = newLiveTracker(g)
 				}
 				if haveEngine {
 					s.bnd = bound.New(g, m, boundConfig(opts))
@@ -192,6 +256,8 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 				results[idx] = result{
 					idx:     idx,
 					best:    s.best,
+					peak:    s.bestPeak,
+					cost:    s.bestCost,
 					found:   len(s.best.Order) == g.N,
 					curtail: s.curtail,
 					stopErr: s.stopErr,
@@ -224,14 +290,27 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 		agg.PrunedAlphaBeta += r.stats.PrunedAlphaBeta
 		agg.PrunedLowerBound += r.stats.PrunedLowerBound
 		agg.PrunedResource += r.stats.PrunedResource
+		agg.PrunedPressure += r.stats.PrunedPressure
 		agg.MemoHits += r.stats.MemoHits
 		curtailed = curtailed || r.curtail
-		if r.found && r.best.TotalNOPs < best.TotalNOPs {
+		if r.found && r.cost < bestCost {
 			best = r.best
+			bestCost = r.cost
+			bestPeak = r.peak
 		}
 	}
 	agg.Curtailed = curtailed
 	agg.Elapsed = time.Since(start)
+
+	if len(best.Order) != g.N {
+		// minreg-k only: no feasible schedule was ever found anywhere.
+		if curtailed {
+			return nil, fmt.Errorf("core: no schedule with MAXLIVE ≤ %d found before the search stopped: %w",
+				kBound, stopped)
+		}
+		return nil, fmt.Errorf("%w: exhausted search found no order of block %q with MAXLIVE ≤ %d",
+			ErrInfeasible, g.Block.Label, kBound)
+	}
 
 	return &Schedule{
 		Order:       best.Order,
@@ -245,5 +324,6 @@ func FindParallel(g *dag.Graph, m *machine.Machine, opts Options, workers int) (
 		Gap:         certifiedGap(curtailed, best.TotalNOPs, rootLB),
 		Stopped:     stopped,
 		Stats:       agg,
+		MaxLive:     bestPeak,
 	}, nil
 }

@@ -1,0 +1,199 @@
+package exhaustive
+
+import (
+	"context"
+
+	"pipesched/internal/dag"
+	"pipesched/internal/machine"
+	"pipesched/internal/nopins"
+	"pipesched/internal/regalloc"
+	"pipesched/internal/sim"
+)
+
+// This file holds the exhaustive reference searches for the non-paper
+// scheduler modes (machine.SchedMode). Each enumerates every legal
+// schedule and prices it with an implementation INDEPENDENT of the
+// branch-and-bound search core: register pressure comes from
+// internal/regalloc's interval sweep over the permuted block (not
+// internal/core's incremental tracker), and scoreboard timing comes from
+// internal/sim's tick-by-tick forward simulation (not the search's
+// incremental tick model). The differential oracle compares the search
+// against these on every block small enough to enumerate.
+
+// PressureResult is the outcome of a register-pressure-mode reference
+// search: the Result fields plus the winning schedule's MAXLIVE.
+type PressureResult struct {
+	Result
+	MaxLive int
+}
+
+// SearchMinRegLex enumerates every legal schedule and returns the one
+// minimizing (TotalNOPs, MAXLIVE) lexicographically — the minreg-lex
+// mode's ground truth. One call is counted per complete legal schedule;
+// the search stops once calls reaches budget (<= 0 means unlimited).
+func SearchMinRegLex(ctx context.Context, g *dag.Graph, m *machine.Machine, budget int64) PressureResult {
+	return searchPressure(ctx, g, m, budget, -1)
+}
+
+// SearchMinRegK enumerates every legal schedule with MAXLIVE ≤ k and
+// returns the one minimizing TotalNOPs — the minreg-k mode's ground
+// truth. Found is false when no legal schedule satisfies the bound (the
+// search core must then report core.ErrInfeasible). Ties on NOPs keep
+// the first schedule found, so only the cost pair is comparable against
+// the search, not the order.
+func SearchMinRegK(ctx context.Context, g *dag.Graph, m *machine.Machine, k int, budget int64) PressureResult {
+	return searchPressure(ctx, g, m, budget, k)
+}
+
+// searchPressure runs both pressure references: k < 0 selects the
+// lexicographic objective, k >= 0 the constrained one.
+func searchPressure(ctx context.Context, g *dag.Graph, m *machine.Machine, budget int64, k int) PressureResult {
+	e := nopins.NewEvaluator(g, m, nopins.AssignFixed)
+	res := PressureResult{}
+	order := make([]int, 0, g.N)
+	bestN, bestL := -1, -1
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == g.N {
+			res.Calls++
+			live := pressureOf(g, order)
+			better := false
+			switch {
+			case k >= 0:
+				better = live <= k && (!res.Found || e.TotalNOPs() < bestN)
+			default:
+				better = !res.Found || e.TotalNOPs() < bestN ||
+					(e.TotalNOPs() == bestN && live < bestL)
+			}
+			if better {
+				res.Best = e.Snapshot()
+				res.Found = true
+				bestN, bestL = e.TotalNOPs(), live
+				res.MaxLive = live
+			}
+			return res.checkStop(ctx, budget)
+		}
+		for u := 0; u < g.N; u++ {
+			if e.Scheduled(u) || !e.Ready(u) {
+				continue
+			}
+			e.Push(u)
+			order = append(order, u)
+			ok := rec(depth + 1)
+			order = order[:depth]
+			e.Pop()
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if g.N > 0 {
+		res.Exhausted = !rec(0)
+	}
+	return res
+}
+
+// pressureOf prices one order's MAXLIVE through regalloc's interval
+// sweep of the permuted block — deliberately not the search core's
+// incremental tracker.
+func pressureOf(g *dag.Graph, order []int) int {
+	nb, err := g.Block.Permute(order)
+	if err != nil {
+		panic("exhaustive: illegal order reached pricing: " + err.Error())
+	}
+	return regalloc.Pressure(nb)
+}
+
+// ScoreboardResult is the outcome of the scoreboard-mode reference
+// search.
+type ScoreboardResult struct {
+	Order      []int // best legal schedule found (nil if none)
+	IssueTicks []int // its simulated issue ticks
+	Stalls     int   // its simulated stall count (the objective)
+	Found      bool
+	Calls      int64
+	Exhausted  bool
+	Stopped    error
+}
+
+// SearchScoreboard enumerates every legal schedule, forward-simulates
+// each on the (window, width) machine, and returns the order with the
+// fewest stall ticks — the scoreboard mode's ground truth. One call is
+// counted per complete legal schedule; the search stops once calls
+// reaches budget (<= 0 means unlimited).
+func SearchScoreboard(ctx context.Context, g *dag.Graph, m *machine.Machine, window, width int, budget int64) ScoreboardResult {
+	res := ScoreboardResult{}
+	n := g.N
+	pipes := make([]int, n) // node -> fixed pipeline
+	for u := 0; u < n; u++ {
+		if set := m.PipelinesFor(g.Block.Tuples[u].Op); len(set) > 0 {
+			pipes[u] = set[0]
+		} else {
+			pipes[u] = machine.NoPipeline
+		}
+	}
+	order := make([]int, 0, n)
+	scheduled := make([]bool, n)
+	remPreds := make([]int, n)
+	for u := 0; u < n; u++ {
+		remPreds[u] = len(g.Preds[u])
+	}
+	posPipes := make([]int, n)
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == n {
+			res.Calls++
+			for i, u := range order {
+				posPipes[i] = pipes[u]
+			}
+			tr, err := sim.RunScoreboard(sim.ScoreboardInput{
+				Input:  sim.Input{Graph: g, M: m, Order: order, Pipes: posPipes},
+				Window: window,
+				Width:  width,
+			})
+			if err != nil {
+				panic("exhaustive: scoreboard simulation rejected a legal order: " + err.Error())
+			}
+			if !res.Found || tr.Stalls < res.Stalls {
+				res.Order = append(res.Order[:0], order...)
+				res.IssueTicks = append(res.IssueTicks[:0], tr.IssueTick...)
+				res.Stalls = tr.Stalls
+				res.Found = true
+			}
+			if budget > 0 && res.Calls >= budget {
+				res.Stopped = ErrBudget
+				return false
+			}
+			if expired(ctx, res.Calls) {
+				res.Stopped = ctx.Err()
+				return false
+			}
+			return true
+		}
+		for u := 0; u < n; u++ {
+			if scheduled[u] || remPreds[u] > 0 {
+				continue
+			}
+			scheduled[u] = true
+			for _, d := range g.Succs[u] {
+				remPreds[d.Node]--
+			}
+			order = append(order, u)
+			ok := rec(depth + 1)
+			order = order[:depth]
+			for _, d := range g.Succs[u] {
+				remPreds[d.Node]++
+			}
+			scheduled[u] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if n > 0 {
+		res.Exhausted = !rec(0)
+	}
+	return res
+}

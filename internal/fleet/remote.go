@@ -452,18 +452,25 @@ func compiledFromWire(wire *server.WireResponse) (*pipesched.Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire schedule: %w", err)
 	}
+	sched, err := pipesched.ParseSchedMode(wire.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("wire schedule: %w", err)
+	}
 	return &pipesched.Compiled{
-		Original:  blk,
-		Order:     s.Order,
-		Eta:       s.Eta,
-		Pipes:     s.Pipes,
-		TotalNOPs: wire.NOPs,
-		Ticks:     wire.Ticks,
-		Optimal:   wire.Optimal,
-		Gap:       wire.Gap,
-		RootLB:    wire.RootLB,
-		Quality:   q,
-		Assembly:  wire.Assembly,
+		Original:   blk,
+		Order:      s.Order,
+		Eta:        s.Eta,
+		Pipes:      s.Pipes,
+		TotalNOPs:  wire.NOPs,
+		Ticks:      wire.Ticks,
+		Optimal:    wire.Optimal,
+		Gap:        wire.Gap,
+		RootLB:     wire.RootLB,
+		Quality:    q,
+		Assembly:   wire.Assembly,
+		Sched:      sched,
+		MaxLive:    wire.MaxLive,
+		IssueTicks: s.IssueTicks,
 	}, nil
 }
 

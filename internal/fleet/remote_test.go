@@ -15,6 +15,7 @@ import (
 	"pipesched/internal/dag"
 	"pipesched/internal/faultinject"
 	"pipesched/internal/machine"
+	"pipesched/internal/regalloc"
 	"pipesched/internal/server"
 	"pipesched/internal/sim"
 	"pipesched/internal/telemetry"
@@ -311,6 +312,64 @@ func TestRemoteNodeRoundTrip(t *testing.T) {
 	if res.Delays != c.TotalNOPs {
 		t.Fatalf("sim delays = %d, wire said %d NOPs", res.Delays, c.TotalNOPs)
 	}
+}
+
+// TestRemoteNodeSchedRoundTrip: scheduler-mode results must survive the
+// client→server→wire→rebuild path with their mode identity, MAXLIVE and
+// scoreboard issue ticks intact, and the rebuilt schedule must verify
+// under the mode's own model — not just the in-order simulator.
+func TestRemoteNodeSchedRoundTrip(t *testing.T) {
+	srv := server.New(testServerConfig())
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	rn := NewRemoteNode("sched-rt", strings.TrimPrefix(hs.URL, "http://"), RemoteConfig{})
+	m := machine.Presets()["simulation"]()
+
+	t.Run("minreg-lex", func(t *testing.T) {
+		req := tupleRequest(40)
+		req.Options.Sched = "minreg-lex"
+		resp, err := rn.Submit(context.Background(), req)
+		if err != nil || resp == nil || resp.Compiled == nil {
+			t.Fatalf("round trip: resp=%v err=%v", resp, err)
+		}
+		c := resp.Compiled
+		if c.Sched.String() != "minreg-lex" {
+			t.Fatalf("rebuilt mode = %s, want minreg-lex", c.Sched)
+		}
+		perm, err := c.Original.Permute(c.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := regalloc.Pressure(perm); got != c.MaxLive {
+			t.Fatalf("wire MaxLive %d, independent re-derivation %d", c.MaxLive, got)
+		}
+	})
+
+	t.Run("scoreboard", func(t *testing.T) {
+		req := tupleRequest(41)
+		req.Options.Sched = "scoreboard=4x2"
+		resp, err := rn.Submit(context.Background(), req)
+		if err != nil || resp == nil || resp.Compiled == nil {
+			t.Fatalf("round trip: resp=%v err=%v", resp, err)
+		}
+		c := resp.Compiled
+		if c.Sched.String() != "scoreboard=4x2" {
+			t.Fatalf("rebuilt mode = %s, want scoreboard=4x2", c.Sched)
+		}
+		g, err := dag.Build(c.Original)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := sim.ScoreboardInput{
+			Input:  sim.Input{Graph: g, M: m, Order: c.Order, Pipes: c.Pipes},
+			Window: c.Sched.Window,
+			Width:  c.Sched.Width,
+		}
+		if err := sim.VerifyScoreboard(in, c.IssueTicks, c.TotalNOPs); err != nil {
+			t.Fatalf("rebuilt scoreboard schedule does not replay: %v", err)
+		}
+	})
 }
 
 // TestClampHedgeDelay is the satellite-1 unit table.

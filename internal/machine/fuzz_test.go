@@ -3,6 +3,7 @@ package machine
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -56,6 +57,55 @@ func FuzzMachineJSON(f *testing.F) {
 		}
 		if !bytes.Equal(out1, out2) {
 			t.Fatalf("round trip not stable:\nfirst:  %s\nsecond: %s", out1, out2)
+		}
+	})
+}
+
+// FuzzSchedMode feeds arbitrary text (and, via the JSON leg, arbitrary
+// JSON strings) through the scheduler-mode parser: hostile inputs must
+// yield ErrInvalid-family errors — never a panic — and accepted modes
+// must validate and round-trip through both the canonical string and
+// JSON codecs.
+func FuzzSchedMode(f *testing.F) {
+	for _, s := range []string{
+		"", "paper", "minreg-lex", "minreg-k=4", "scoreboard", "scoreboard=8x2",
+		"scoreboard=1x1", "minreg-k=1048575", "minreg-k=0", "scoreboard=0x0",
+		"minreg-k=-1", "scoreboard=axb", "scoreboard=4x", "bogus", "minreg-k=9e9",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := ParseSchedMode(text)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("ParseSchedMode(%q) error %v does not wrap ErrInvalid", text, err)
+			}
+			// Rejected text must also be rejected as a JSON string.
+			data, merr := json.Marshal(text)
+			if merr != nil {
+				return
+			}
+			var jm SchedMode
+			if jerr := json.Unmarshal(data, &jm); jerr == nil {
+				t.Fatalf("JSON codec accepted mode %q that ParseSchedMode rejected (%v)", text, err)
+			}
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("ParseSchedMode(%q) accepted invalid mode %+v: %v", text, m, verr)
+		}
+		again, err := ParseSchedMode(m.String())
+		if err != nil || again != m {
+			t.Fatalf("canonical form %q of input %q does not round-trip: %+v, %v",
+				m.String(), text, again, err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted mode %+v does not marshal: %v", m, err)
+		}
+		var back SchedMode
+		if err := json.Unmarshal(data, &back); err != nil || back != m {
+			t.Fatalf("JSON round trip of %+v via %s: %+v, %v", m, data, back, err)
 		}
 	})
 }

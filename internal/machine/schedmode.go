@@ -1,0 +1,218 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SchedKind enumerates the scheduler machine models ("modes"). The
+// paper's model — in-order multi-pipeline, minimize total NOPs — is the
+// zero value; the other kinds are the scenario-diversity extensions
+// described in DESIGN.md §15.
+type SchedKind uint8
+
+const (
+	// SchedPaper is the paper's model: minimize total NOPs on an
+	// in-order multi-pipeline machine.
+	SchedPaper SchedKind = iota
+	// SchedMinRegLex minimizes lexicographically (total NOPs, MAXLIVE):
+	// among all NOP-optimal schedules, the one with the lowest peak
+	// register pressure.
+	SchedMinRegLex
+	// SchedMinRegK minimizes total NOPs subject to MAXLIVE ≤ K. A block
+	// with no legal schedule under the constraint is infeasible (the
+	// search proves that, too).
+	SchedMinRegK
+	// SchedScoreboard approximates an out-of-order core: instructions
+	// enter a scoreboard window of Window entries in priority order and
+	// up to Width of them issue per tick; the objective is total stall
+	// ticks beyond the width-limited minimum.
+	SchedScoreboard
+)
+
+// Field bounds for SchedMode.Validate. MaxSchedK must fit the packed
+// lexicographic cost used by the search core (internal/core packs peak
+// pressure into the low 20 bits of the incumbent).
+const (
+	MaxSchedK         = 1<<20 - 1
+	MaxScoreboardSize = 1 << 16
+	defaultSBWindow   = 8
+	defaultSBWidth    = 2
+)
+
+// SchedMode selects a scheduler machine model plus its parameters. The
+// zero value is the paper mode. Canonical textual forms:
+//
+//	paper
+//	minreg-lex
+//	minreg-k=<k>
+//	scoreboard=<window>x<width>
+//
+// SchedMode marshals to/from JSON as its canonical string, so wire
+// requests carry e.g. "sched": "minreg-k=4".
+type SchedMode struct {
+	Kind SchedKind
+
+	// K is the MAXLIVE bound (SchedMinRegK only, ≥ 1).
+	K int
+
+	// Window and Width are the scoreboard geometry (SchedScoreboard
+	// only, both ≥ 1). Window=1, Width=1 degenerates to the paper's
+	// in-order model.
+	Window int
+	Width  int
+}
+
+// Convenience constructors for the non-paper modes.
+func MinRegLex() SchedMode    { return SchedMode{Kind: SchedMinRegLex} }
+func MinRegK(k int) SchedMode { return SchedMode{Kind: SchedMinRegK, K: k} }
+func Scoreboard(w, i int) SchedMode {
+	return SchedMode{Kind: SchedScoreboard, Window: w, Width: i}
+}
+
+// IsPaper reports whether the mode is the paper's default model.
+func (s SchedMode) IsPaper() bool { return s.Kind == SchedPaper }
+
+// NeedsPressure reports whether the mode couples register pressure into
+// the search (either as an objective or a constraint).
+func (s SchedMode) NeedsPressure() bool {
+	return s.Kind == SchedMinRegLex || s.Kind == SchedMinRegK
+}
+
+// String names the mode family without its parameters — a bounded
+// label set, usable as a metric label where the full canonical form
+// (arbitrary k / geometry) would explode cardinality.
+func (k SchedKind) String() string {
+	switch k {
+	case SchedPaper:
+		return "paper"
+	case SchedMinRegLex:
+		return "minreg-lex"
+	case SchedMinRegK:
+		return "minreg-k"
+	case SchedScoreboard:
+		return "scoreboard"
+	}
+	return fmt.Sprintf("SchedKind(%d)", uint8(k))
+}
+
+// String renders the canonical textual form.
+func (s SchedMode) String() string {
+	switch s.Kind {
+	case SchedPaper:
+		return "paper"
+	case SchedMinRegLex:
+		return "minreg-lex"
+	case SchedMinRegK:
+		return fmt.Sprintf("minreg-k=%d", s.K)
+	case SchedScoreboard:
+		return fmt.Sprintf("scoreboard=%dx%d", s.Window, s.Width)
+	default:
+		return fmt.Sprintf("sched(%d)", s.Kind)
+	}
+}
+
+// Validate checks the mode's parameters. Every failure wraps ErrInvalid,
+// the machine-description error family, so callers can classify hostile
+// configuration with errors.Is.
+func (s SchedMode) Validate() error {
+	switch s.Kind {
+	case SchedPaper, SchedMinRegLex:
+		if s.K != 0 || s.Window != 0 || s.Width != 0 {
+			return fmt.Errorf("%w: mode %q takes no parameters (k=%d window=%d width=%d)",
+				ErrInvalid, s.String(), s.K, s.Window, s.Width)
+		}
+	case SchedMinRegK:
+		if s.Window != 0 || s.Width != 0 {
+			return fmt.Errorf("%w: mode minreg-k takes no scoreboard geometry", ErrInvalid)
+		}
+		if s.K < 1 || s.K > MaxSchedK {
+			return fmt.Errorf("%w: minreg-k bound %d out of range [1, %d]", ErrInvalid, s.K, MaxSchedK)
+		}
+	case SchedScoreboard:
+		if s.K != 0 {
+			return fmt.Errorf("%w: mode scoreboard takes no register bound", ErrInvalid)
+		}
+		if s.Window < 1 || s.Window > MaxScoreboardSize {
+			return fmt.Errorf("%w: scoreboard window %d out of range [1, %d]",
+				ErrInvalid, s.Window, MaxScoreboardSize)
+		}
+		if s.Width < 1 || s.Width > MaxScoreboardSize {
+			return fmt.Errorf("%w: scoreboard width %d out of range [1, %d]",
+				ErrInvalid, s.Width, MaxScoreboardSize)
+		}
+	default:
+		return fmt.Errorf("%w: unknown scheduler mode kind %d", ErrInvalid, s.Kind)
+	}
+	return nil
+}
+
+// ParseSchedMode reads a mode from its textual form. The empty string
+// selects the paper mode (the wire default); "scoreboard" without
+// geometry selects the 8x2 default window. Errors wrap ErrInvalid.
+func ParseSchedMode(text string) (SchedMode, error) {
+	t := strings.TrimSpace(text)
+	switch t {
+	case "", "paper":
+		return SchedMode{}, nil
+	case "minreg-lex":
+		return MinRegLex(), nil
+	case "scoreboard":
+		return Scoreboard(defaultSBWindow, defaultSBWidth), nil
+	}
+	if rest, ok := strings.CutPrefix(t, "minreg-k="); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil {
+			return SchedMode{}, fmt.Errorf("%w: bad minreg-k bound %q", ErrInvalid, rest)
+		}
+		m := MinRegK(k)
+		if err := m.Validate(); err != nil {
+			return SchedMode{}, err
+		}
+		return m, nil
+	}
+	if rest, ok := strings.CutPrefix(t, "scoreboard="); ok {
+		ws, is, ok := strings.Cut(rest, "x")
+		if !ok {
+			return SchedMode{}, fmt.Errorf("%w: bad scoreboard geometry %q (want <window>x<width>)",
+				ErrInvalid, rest)
+		}
+		w, werr := strconv.Atoi(ws)
+		i, ierr := strconv.Atoi(is)
+		if werr != nil || ierr != nil {
+			return SchedMode{}, fmt.Errorf("%w: bad scoreboard geometry %q (want <window>x<width>)",
+				ErrInvalid, rest)
+		}
+		m := Scoreboard(w, i)
+		if err := m.Validate(); err != nil {
+			return SchedMode{}, err
+		}
+		return m, nil
+	}
+	return SchedMode{}, fmt.Errorf("%w: unknown scheduler mode %q (want paper, minreg-lex, minreg-k=<k> or scoreboard=<window>x<width>)",
+		ErrInvalid, t)
+}
+
+// MarshalJSON encodes the canonical string form.
+func (s SchedMode) MarshalJSON() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes the canonical string form ("" = paper).
+func (s *SchedMode) UnmarshalJSON(data []byte) error {
+	var text string
+	if err := json.Unmarshal(data, &text); err != nil {
+		return fmt.Errorf("%w: scheduler mode must be a JSON string: %v", ErrInvalid, err)
+	}
+	m, err := ParseSchedMode(text)
+	if err != nil {
+		return err
+	}
+	*s = m
+	return nil
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestSchedModeCanonicalRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SchedMode
+		str  string
+	}{
+		{"", SchedMode{}, "paper"},
+		{"paper", SchedMode{}, "paper"},
+		{" paper ", SchedMode{}, "paper"},
+		{"minreg-lex", MinRegLex(), "minreg-lex"},
+		{"minreg-k=1", MinRegK(1), "minreg-k=1"},
+		{"minreg-k=16", MinRegK(16), "minreg-k=16"},
+		{"scoreboard", Scoreboard(8, 2), "scoreboard=8x2"},
+		{"scoreboard=1x1", Scoreboard(1, 1), "scoreboard=1x1"},
+		{"scoreboard=32x4", Scoreboard(32, 4), "scoreboard=32x4"},
+	}
+	for _, c := range cases {
+		got, err := ParseSchedMode(c.in)
+		if err != nil {
+			t.Fatalf("ParseSchedMode(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseSchedMode(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if got.String() != c.str {
+			t.Errorf("ParseSchedMode(%q).String() = %q, want %q", c.in, got.String(), c.str)
+		}
+		again, err := ParseSchedMode(got.String())
+		if err != nil || again != got {
+			t.Errorf("canonical form %q does not round-trip: %+v, %v", got.String(), again, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("parsed mode %q fails Validate: %v", c.in, err)
+		}
+	}
+}
+
+func TestSchedModeParseErrors(t *testing.T) {
+	bad := []string{
+		"nonsense",
+		"minreg",
+		"minreg-k",
+		"minreg-k=",
+		"minreg-k=0",
+		"minreg-k=-3",
+		"minreg-k=99999999999999999999",
+		"minreg-k=2000000",
+		"scoreboard=",
+		"scoreboard=0x1",
+		"scoreboard=1x0",
+		"scoreboard=axb",
+		"scoreboard=4",
+		"scoreboard=4x",
+		"scoreboard=x4",
+		"scoreboard=999999x1",
+		"paper=1",
+	}
+	for _, in := range bad {
+		if _, err := ParseSchedMode(in); !errors.Is(err, ErrInvalid) {
+			t.Errorf("ParseSchedMode(%q) = %v, want ErrInvalid", in, err)
+		}
+	}
+}
+
+func TestSchedModeValidate(t *testing.T) {
+	bad := []SchedMode{
+		{Kind: SchedPaper, K: 3},
+		{Kind: SchedMinRegLex, Window: 2},
+		{Kind: SchedMinRegK, K: 0},
+		{Kind: SchedMinRegK, K: MaxSchedK + 1},
+		{Kind: SchedMinRegK, K: 2, Window: 1},
+		{Kind: SchedScoreboard, Window: 0, Width: 1},
+		{Kind: SchedScoreboard, Window: 1, Width: 0},
+		{Kind: SchedScoreboard, Window: 1, Width: 1, K: 2},
+		{Kind: SchedKind(200)},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Validate(%+v) = %v, want ErrInvalid", m, err)
+		}
+	}
+	good := []SchedMode{{}, MinRegLex(), MinRegK(1), MinRegK(MaxSchedK), Scoreboard(1, 1)}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", m, err)
+		}
+	}
+}
+
+func TestSchedModeJSON(t *testing.T) {
+	for _, m := range []SchedMode{{}, MinRegLex(), MinRegK(7), Scoreboard(16, 2)} {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", m, err)
+		}
+		var back SchedMode
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != m {
+			t.Errorf("JSON round trip %+v -> %s -> %+v", m, data, back)
+		}
+	}
+	var m SchedMode
+	if err := json.Unmarshal([]byte(`"minreg-k=zzz"`), &m); !errors.Is(err, ErrInvalid) {
+		t.Errorf("hostile JSON mode: got %v, want ErrInvalid", err)
+	}
+	if err := json.Unmarshal([]byte(`42`), &m); !errors.Is(err, ErrInvalid) {
+		t.Errorf("non-string JSON mode: got %v, want ErrInvalid", err)
+	}
+	if _, err := json.Marshal(SchedMode{Kind: SchedMinRegK, K: -1}); err == nil {
+		t.Error("marshal of invalid mode succeeded")
+	}
+}

@@ -156,11 +156,30 @@ func (c *Canon) Key() string {
 // plus map overhead per entry this keeps a table under ~50 MB.
 const DefaultCap = 1 << 18
 
-// Table is a bounded map from canonical state key to the best (lowest)
-// cost-so-far at which the state's subtree has been fully explored. It
-// is NOT safe for concurrent use; parallel searches hold one per worker.
+// record is one stored visit: the (cost-so-far, peak-pressure-so-far)
+// pair at which the state's subtree was fully explored. Paper-mode
+// searches pass live=0 everywhere, collapsing the pair back to the
+// single-cost table.
+type record struct {
+	cost int32
+	live int32
+}
+
+// dominates reports component-wise dominance: r is at least as good as
+// (cost, live) on BOTH axes. A packed or summed comparison would be
+// unsound — a visit with lower cost but higher pressure-so-far does not
+// bound the lexicographic or constrained value of a later visit's
+// completions (DESIGN.md §15 carries the full argument).
+func (r record) dominates(cost, live int32) bool {
+	return r.cost <= cost && r.live <= live
+}
+
+// Table is a bounded map from canonical state key to the best
+// (cost-so-far, peak-pressure-so-far) pair at which the state's subtree
+// has been fully explored. It is NOT safe for concurrent use; parallel
+// searches hold one per worker.
 type Table struct {
-	m   map[string]int32
+	m   map[string]record
 	cap int
 
 	hits    int64
@@ -175,14 +194,15 @@ func NewTable(capEntries int) *Table {
 	if capEntries <= 0 {
 		capEntries = DefaultCap
 	}
-	return &Table{m: make(map[string]int32), cap: capEntries}
+	return &Table{m: make(map[string]record), cap: capEntries}
 }
 
 // Dominated reports whether a previous visit to key completed its
-// subtree at cost-so-far <= cost — i.e. whether the current visit is
-// dominated and may be pruned.
-func (t *Table) Dominated(key string, cost int) bool {
-	if rec, ok := t.m[key]; ok && int(rec) <= cost {
+// subtree at cost-so-far <= cost AND peak-pressure-so-far <= live —
+// i.e. whether the current visit is dominated on both axes and may be
+// pruned. Modes that do not track pressure pass live = 0.
+func (t *Table) Dominated(key string, cost, live int) bool {
+	if rec, ok := t.m[key]; ok && rec.dominates(int32(cost), int32(live)) {
 		t.hits++
 		return true
 	}
@@ -191,12 +211,16 @@ func (t *Table) Dominated(key string, cost int) bool {
 }
 
 // Store records that key's subtree has been fully explored at the given
-// cost-so-far, keeping the minimum over visits. New keys are dropped
-// once the table is full; improvements to existing keys always land.
-func (t *Table) Store(key string, cost int) {
-	if rec, ok := t.m[key]; ok {
-		if int32(cost) < rec {
-			t.m[key] = int32(cost)
+// (cost-so-far, peak-pressure-so-far). The table keeps one pair per key:
+// a new pair replaces the old only when it dominates it component-wise
+// (any genuinely reached pair makes Dominated sound, so which pair is
+// kept is purely a hit-rate heuristic). New keys are dropped once the
+// table is full; dominating improvements to existing keys always land.
+func (t *Table) Store(key string, cost, live int) {
+	rec := record{cost: int32(cost), live: int32(live)}
+	if old, ok := t.m[key]; ok {
+		if rec.dominates(old.cost, old.live) && rec != old {
+			t.m[key] = rec
 		}
 		return
 	}
@@ -204,7 +228,7 @@ func (t *Table) Store(key string, cost int) {
 		t.dropped++
 		return
 	}
-	t.m[key] = int32(cost)
+	t.m[key] = rec
 	t.stores++
 }
 

@@ -105,34 +105,63 @@ func TestKeyPairOrderIrrelevant(t *testing.T) {
 
 func TestTableDominance(t *testing.T) {
 	tb := NewTable(2)
-	if tb.Dominated("k1", 5) {
+	if tb.Dominated("k1", 5, 0) {
 		t.Fatal("empty table claimed dominance")
 	}
-	tb.Store("k1", 5)
-	if !tb.Dominated("k1", 5) || !tb.Dominated("k1", 7) {
+	tb.Store("k1", 5, 0)
+	if !tb.Dominated("k1", 5, 0) || !tb.Dominated("k1", 7, 0) {
 		t.Fatal("equal/worse revisit not dominated")
 	}
-	if tb.Dominated("k1", 4) {
+	if tb.Dominated("k1", 4, 0) {
 		t.Fatal("strictly better revisit wrongly dominated")
 	}
-	tb.Store("k1", 3) // improvement lands
-	if !tb.Dominated("k1", 3) {
+	tb.Store("k1", 3, 0) // improvement lands
+	if !tb.Dominated("k1", 3, 0) {
 		t.Fatal("improved entry not effective")
 	}
-	tb.Store("k2", 1)
-	tb.Store("k3", 1) // over capacity: dropped
+	tb.Store("k2", 1, 0)
+	tb.Store("k3", 1, 0) // over capacity: dropped
 	if tb.Len() != 2 {
 		t.Fatalf("table grew past its cap: %d entries", tb.Len())
 	}
-	if tb.Dominated("k3", 9) {
+	if tb.Dominated("k3", 9, 9) {
 		t.Fatal("dropped key claimed dominance")
 	}
-	tb.Store("k1", 2) // improvements still land when full
-	if !tb.Dominated("k1", 2) {
+	tb.Store("k1", 2, 0) // improvements still land when full
+	if !tb.Dominated("k1", 2, 0) {
 		t.Fatal("improvement at capacity did not land")
 	}
 	hits, misses, stores, dropped := tb.Stats()
 	if hits == 0 || misses == 0 || stores != 2 || dropped != 1 {
 		t.Fatalf("stats hits=%d misses=%d stores=%d dropped=%d", hits, misses, stores, dropped)
+	}
+}
+
+// TestTablePairDominance: dominance must be component-wise over
+// (cost, live) — a lower cost with a higher pressure-so-far does NOT
+// dominate, and vice versa.
+func TestTablePairDominance(t *testing.T) {
+	tb := NewTable(0)
+	tb.Store("k", 5, 3)
+	if !tb.Dominated("k", 5, 3) || !tb.Dominated("k", 6, 3) || !tb.Dominated("k", 5, 4) {
+		t.Fatal("component-wise worse revisit not dominated")
+	}
+	if tb.Dominated("k", 4, 9) {
+		t.Fatal("lower-cost/higher-live revisit wrongly dominated")
+	}
+	if tb.Dominated("k", 9, 2) {
+		t.Fatal("higher-cost/lower-live revisit wrongly dominated")
+	}
+	// An incomparable pair must not replace the stored one (either order
+	// of arrival keeps a sound table): after storing (4,9), (5,3) must
+	// still dominate revisits it dominated before.
+	tb.Store("k", 4, 9)
+	if !tb.Dominated("k", 6, 3) {
+		t.Fatal("incomparable Store clobbered the existing record")
+	}
+	// A pair dominating on both axes replaces the record.
+	tb.Store("k", 4, 2)
+	if !tb.Dominated("k", 4, 2) {
+		t.Fatal("dominating improvement did not land")
 	}
 }

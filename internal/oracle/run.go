@@ -28,6 +28,12 @@ type RunConfig struct {
 	// (tuple counts land around 2.5-3x that). Default 7.
 	MaxStatements int
 
+	// Mode selects the scheduler mode under test, in
+	// machine.ParseSchedMode's textual form ("" = paper). Non-paper
+	// modes run CheckPairMode / CheckModeMetamorphic instead of the
+	// paper suite.
+	Mode string
+
 	// Machine bounds for machine.Random.
 	MachineParams machine.Params
 
@@ -67,12 +73,13 @@ func (c RunConfig) withDefaults() RunConfig {
 // needed to reproduce it without the generators.
 type Artifact struct {
 	Divergence
-	Seed         int64           `json:"seed"`          // the run's master seed
-	BlockIndex   int             `json:"block_index"`   // which generated block
-	MachineIndex int             `json:"machine_index"` // which generated machine
-	BlockText    string          `json:"block_text"`    // full failing block, tuple form
-	ShrunkText   string          `json:"shrunk_text"`   // 1-minimal counterexample, tuple form
-	MachineJSON  json.RawMessage `json:"machine_json"`  // machine description
+	Seed         int64           `json:"seed"`           // the run's master seed
+	Mode         string          `json:"mode,omitempty"` // scheduler mode under test (canonical form; empty = paper)
+	BlockIndex   int             `json:"block_index"`    // which generated block
+	MachineIndex int             `json:"machine_index"`  // which generated machine
+	BlockText    string          `json:"block_text"`     // full failing block, tuple form
+	ShrunkText   string          `json:"shrunk_text"`    // 1-minimal counterexample, tuple form
+	MachineJSON  json.RawMessage `json:"machine_json"`   // machine description
 }
 
 // Summary aggregates one soak run.
@@ -135,6 +142,13 @@ func (c RunConfig) machines() []*machine.Machine {
 // scheduler divergences are reported in the Summary, not as an error.
 func Run(cfg RunConfig) (*Summary, error) {
 	cfg = cfg.withDefaults()
+	mode, err := machine.ParseSchedMode(cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	if !mode.IsPaper() {
+		cfg.Mode = mode.String() // canonical form in every artifact
+	}
 	machines := cfg.machines()
 
 	sum := &Summary{PerCheck: map[string]int{}}
@@ -202,15 +216,20 @@ func checkIndex(cfg RunConfig, machines []*machine.Machine, i int) (*ir.Block, i
 }
 
 // checkBlock runs the differential suite plus (optionally) the
-// metamorphic invariants on one pre-generated block.
+// metamorphic invariants on one pre-generated block, dispatching on the
+// configured scheduler mode.
 func checkBlock(cfg RunConfig, block *ir.Block, m *machine.Machine, rng *rand.Rand) ([]Divergence, error) {
 	g, err := dag.Build(block)
 	if err != nil {
 		return nil, fmt.Errorf("generated block does not build: %w", err)
 	}
-	divs := CheckPair(g, m, cfg.Check)
+	mode, err := machine.ParseSchedMode(cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("bad scheduler mode: %w", err)
+	}
+	divs := CheckPairMode(g, m, mode, cfg.Check)
 	if !cfg.DisableMetamorphic {
-		divs = append(divs, CheckMetamorphic(g, m, cfg.Check, rng)...)
+		divs = append(divs, CheckModeMetamorphic(g, m, mode, cfg.Check, rng)...)
 	}
 	return divs, nil
 }
@@ -236,6 +255,7 @@ func buildArtifacts(cfg RunConfig, machines []*machine.Machine, i, mi int, block
 		a := Artifact{
 			Divergence:   d,
 			Seed:         cfg.Seed,
+			Mode:         cfg.Mode,
 			BlockIndex:   i,
 			MachineIndex: mi,
 			BlockText:    block.String(),

@@ -24,9 +24,10 @@ func fingerprint(source, tuples string, m *pipesched.Machine, o pipesched.Option
 	io.WriteString(h, tuples)
 	io.WriteString(h, "\x00machine\x00")
 	io.WriteString(h, m.String())
-	fmt.Fprintf(h, "\x00opts\x00%d|%t|%t|%d|%d|%t|%t|%t",
+	fmt.Fprintf(h, "\x00opts\x00%d|%t|%t|%d|%d|%t|%t|%t|%s",
 		o.Lambda, o.Optimize, o.Reassociate, o.Registers, o.Mode,
-		o.ExplainNOPs, o.AssignPipelines, o.StrongEquivalence)
+		o.ExplainNOPs, o.AssignPipelines, o.StrongEquivalence,
+		o.Sched.String())
 	return hex.EncodeToString(h.Sum(nil))
 }
 

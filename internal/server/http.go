@@ -29,14 +29,20 @@ type WireResponse struct {
 	// Gap is the certified optimality gap (NOPs above the admissible
 	// root lower bound): 0 = provably optimal, > 0 = provably within
 	// Gap NOPs of optimal, -1 = no certificate on this rung.
-	Gap      int        `json:"gap"`
-	RootLB   int        `json:"root_lb,omitempty"`
-	Degraded bool       `json:"degraded,omitempty"` // legal result + typed reason in error
-	Cached   bool       `json:"cached,omitempty"`
-	DiskHit  bool       `json:"disk_hit,omitempty"`
-	Deduped  bool       `json:"deduped,omitempty"`
-	FastPath bool       `json:"fast_path,omitempty"`
-	Retries  int        `json:"retries,omitempty"`
+	Gap    int `json:"gap"`
+	RootLB int `json:"root_lb,omitempty"`
+	// Sched echoes the scheduler mode the result was produced under in
+	// its canonical textual form; omitted for the paper mode. MaxLive is
+	// the schedule's peak register pressure, filled by the
+	// register-pressure modes.
+	Sched    string `json:"sched,omitempty"`
+	MaxLive  int    `json:"max_live,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"` // legal result + typed reason in error
+	Cached   bool   `json:"cached,omitempty"`
+	DiskHit  bool   `json:"disk_hit,omitempty"`
+	Deduped  bool   `json:"deduped,omitempty"`
+	FastPath bool   `json:"fast_path,omitempty"`
+	Retries  int    `json:"retries,omitempty"`
 	// Schedule is the machine-readable schedule, attached only when the
 	// request set WireSchedule (the fleet's remote transport does).
 	Schedule *WireSchedule `json:"schedule,omitempty"`
@@ -53,6 +59,9 @@ type WireSchedule struct {
 	Order  []int  `json:"order"`
 	Eta    []int  `json:"eta"`
 	Pipes  []int  `json:"pipes"`
+	// IssueTicks is the scoreboard model's per-position issue tick,
+	// present only for scoreboard-mode results (Eta is all zeros there).
+	IssueTicks []int `json:"issue_ticks,omitempty"`
 }
 
 // AttachSchedule copies resp's schedule onto the wire response when the
@@ -64,10 +73,11 @@ func (w *WireResponse) AttachSchedule(resp *Response) {
 	}
 	c := resp.Compiled
 	w.Schedule = &WireSchedule{
-		Tuples: c.Original.String(),
-		Order:  c.Order,
-		Eta:    c.Eta,
-		Pipes:  c.Pipes,
+		Tuples:     c.Original.String(),
+		Order:      c.Order,
+		Eta:        c.Eta,
+		Pipes:      c.Pipes,
+		IssueTicks: c.IssueTicks,
 	}
 }
 
@@ -110,6 +120,10 @@ func ToWire(id string, resp *Response, err error) *WireResponse {
 			w.Optimal = c.Optimal
 			w.Gap = c.Gap
 			w.RootLB = c.RootLB
+			w.MaxLive = c.MaxLive
+			if !c.Sched.IsPaper() {
+				w.Sched = c.Sched.String()
+			}
 		}
 		if err == nil {
 			err = resp.Err

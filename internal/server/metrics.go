@@ -24,6 +24,7 @@ type serverMetrics struct {
 	fastPath    *telemetry.Counter            // pipesched_server_breaker_fastpath_total
 	panics      *telemetry.Counter            // pipesched_server_worker_panics_total
 	transitions map[string]*telemetry.Counter // pipesched_server_breaker_transitions_total{to=...}
+	schedModes  map[string]*telemetry.Counter // pipesched_server_sched_mode_total{mode=...}
 
 	cacheEntries    *telemetry.Gauge   // pipesched_server_cache_entries
 	cacheEvictions  *telemetry.Counter // pipesched_server_cache_evictions_total
@@ -38,12 +39,16 @@ type serverMetrics struct {
 var (
 	shedReasons   = []string{"full", "deadline", "draining"}
 	breakerStates = []string{"open", "half_open", "closed"}
+	// schedKinds labels requests by mode family only (the parameters —
+	// k, window×width — would make the label set unbounded).
+	schedKinds = []string{"paper", "minreg-lex", "minreg-k", "scoreboard"}
 )
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m := &serverMetrics{
 		shed:        map[string]*telemetry.Counter{},
 		transitions: map[string]*telemetry.Counter{},
+		schedModes:  map[string]*telemetry.Counter{},
 	}
 	if reg == nil {
 		return m
@@ -69,6 +74,9 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	}
 	for _, st := range breakerStates {
 		m.transitions[st] = reg.Counter("pipesched_server_breaker_transitions_total", "Circuit breaker state transitions.", "to", st)
+	}
+	for _, k := range schedKinds {
+		m.schedModes[k] = reg.Counter("pipesched_server_sched_mode_total", "Requests by scheduler mode family.", "mode", k)
 	}
 	return m
 }

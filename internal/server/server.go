@@ -177,6 +177,11 @@ type RequestOptions struct {
 	ExplainNOPs       bool   `json:"explain_nops,omitempty"`
 	AssignPipelines   bool   `json:"assign_pipelines,omitempty"`
 	StrongEquivalence bool   `json:"strong_equivalence,omitempty"`
+	// Sched selects the scheduler mode in ParseSchedMode's textual form:
+	// "paper" (or empty), "minreg-lex", "minreg-k=<k>", or
+	// "scoreboard[=<window>x<width>]". It is part of the request
+	// fingerprint, so different modes never share cache entries.
+	Sched string `json:"sched,omitempty"`
 }
 
 // Response is the outcome of one Submit. Compiled and Err follow the
@@ -318,6 +323,9 @@ func annotateSubmit(sp *telemetry.TraceSpan, resp *Response) {
 	}
 	if resp.Compiled != nil {
 		sp.SetAttr("rung", resp.Compiled.Quality.String())
+		if !resp.Compiled.Sched.IsPaper() {
+			sp.SetAttr("sched", resp.Compiled.Sched.String())
+		}
 	}
 }
 
@@ -328,6 +336,7 @@ func (s *Server) submit(ctx context.Context, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.met.schedModes[proto.opts.Sched.Kind.String()].Inc()
 	for attempt := 0; ; attempt++ {
 		f, joined, cached, err := s.admit(ctx, proto, timeout)
 		if err != nil {
@@ -585,6 +594,9 @@ func (s *Server) compileWithRetry(f *flight, opts pipesched.Options) *Response {
 		actx := f.ctx
 		if aspan != nil {
 			aspan.SetAttr("attempt", strconv.Itoa(attempts+1))
+			if !opts.Sched.IsPaper() {
+				aspan.SetAttr("sched", opts.Sched.String())
+			}
 			actx = telemetry.WithTraceContext(f.ctx, aspan.Context())
 		}
 		c, err := s.compileOnce(actx, f, opts)
@@ -807,5 +819,10 @@ func resolveOptions(o RequestOptions) (pipesched.Options, error) {
 	default:
 		return opts, fmt.Errorf("%w: unknown mode %q (want nop, explicit, implicit or tera)", ErrInvalidRequest, o.Mode)
 	}
+	sched, err := pipesched.ParseSchedMode(o.Sched)
+	if err != nil {
+		return opts, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+	}
+	opts.Sched = sched
 	return opts, nil
 }

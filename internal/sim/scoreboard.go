@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"fmt"
+
+	"pipesched/internal/machine"
+)
+
+// ScoreboardInput describes one scheduled block to execute under the
+// out-of-order window model of the scoreboard scheduler mode
+// (internal/core's scoreboard.go documents the machine): instructions
+// are fetched in Order into a Window-entry issue window; each tick up to
+// Width instructions issue oldest-first; flow results take
+// max(1, latency) ticks to become usable, ordering edges one tick; each
+// pipeline is a program-order FIFO that accepts one enqueue every
+// enqueue-time ticks.
+type ScoreboardInput struct {
+	Input
+	Window, Width int
+}
+
+// ScoreboardTrace is the forward simulation outcome.
+type ScoreboardTrace struct {
+	IssueTick  []int // tick each position of Order issued at (1-based)
+	TotalTicks int   // tick of the last issue
+	Stalls     int   // TotalTicks − ⌈N/Width⌉: ticks lost to hazards
+}
+
+// RunScoreboard executes the block tick by tick and returns the issue
+// trace. It is deliberately independent of the scheduler's incremental
+// tick computation — a literal simulation of the window machine: the
+// window membership is snapshotted at the start of each tick (no
+// same-tick refill), ready window instructions issue in program order up
+// to the width, and an instruction whose pipeline FIFO head is an older
+// un-issued instruction blocks. The differential oracle compares this
+// trace against every scoreboard-mode schedule the search emits.
+func RunScoreboard(in ScoreboardInput) (*ScoreboardTrace, error) {
+	g, m, order := in.Graph, in.M, in.Order
+	n := g.N
+	if in.Window < 1 || in.Width < 1 {
+		return nil, fmt.Errorf("sim: scoreboard window %d / width %d out of range", in.Window, in.Width)
+	}
+	if !g.IsLegalOrder(order) {
+		return nil, fmt.Errorf("sim: order %v violates dependences", order)
+	}
+	if len(in.Pipes) != n {
+		return nil, fmt.Errorf("sim: %d pipeline bindings for %d instructions", len(in.Pipes), n)
+	}
+	if n == 0 {
+		return &ScoreboardTrace{IssueTick: []int{}}, nil
+	}
+
+	posOf := make([]int, n) // node -> position in order
+	for i, u := range order {
+		posOf[u] = i
+	}
+	issue := make([]int, n) // position -> tick, 0 while pending
+	// Per-pipe FIFO: positions in program order; head[p] indexes the
+	// oldest un-issued instruction on pipe p.
+	pipeQueue := map[int][]int{}
+	for i := 0; i < n; i++ {
+		if p := in.Pipes[i]; p != machine.NoPipeline {
+			pipeQueue[p] = append(pipeQueue[p], i)
+		}
+	}
+	head := map[int]int{}
+	lastEnq := map[int]int{} // pipe -> tick of most recent accepted enqueue
+
+	issued := 0
+	next := 0 // first position not yet issued (window base)
+	// Safety net: every tick at least one instruction is issuable once
+	// its constraints expire, so n * (maxLatency + maxEnqueue + 2) ticks
+	// always suffice; exceeding the cap means the model deadlocked.
+	maxCost := 2
+	for _, p := range m.Pipelines {
+		if c := p.Latency + p.Enqueue + 2; c > maxCost {
+			maxCost = c
+		}
+	}
+	budget := n*maxCost + 1
+	for tick := 1; issued < n; tick++ {
+		if tick > budget {
+			return nil, fmt.Errorf("sim: scoreboard made no progress after %d ticks", budget)
+		}
+		// Window snapshot: the first Window un-issued positions at tick
+		// start (instructions issuing this very tick do not free a slot
+		// until the next).
+		var window []int
+		for i := next; i < n && len(window) < in.Window; i++ {
+			if issue[i] == 0 {
+				window = append(window, i)
+			}
+		}
+		slots := in.Width
+		for _, i := range window {
+			if slots == 0 {
+				break
+			}
+			u := order[i]
+			ready := true
+			for _, d := range g.Preds[u] {
+				j := posOf[d.Node]
+				if issue[j] == 0 {
+					ready = false
+					break
+				}
+				w := 1
+				if d.Kind.CarriesLatency() {
+					if lat := m.Latency(in.Pipes[j]); lat > 1 {
+						w = lat
+					}
+				}
+				if tick < issue[j]+w {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if p := in.Pipes[i]; p != machine.NoPipeline {
+				if pipeQueue[p][head[p]] != i {
+					continue // an older same-pipe instruction still waits
+				}
+				if last, ok := lastEnq[p]; ok && tick < last+m.EnqueueTime(p) {
+					continue
+				}
+			}
+			issue[i] = tick
+			issued++
+			slots--
+			if p := in.Pipes[i]; p != machine.NoPipeline {
+				head[p]++
+				lastEnq[p] = tick
+			}
+		}
+		for next < n && issue[next] != 0 {
+			next++
+		}
+	}
+
+	total := 0
+	for _, t := range issue {
+		if t > total {
+			total = t
+		}
+	}
+	return &ScoreboardTrace{
+		IssueTick:  issue,
+		TotalTicks: total,
+		Stalls:     total - (n+in.Width-1)/in.Width,
+	}, nil
+}
+
+// VerifyScoreboard proves one scoreboard-mode schedule correct against
+// the window machine: the forward simulation of its order must issue at
+// exactly the claimed ticks and lose exactly the claimed stalls. It is
+// the scoreboard counterpart of Verify.
+func VerifyScoreboard(in ScoreboardInput, claimedTicks []int, claimedStalls int) error {
+	tr, err := RunScoreboard(in)
+	if err != nil {
+		return err
+	}
+	if len(claimedTicks) != len(tr.IssueTick) {
+		return fmt.Errorf("sim: schedule claims %d issue ticks for %d instructions",
+			len(claimedTicks), len(tr.IssueTick))
+	}
+	for i, t := range tr.IssueTick {
+		if claimedTicks[i] != t {
+			return fmt.Errorf("sim: position %d claims issue tick %d but simulates to %d",
+				i, claimedTicks[i], t)
+		}
+	}
+	if tr.Stalls != claimedStalls {
+		return fmt.Errorf("sim: schedule claims %d stalls but simulates to %d",
+			claimedStalls, tr.Stalls)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+
+	"pipesched/internal/machine"
+)
+
+// sbInput binds a parsed block to the simulation machine under
+// AssignFixed pipeline selection in the given order.
+func sbInput(t *testing.T, src string, order []int, window, width int) ScoreboardInput {
+	t.Helper()
+	g := mustGraph(t, src)
+	m := machine.SimulationMachine()
+	pipes := make([]int, g.N)
+	for i, u := range order {
+		if set := m.PipelinesFor(g.Block.Tuples[u].Op); len(set) > 0 {
+			pipes[i] = set[0]
+		} else {
+			pipes[i] = machine.NoPipeline
+		}
+	}
+	return ScoreboardInput{
+		Input:  Input{Graph: g, M: m, Order: order, Pipes: pipes},
+		Window: window,
+		Width:  width,
+	}
+}
+
+// A load and a multiply on different pipelines: width 2 issues both on
+// tick 1; width 1 serializes them.
+func TestScoreboardWidthLimit(t *testing.T) {
+	src := `f:
+  1: Load #a
+  2: Mul 6, 7`
+	tr, err := RunScoreboard(sbInput(t, src, []int{0, 1}, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IssueTick[0] != 1 || tr.IssueTick[1] != 1 || tr.Stalls != 0 {
+		t.Fatalf("width 2: ticks %v stalls %d, want [1 1] and 0", tr.IssueTick, tr.Stalls)
+	}
+	tr, err = RunScoreboard(sbInput(t, src, []int{0, 1}, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IssueTick[0] != 1 || tr.IssueTick[1] != 2 || tr.Stalls != 0 {
+		t.Fatalf("width 1: ticks %v stalls %d, want [1 2] and 0", tr.IssueTick, tr.Stalls)
+	}
+}
+
+// A dependent add must wait out the loader's 2-tick latency; with a wide
+// window an independent load issues out of order under it.
+func TestScoreboardOutOfOrderIssue(t *testing.T) {
+	src := `f:
+  1: Load #a
+  2: Add @1, @1
+  3: Load #b`
+	// Program order [load, add, load]: the add waits until tick 3, the
+	// second load issues OoO at tick 2 (loader enqueue 1, window 4).
+	tr, err := RunScoreboard(sbInput(t, src, []int{0, 1, 2}, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 2}
+	for i, w := range want {
+		if tr.IssueTick[i] != w {
+			t.Fatalf("ticks %v, want %v", tr.IssueTick, want)
+		}
+	}
+	if tr.TotalTicks != 3 || tr.Stalls != 0 {
+		t.Fatalf("ticks=%d stalls=%d, want 3 and 0", tr.TotalTicks, tr.Stalls)
+	}
+	// Window 1 forbids the overtake: strict program order, the second
+	// load slips to tick 4.
+	tr, err = RunScoreboard(sbInput(t, src, []int{0, 1, 2}, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []int{1, 3, 4}
+	for i, w := range want {
+		if tr.IssueTick[i] != w {
+			t.Fatalf("window 1: ticks %v, want %v", tr.IssueTick, want)
+		}
+	}
+	if tr.Stalls != 1 {
+		t.Fatalf("window 1: stalls=%d, want 1", tr.Stalls)
+	}
+}
+
+// Two multiplies contend for the multiplier's 2-tick enqueue FIFO even
+// when fully independent and the issue width is wide.
+func TestScoreboardPipeFIFO(t *testing.T) {
+	src := `f:
+  1: Mul 2, 3
+  2: Mul 4, 5`
+	tr, err := RunScoreboard(sbInput(t, src, []int{0, 1}, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IssueTick[0] != 1 || tr.IssueTick[1] != 3 {
+		t.Fatalf("ticks %v, want [1 3] (enqueue 2)", tr.IssueTick)
+	}
+	if tr.Stalls != 2 {
+		t.Fatalf("stalls=%d, want 2 (makespan 3, floor ⌈2/2⌉=1)", tr.Stalls)
+	}
+}
+
+// VerifyScoreboard must reject wrong tick claims and wrong stall claims.
+func TestVerifyScoreboardRejects(t *testing.T) {
+	src := `f:
+  1: Load #a
+  2: Add @1, @1`
+	in := sbInput(t, src, []int{0, 1}, 4, 2)
+	tr, err := RunScoreboard(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyScoreboard(in, tr.IssueTick, tr.Stalls); err != nil {
+		t.Fatalf("honest claim rejected: %v", err)
+	}
+	bad := append([]int(nil), tr.IssueTick...)
+	bad[1]++
+	if err := VerifyScoreboard(in, bad, tr.Stalls); err == nil {
+		t.Fatal("wrong tick claim accepted")
+	}
+	if err := VerifyScoreboard(in, tr.IssueTick, tr.Stalls+1); err == nil {
+		t.Fatal("wrong stall claim accepted")
+	}
+	if err := VerifyScoreboard(in, tr.IssueTick[:1], tr.Stalls); err == nil {
+		t.Fatal("short tick claim accepted")
+	}
+}
+
+// Bad geometry and illegal orders are rejected up front.
+func TestScoreboardInputValidation(t *testing.T) {
+	src := `f:
+  1: Load #a
+  2: Add @1, @1`
+	in := sbInput(t, src, []int{0, 1}, 0, 1)
+	if _, err := RunScoreboard(in); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	in = sbInput(t, src, []int{0, 1}, 1, 0)
+	if _, err := RunScoreboard(in); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	bad := sbInput(t, src, []int{0, 1}, 2, 1)
+	bad.Order = []int{1, 0} // consumer before producer
+	if _, err := RunScoreboard(bad); err == nil {
+		t.Fatal("illegal order accepted")
+	}
+}

@@ -52,6 +52,34 @@ type Block = ir.Block
 // SearchStats reports how much work the branch-and-bound search did.
 type SearchStats = core.Stats
 
+// SchedMode selects the scheduler machine model ("mode"): the paper's
+// NOP-minimizing in-order model (the zero value), the register-pressure
+// objectives, or the out-of-order scoreboard approximation. See
+// ParseSchedMode for the textual forms.
+type SchedMode = machine.SchedMode
+
+// ParseSchedMode reads a scheduler mode from its textual form: "paper"
+// (or ""), "minreg-lex", "minreg-k=<k>", "scoreboard=<window>x<width>"
+// ("scoreboard" alone selects the 8x2 default). Errors wrap
+// ErrInvalidMachine.
+func ParseSchedMode(text string) (SchedMode, error) { return machine.ParseSchedMode(text) }
+
+// MinRegLex selects the mode minimizing (total NOPs, MAXLIVE)
+// lexicographically: among all NOP-optimal schedules, the one with the
+// lowest peak register pressure.
+func MinRegLex() SchedMode { return machine.MinRegLex() }
+
+// MinRegK selects the mode minimizing total NOPs subject to MAXLIVE ≤ k.
+// A block with no legal schedule under the bound fails with
+// ErrInfeasible — the search proves that, too.
+func MinRegK(k int) SchedMode { return machine.MinRegK(k) }
+
+// Scoreboard selects the out-of-order approximation: instructions enter
+// a window-entry scoreboard in schedule order and up to width of them
+// issue per tick; the objective is total stall ticks. Window 1, width 1
+// is exactly the paper's in-order machine.
+func Scoreboard(window, width int) SchedMode { return machine.Scoreboard(window, width) }
+
 // DelayMode selects how delays appear in emitted assembly.
 type DelayMode = codegen.Mode
 
@@ -96,6 +124,16 @@ const DefaultLambda = 1_000_000
 
 // Options configures Compile and Schedule.
 type Options struct {
+	// Sched selects the scheduler machine model. The zero value is the
+	// paper's NOP-minimizing in-order model; MinRegLex, MinRegK and
+	// Scoreboard select the extended modes. Compile and Schedule support
+	// every mode; ScheduleLarge and the sequence entry points support the
+	// in-order modes only (ErrModeUnsupported otherwise). The degraded
+	// rungs below Incumbent (Heuristic, Baseline) always fall back to the
+	// paper objective: they stay legal and hazard-free but do not honor a
+	// pressure bound or scoreboard costing — check Compiled.Quality.
+	Sched SchedMode
+
 	// Lambda is the curtail point λ: the maximum number of search steps
 	// before giving up the optimality proof. 0 selects DefaultLambda;
 	// a negative value disables curtailment entirely (the search may then
@@ -166,10 +204,20 @@ type Compiled struct {
 	Order       []int // scheduled order, as positions into Original
 	Eta         []int // NOPs inserted immediately before each position
 	Pipes       []int // pipeline binding per position
-	TotalNOPs   int   // μ(π), the schedule's delay cost
+	TotalNOPs   int   // μ(π), the schedule's delay cost (stall ticks in scoreboard mode)
 	InitialNOPs int   // NOPs of the list-schedule seed
 	Ticks       int   // total issue ticks (instructions + NOPs)
 	Optimal     bool  // true iff provably optimal (search completed)
+
+	// Sched is the scheduler mode the result was produced under.
+	Sched SchedMode
+	// MaxLive is the schedule's peak register pressure, filled by the
+	// register-pressure modes (zero otherwise; see Registers.MaxLive for
+	// the post-allocation figure on any rung).
+	MaxLive int
+	// IssueTicks is the per-position issue tick of the scoreboard model,
+	// filled by scoreboard-mode searches (nil otherwise).
+	IssueTicks []int
 
 	// RootLB is the admissible lower bound on TotalNOPs computed at the
 	// search root (0 when the bound engine was disabled — still a valid,
@@ -313,7 +361,17 @@ func (c *Compiled) Report(m *Machine) string {
 	fmt.Fprintf(&sb, "\n--- tuples (scheduled order) ---\n%s", c.Scheduled)
 	fmt.Fprintf(&sb, "\n--- result ---\n")
 	fmt.Fprintf(&sb, "instructions: %d\n", c.Scheduled.Len())
-	fmt.Fprintf(&sb, "NOPs:         %d (seed had %d)\n", c.TotalNOPs, c.InitialNOPs)
+	if !c.Sched.IsPaper() {
+		fmt.Fprintf(&sb, "mode:         %s\n", c.Sched)
+	}
+	if c.Sched.Kind == machine.SchedScoreboard {
+		fmt.Fprintf(&sb, "stalls:       %d (seed had %d)\n", c.TotalNOPs, c.InitialNOPs)
+	} else {
+		fmt.Fprintf(&sb, "NOPs:         %d (seed had %d)\n", c.TotalNOPs, c.InitialNOPs)
+	}
+	if c.Sched.NeedsPressure() {
+		fmt.Fprintf(&sb, "maxlive:      %d\n", c.MaxLive)
+	}
 	fmt.Fprintf(&sb, "ticks:        %d\n", c.Ticks)
 	fmt.Fprintf(&sb, "optimal:      %v\n", c.Optimal)
 	fmt.Fprintf(&sb, "quality:      %s\n", c.Quality)
@@ -336,10 +394,10 @@ func (c *Compiled) Report(m *Machine) string {
 	st := c.Stats
 	fmt.Fprintf(&sb, "search:       Ω=%d examined=%d improvements=%d curtailed=%v\n",
 		st.OmegaCalls, st.SchedulesExamined, st.Improvements, st.Curtailed)
-	fmt.Fprintf(&sb, "pruned:       bounds=%d illegal=%d equiv=%d strong=%d αβ=%d lb=%d resource=%d memo=%d\n",
+	fmt.Fprintf(&sb, "pruned:       bounds=%d illegal=%d equiv=%d strong=%d αβ=%d lb=%d resource=%d memo=%d pressure=%d\n",
 		st.PrunedBounds, st.PrunedIllegal, st.PrunedEquivalence,
 		st.PrunedStrongEquiv, st.PrunedAlphaBeta, st.PrunedLowerBound,
-		st.PrunedResource, st.MemoHits)
+		st.PrunedResource, st.MemoHits, st.PrunedPressure)
 	if c.Registers != nil {
 		fmt.Fprintf(&sb, "registers:    %d used (peak liveness %d)\n",
 			c.Registers.NumRegs, c.Registers.MaxLive)

@@ -35,6 +35,7 @@ import (
 	"pipesched/internal/faultinject"
 	"pipesched/internal/frontend"
 	"pipesched/internal/listsched"
+	"pipesched/internal/machine"
 	"pipesched/internal/nopins"
 	"pipesched/internal/opt"
 	"pipesched/internal/regalloc"
@@ -178,6 +179,7 @@ func assignMode(o Options) nopins.AssignMode {
 // block dodge the injected curtailment entirely.
 func searchOptions(ctx context.Context, o Options) core.Options {
 	copts := core.Options{
+		Sched:             o.Sched,
 		Lambda:            normLambda(o.Lambda),
 		Ctx:               ctx,
 		Assign:            assignMode(o),
@@ -301,6 +303,18 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 	}
 	telemetry.Active().RecordSearch(label, sched.Stats)
 
+	if o.Sched.Kind == machine.SchedScoreboard {
+		// Defense in depth for the scoreboard mode: the claimed issue
+		// ticks and stall count must replay exactly on the independent
+		// forward simulation of the window machine.
+		if err := sim.VerifyScoreboard(sim.ScoreboardInput{
+			Input:  sim.Input{Graph: g, M: m, Order: sched.Order, Pipes: sched.Pipes},
+			Window: o.Sched.Window, Width: o.Sched.Width,
+		}, sched.IssueTicks, sched.TotalNOPs); err != nil {
+			return nil, fmt.Errorf("pipesched: scoreboard schedule failed verification: %w", err)
+		}
+	}
+
 	quality := Optimal
 	if sched.Stopped != nil {
 		quality = Incumbent
@@ -308,6 +322,15 @@ func scheduleCtx(ctx context.Context, block *Block, m *Machine, o Options, fault
 	c, err := emit(ctx, block, g, m, o, sched.Order, sched.Eta, sched.Pipes, quality, faults)
 	if err != nil {
 		return nil, err
+	}
+	c.Sched = o.Sched
+	c.MaxLive = sched.MaxLive
+	c.IssueTicks = sched.IssueTicks
+	if o.Sched.Kind == machine.SchedScoreboard {
+		// emit derives cost and ticks from the (all-zero) NOP padding;
+		// the scoreboard objective lives in the search result.
+		c.TotalNOPs = sched.TotalNOPs
+		c.Ticks = sched.Ticks
 	}
 	c.InitialNOPs = sched.InitialNOPs
 	c.Stats = sched.Stats
@@ -478,9 +501,15 @@ func emit(ctx context.Context, block *Block, g *dag.Graph, m *Machine, o Options
 	if err != nil {
 		return nil, err
 	}
+	// A search-produced scoreboard schedule carries no NOP padding — the
+	// window hardware interlocks — so the in-order delay machinery
+	// (explanations, Tera backoff, the in-order hazard check) does not
+	// apply; degraded rungs (quality ≥ Heuristic) fall back to the paper's
+	// in-order NOP-padded semantics and keep the full machinery.
+	sbSched := o.Sched.Kind == machine.SchedScoreboard && quality < Heuristic && g != nil
 	mode := o.Mode
 	prog := codegen.Program{Block: scheduled, Eta: eta, Regs: regs}
-	if o.ExplainNOPs && g != nil {
+	if o.ExplainNOPs && g != nil && !sbSched {
 		// Best effort: if the schedule were actually illegal the
 		// verification below catches it.
 		if causes, err := sim.ExplainDelays(sim.Input{
@@ -493,8 +522,8 @@ func emit(ctx context.Context, block *Block, g *dag.Graph, m *Machine, o Options
 		}
 	}
 	if mode == TeraInterlock {
-		if g == nil {
-			mode = NOPPadding // no graph to derive backoff counts from
+		if g == nil || sbSched {
+			mode = NOPPadding // no graph (or no in-order delay semantics) to derive backoff counts from
 		} else {
 			back, err := sim.TeraCounts(sim.Input{Graph: g, M: m, Order: order, Eta: eta, Pipes: pipes})
 			if err != nil {
@@ -509,8 +538,17 @@ func emit(ctx context.Context, block *Block, g *dag.Graph, m *Machine, o Options
 	}
 	if g != nil {
 		// Defense in depth: every schedule leaving the library is
-		// re-verified hazard-free by the independent simulator.
-		if _, err := sim.Run(sim.Input{
+		// re-verified by the independent simulator — the in-order hazard
+		// check for NOP-padded schedules, the window-machine replay for
+		// search-produced scoreboard schedules.
+		if sbSched {
+			if _, err := sim.RunScoreboard(sim.ScoreboardInput{
+				Input:  sim.Input{Graph: g, M: m, Order: order, Pipes: pipes},
+				Window: o.Sched.Window, Width: o.Sched.Width,
+			}); err != nil {
+				return nil, fmt.Errorf("pipesched: schedule failed verification: %w", err)
+			}
+		} else if _, err := sim.Run(sim.Input{
 			Graph: g, M: m, Order: order, Eta: eta, Pipes: pipes,
 		}, sim.NOPPadding); err != nil {
 			return nil, fmt.Errorf("pipesched: schedule failed verification: %w", err)
@@ -548,6 +586,10 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 	}
 	if err := validateBlock(block); err != nil {
 		return nil, err
+	}
+	if !o.Sched.IsPaper() {
+		return nil, fmt.Errorf("%w: ScheduleLarge schedules windows under the paper objective only (got %s)",
+			ErrModeUnsupported, o.Sched)
 	}
 	done := beginCompile()
 	var g *dag.Graph
@@ -627,6 +669,10 @@ func ScheduleLargeCtx(ctx context.Context, block *Block, m *Machine, window int,
 func ScheduleSequenceCtx(ctx context.Context, blocks []*Block, m *Machine, o Options) (*SequenceResult, error) {
 	if err := validateMachine(m); err != nil {
 		return nil, err
+	}
+	if o.Sched.Kind == machine.SchedScoreboard {
+		return nil, fmt.Errorf("%w: the scoreboard model cannot thread in-order pipeline state across block boundaries",
+			ErrModeUnsupported)
 	}
 	for i, b := range blocks {
 		if b == nil {
@@ -789,7 +835,7 @@ func finishSequenceBlock(ctx context.Context, block *Block, bs seqsched.BlockSch
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{
+	c := &Compiled{
 		Original:    block,
 		Scheduled:   scheduled,
 		Order:       bs.Sched.Order,
@@ -806,7 +852,14 @@ func finishSequenceBlock(ctx context.Context, block *Block, bs seqsched.BlockSch
 		Registers:   regs,
 		Assembly:    asm,
 		Stats:       bs.Sched.Stats,
-	}, nil
+	}
+	if quality < Heuristic {
+		// Degraded sequence rungs fall back to the paper objective; only
+		// search-produced blocks carry the mode and its pressure figure.
+		c.Sched = o.Sched
+		c.MaxLive = bs.Sched.MaxLive
+	}
+	return c, nil
 }
 
 // CompileSequenceCtx is CompileSequence with cooperative cancellation

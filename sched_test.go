@@ -1,0 +1,173 @@
+package pipesched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// schedTestBlock needs at least two live values at its peak, so the
+// pressure modes have something to minimize and constrain.
+func schedTestBlock(t *testing.T) *Block {
+	t.Helper()
+	b, err := ParseBlock(`sb:
+  1: Load #a
+  2: Mul @1, @1
+  3: Load #b
+  4: Add @2, @3
+  5: Store #c, @4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestScheduleMinRegLex: the lexicographic mode keeps the paper-optimal
+// NOP count, fills MaxLive, and names itself in the report.
+func TestScheduleMinRegLex(t *testing.T) {
+	m := SimulationMachine()
+	b := schedTestBlock(t)
+	paper, err := Schedule(b, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lex, err := Schedule(b, m, Options{Sched: MinRegLex()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lex.TotalNOPs != paper.TotalNOPs {
+		t.Errorf("minreg-lex NOPs %d != paper optimum %d", lex.TotalNOPs, paper.TotalNOPs)
+	}
+	if lex.MaxLive < 1 {
+		t.Errorf("MaxLive = %d, want >= 1", lex.MaxLive)
+	}
+	if lex.Sched.String() != "minreg-lex" {
+		t.Errorf("result mode = %s", lex.Sched)
+	}
+	rep := lex.Report(m)
+	if !strings.Contains(rep, "mode:") || !strings.Contains(rep, "maxlive:") {
+		t.Errorf("report missing mode/maxlive lines:\n%s", rep)
+	}
+}
+
+// TestScheduleMinRegK: a satisfiable bound compiles with the bound
+// respected; an impossible bound is a typed infeasibility with a nil
+// result, not a degraded schedule.
+func TestScheduleMinRegK(t *testing.T) {
+	m := SimulationMachine()
+	b := schedTestBlock(t)
+	lex, err := Schedule(b, m, Options{Sched: MinRegLex()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Schedule(b, m, Options{Sched: MinRegK(lex.MaxLive)})
+	if err != nil {
+		t.Fatalf("k=%d (the lex optimum) must be feasible: %v", lex.MaxLive, err)
+	}
+	if c.MaxLive > lex.MaxLive {
+		t.Errorf("MaxLive %d exceeds bound %d", c.MaxLive, lex.MaxLive)
+	}
+	if c, err := Schedule(b, m, Options{Sched: MinRegK(1)}); !errors.Is(err, ErrInfeasible) || c != nil {
+		t.Fatalf("k=1 on a 2-live block: got (%v, %v), want (nil, ErrInfeasible)", c, err)
+	}
+}
+
+// TestScheduleScoreboard: the scoreboard mode reports stall ticks in
+// TotalNOPs, carries per-position issue ticks, and emits assembly with
+// no NOP padding (the window machine interlocks in hardware).
+func TestScheduleScoreboard(t *testing.T) {
+	m := SimulationMachine()
+	b := schedTestBlock(t)
+	c, err := Schedule(b, m, Options{Sched: Scoreboard(4, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.IssueTicks) != b.Len() {
+		t.Fatalf("IssueTicks length %d, want %d", len(c.IssueTicks), b.Len())
+	}
+	for _, eta := range c.Eta {
+		if eta != 0 {
+			t.Fatalf("scoreboard schedule carries NOP padding: %v", c.Eta)
+		}
+	}
+	if strings.Contains(c.Assembly, "NOP") {
+		t.Errorf("scoreboard assembly contains NOPs:\n%s", c.Assembly)
+	}
+	if !strings.Contains(c.Report(m), "stalls:") {
+		t.Errorf("report does not name stalls:\n%s", c.Report(m))
+	}
+	// The degenerate 1x1 geometry is the in-order machine: stalls equal
+	// the paper mode's NOP count.
+	paper, err := Schedule(b, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inorder, err := Schedule(b, m, Options{Sched: Scoreboard(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inorder.TotalNOPs != paper.TotalNOPs {
+		t.Errorf("scoreboard=1x1 stalls %d != paper NOPs %d", inorder.TotalNOPs, paper.TotalNOPs)
+	}
+}
+
+// TestCompileSchedMode: the source-level entry point threads the mode
+// through frontend, optimizer and search.
+func TestCompileSchedMode(t *testing.T) {
+	c, err := Compile("b = 15\na = b * a\n", SimulationMachine(), Options{Sched: MinRegLex()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sched.String() != "minreg-lex" || c.MaxLive < 1 {
+		t.Errorf("mode not threaded: sched=%s maxlive=%d", c.Sched, c.MaxLive)
+	}
+}
+
+// TestModeUnsupportedEntryPoints: ScheduleLarge is paper-only; the
+// sequence entry points reject the scoreboard model (pipeline state
+// cannot thread across block boundaries through an OoO window) but
+// accept the pressure modes.
+func TestModeUnsupportedEntryPoints(t *testing.T) {
+	m := SimulationMachine()
+	b := schedTestBlock(t)
+	if _, err := ScheduleLarge(b, m, 3, Options{Sched: MinRegLex()}); !errors.Is(err, ErrModeUnsupported) {
+		t.Errorf("ScheduleLarge(minreg-lex) = %v, want ErrModeUnsupported", err)
+	}
+	if _, err := ScheduleSequence([]*Block{b}, m, Options{Sched: Scoreboard(4, 2)}); !errors.Is(err, ErrModeUnsupported) {
+		t.Errorf("ScheduleSequence(scoreboard) = %v, want ErrModeUnsupported", err)
+	}
+	seq, err := ScheduleSequence([]*Block{b}, m, Options{Sched: MinRegLex()})
+	if err != nil {
+		t.Fatalf("ScheduleSequence(minreg-lex): %v", err)
+	}
+	if len(seq.Blocks) != 1 || seq.Blocks[0].MaxLive < 1 || seq.Blocks[0].Sched.String() != "minreg-lex" {
+		t.Errorf("sequence did not thread the pressure mode: %+v", seq.Blocks[0])
+	}
+}
+
+// TestInvalidSchedMode: malformed modes are in the ErrInvalidMachine
+// family at every entry point.
+func TestInvalidSchedMode(t *testing.T) {
+	b := schedTestBlock(t)
+	if _, err := Schedule(b, SimulationMachine(), Options{Sched: MinRegK(0)}); !errors.Is(err, ErrInvalidMachine) {
+		t.Errorf("MinRegK(0) = %v, want ErrInvalidMachine", err)
+	}
+	if _, err := ParseSchedMode("scoreboard=0x1"); !errors.Is(err, ErrInvalidMachine) {
+		t.Errorf("bad scoreboard geometry not rejected")
+	}
+}
+
+// TestSchedModeCtxDegradation: a curtailed pressure-mode search still
+// returns a legal incumbent under the anytime contract.
+func TestSchedModeCtxDegradation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, err := ScheduleCtx(ctx, schedTestBlock(t), SimulationMachine(), Options{Sched: MinRegLex()})
+	if c == nil {
+		t.Fatalf("expired context must still yield a legal result, got error %v", err)
+	}
+	if err == nil {
+		t.Fatal("expired context reported no degradation")
+	}
+}
