@@ -1,0 +1,309 @@
+// The bench-campaign subcommand: a deterministic whole-program
+// campaign benchmark over a pinned synthetic corpus, driven through an
+// in-process 3-node fleet — the same front door the campaign-soak CI
+// job exercises.
+//
+//	pipesched bench-campaign -out BENCH_campaign.json      # regenerate the baseline
+//	pipesched bench-campaign -check BENCH_campaign.json    # CI smoke: fail on regression
+//
+// Three runs share one durable manifest: cold (everything compiles),
+// warm (identical sources — every trace must hit the manifest), and
+// incremental (a one-line edit to a single block — only the dirty
+// traces recompile). The gating metrics are all deterministic — NOP
+// totals, trace counts, hit rates — so -check can fail a pull request
+// without flaky timing thresholds; wall time is recorded for context
+// only.
+//
+// Exit status: 0 clean, 1 on regression, measurement error, or I/O
+// failure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"pipesched/internal/campaign"
+	"pipesched/internal/fleet"
+	"pipesched/internal/machine"
+	"pipesched/internal/server"
+	"pipesched/internal/synth"
+)
+
+// minWarmRate is the -check floor on the warm (unchanged-source) run:
+// identical sources must be fully incremental.
+const minWarmRate = 1.0
+
+// minIncrementalRate is the -check floor on the edited run: a one-line
+// edit must leave at least 90% of the traces warm.
+const minIncrementalRate = 0.90
+
+// campaignCorpus pins the generated program set; -check re-derives the
+// exact corpus from the baseline file's copy of these parameters.
+type campaignCorpus struct {
+	Seed          int64 `json:"seed"`
+	Programs      int   `json:"programs"`
+	MaxBlocks     int   `json:"max_blocks"`
+	Statements    int   `json:"statements"`
+	Variables     int   `json:"variables"`
+	Constants     int   `json:"constants"`
+	BranchPercent int   `json:"branch_percent"`
+	Tuples        int   `json:"tuples"` // total tuples, informational
+}
+
+// campaignPhase is one run (cold, warm, or incremental) over the corpus.
+type campaignPhase struct {
+	Traces          int     `json:"traces"`
+	BaselineNOPs    int     `json:"baseline_nops"`
+	DeliveredNOPs   int     `json:"delivered_nops"`
+	NOPsSaved       int     `json:"nops_saved"`
+	ManifestHits    int     `json:"manifest_hits"`
+	Recompiled      int     `json:"recompiled"`
+	IncrementalRate float64 `json:"incremental_rate"`
+	ElapsedMS       int64   `json:"elapsed_ms"` // wall time, informational
+}
+
+// campaignBenchReport is the BENCH_campaign.json document.
+type campaignBenchReport struct {
+	Description string         `json:"description"`
+	Machine     string         `json:"machine"`
+	Corpus      campaignCorpus `json:"corpus"`
+	Cold        campaignPhase  `json:"cold"`
+	Warm        campaignPhase  `json:"warm"`
+	Incremental campaignPhase  `json:"incremental"`
+}
+
+// runBenchCampaign is the testable body of `pipesched bench-campaign`.
+func runBenchCampaign(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pipesched bench-campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		programs = fs.Int("programs", 12, "corpus programs to generate")
+		seed     = fs.Int64("seed", 7, "corpus RNG seed")
+		out      = fs.String("out", "", "write the baseline JSON here (default stdout)")
+		check    = fs.String("check", "", "compare against this committed baseline instead of writing one")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pipesched bench-campaign: unexpected arguments %v\n", fs.Args())
+		return 1
+	}
+
+	corpus := campaignCorpus{
+		Seed: *seed, Programs: *programs, MaxBlocks: 6,
+		Statements: 4, Variables: 6, Constants: 4, BranchPercent: 30,
+	}
+	var baseline *campaignBenchReport
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintf(stderr, "pipesched bench-campaign: %v\n", err)
+			return 1
+		}
+		baseline = &campaignBenchReport{}
+		if err := json.Unmarshal(data, baseline); err != nil {
+			fmt.Fprintf(stderr, "pipesched bench-campaign: parse %s: %v\n", *check, err)
+			return 1
+		}
+		corpus = baseline.Corpus // measure the exact committed corpus
+		corpus.Tuples = 0
+	}
+
+	report, err := measureCampaign(corpus)
+	if err != nil {
+		fmt.Fprintf(stderr, "pipesched bench-campaign: %v\n", err)
+		return 1
+	}
+
+	if baseline != nil {
+		ok := true
+		for _, fail := range compareCampaignBench(baseline, report) {
+			fmt.Fprintf(stderr, "pipesched bench-campaign: FAIL %s\n", fail)
+			ok = false
+		}
+		fmt.Fprintf(stdout, "bench-campaign: cold %d traces, baseline %d → delivered %d NOPs (saved %d); warm rate %.2f; incremental rate %.2f (%d recompiled)\n",
+			report.Cold.Traces, report.Cold.BaselineNOPs, report.Cold.DeliveredNOPs, report.Cold.NOPsSaved,
+			report.Warm.IncrementalRate, report.Incremental.IncrementalRate, report.Incremental.Recompiled)
+		if !ok {
+			return 1
+		}
+		fmt.Fprintln(stdout, "bench-campaign: ok")
+		return 0
+	}
+
+	enc := json.NewEncoder(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "pipesched bench-campaign: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(stderr, "pipesched bench-campaign: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// measureCampaign generates the corpus and runs the cold/warm/
+// incremental triple through an in-process 3-node fleet sharing one
+// durable manifest.
+func measureCampaign(corpus campaignCorpus) (*campaignBenchReport, error) {
+	rng := rand.New(rand.NewSource(corpus.Seed))
+	var inputs []campaign.Input
+	for i := 0; i < corpus.Programs; i++ {
+		p, err := synth.GenerateProgram(rng, synth.ProgramParams{
+			Blocks:          2 + rng.Intn(corpus.MaxBlocks-1),
+			BlockStatements: corpus.Statements,
+			Variables:       corpus.Variables,
+			Constants:       corpus.Constants,
+			BranchPercent:   corpus.BranchPercent,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("generate program %d: %w", i, err)
+		}
+		inputs = append(inputs, campaign.Input{Name: fmt.Sprintf("p%02d.psrc", i), Source: p.Source})
+	}
+
+	scratch, err := os.MkdirTemp("", "pipesched-bench-campaign-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+
+	f := fleet.New(fleet.Config{})
+	for _, id := range []string{"bench-a", "bench-b", "bench-c"} {
+		dir, err := os.MkdirTemp(scratch, id+"-*")
+		if err != nil {
+			return nil, err
+		}
+		f.AddNode(fleet.NewNode(id, dir, server.Config{
+			Workers: 2, DefaultTimeout: 30 * time.Second,
+		}))
+	}
+	defer f.Close()
+
+	m := machine.SimulationMachine()
+	mode := machine.SchedMode{}
+	mfDir, err := os.MkdirTemp(scratch, "manifest-*")
+	if err != nil {
+		return nil, err
+	}
+	mf, _, err := campaign.OpenManifest(mfDir, m, mode)
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+
+	runOnce := func(ins []campaign.Input) (campaignPhase, error) {
+		runner, err := campaign.NewRunner(campaign.Config{
+			Machine: m, Mode: mode, Manifest: mf, Concurrency: 6,
+			Compiler: &campaign.SubmitCompiler{
+				Sub:     f,
+				Machine: server.MachineSpec{Preset: "simulation"},
+			},
+		})
+		if err != nil {
+			return campaignPhase{}, err
+		}
+		rep, err := runner.Run(context.Background(), ins)
+		if err != nil {
+			return campaignPhase{}, err
+		}
+		if rep.Failed > 0 {
+			return campaignPhase{}, fmt.Errorf("%d traces failed", rep.Failed)
+		}
+		return campaignPhase{
+			Traces: rep.TotalTraces, BaselineNOPs: rep.BaselineNOPs,
+			DeliveredNOPs: rep.DeliveredNOPs, NOPsSaved: rep.NOPsSaved,
+			ManifestHits: rep.ManifestHits, Recompiled: rep.Recompiled,
+			IncrementalRate: rep.IncrementalRate, ElapsedMS: rep.ElapsedMS,
+		}, nil
+	}
+
+	report := &campaignBenchReport{
+		Description: "Whole-program campaign baselines over a pinned synthetic corpus (pipesched bench-campaign). " +
+			"NOP totals, trace counts and hit rates (deterministic) gate CI; elapsed_ms is informational. " +
+			"Regenerate with: go run ./cmd/pipesched bench-campaign -out BENCH_campaign.json",
+		Machine: "simulation",
+		Corpus:  corpus,
+	}
+	for _, in := range inputs {
+		g, err := campaign.ParseProgram(in.Name, in.Source, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range g.Blocks {
+			report.Corpus.Tuples += b.IR.Len()
+		}
+	}
+
+	if report.Cold, err = runOnce(inputs); err != nil {
+		return nil, fmt.Errorf("cold run: %w", err)
+	}
+	if report.Warm, err = runOnce(inputs); err != nil {
+		return nil, fmt.Errorf("warm run: %w", err)
+	}
+	// One-line edit to a single block of one program.
+	edited := make([]campaign.Input, len(inputs))
+	copy(edited, inputs)
+	idx := strings.Index(edited[0].Source, "= ")
+	if idx < 0 {
+		return nil, fmt.Errorf("no statement to edit in %q", edited[0].Name)
+	}
+	edited[0].Source = edited[0].Source[:idx] + "= 98765 + " + edited[0].Source[idx+2:]
+	if report.Incremental, err = runOnce(edited); err != nil {
+		return nil, fmt.Errorf("incremental run: %w", err)
+	}
+	return report, nil
+}
+
+// compareCampaignBench gates the current measurement against the
+// committed baseline and returns every violation.
+func compareCampaignBench(baseline, cur *campaignBenchReport) []string {
+	var fails []string
+	if cur.Cold.Traces != baseline.Cold.Traces {
+		fails = append(fails, fmt.Sprintf("cold: %d traces, baseline has %d (trace formation changed; regenerate BENCH_campaign.json)",
+			cur.Cold.Traces, baseline.Cold.Traces))
+	}
+	if cur.Cold.DeliveredNOPs > baseline.Cold.DeliveredNOPs {
+		fails = append(fails, fmt.Sprintf("cold: delivered %d NOPs, baseline delivered %d (campaign got worse)",
+			cur.Cold.DeliveredNOPs, baseline.Cold.DeliveredNOPs))
+	}
+	if cur.Cold.NOPsSaved < baseline.Cold.NOPsSaved {
+		fails = append(fails, fmt.Sprintf("cold: saved %d NOPs over per-block baseline, committed baseline saved %d",
+			cur.Cold.NOPsSaved, baseline.Cold.NOPsSaved))
+	}
+	if cur.Cold.DeliveredNOPs > cur.Cold.BaselineNOPs {
+		fails = append(fails, fmt.Sprintf("cold: delivered %d > per-block baseline %d (oracle inequality violated)",
+			cur.Cold.DeliveredNOPs, cur.Cold.BaselineNOPs))
+	}
+	if cur.Warm.IncrementalRate < minWarmRate {
+		fails = append(fails, fmt.Sprintf("warm: incremental rate %.2f, identical sources must reach %.2f",
+			cur.Warm.IncrementalRate, minWarmRate))
+	}
+	if cur.Warm.DeliveredNOPs != cur.Cold.DeliveredNOPs {
+		fails = append(fails, fmt.Sprintf("warm: delivered %d NOPs but cold delivered %d (manifest changed the answer)",
+			cur.Warm.DeliveredNOPs, cur.Cold.DeliveredNOPs))
+	}
+	if cur.Incremental.IncrementalRate < minIncrementalRate {
+		fails = append(fails, fmt.Sprintf("incremental: rate %.2f after a one-line edit, floor is %.2f",
+			cur.Incremental.IncrementalRate, minIncrementalRate))
+	}
+	if cur.Incremental.Recompiled < 1 {
+		fails = append(fails, "incremental: the edited block recompiled no traces")
+	}
+	return fails
+}

@@ -11,6 +11,8 @@
 //	pipesched fleet [flags]            # multi-node fault-tolerant fleet (see fleet.go)
 //	pipesched worker [flags]           # one out-of-process fleet backend (see worker.go)
 //	pipesched trace [flags] file.jsonl # render recorded distributed traces (see trace.go)
+//	pipesched campaign [flags]         # whole-program campaign over *.psrc programs (see campaign.go)
+//	pipesched bench-campaign [flags]   # campaign benchmark baseline/check (see benchcampaign.go)
 //
 //	-preset name     machine preset: simulation | example | unpipelined | deep
 //	-machine file    machine description file (overrides -preset)
@@ -81,6 +83,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(args) > 0 && args[0] == "trace" {
 		return runTrace(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "campaign" {
+		return runCampaign(context.Background(), args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "bench-campaign" {
+		return runBenchCampaign(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("pipesched", flag.ContinueOnError)
 	fs.SetOutput(stderr)

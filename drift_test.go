@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"pipesched"
+	"pipesched/internal/campaign"
 	"pipesched/internal/fleet"
 	"pipesched/internal/fleet/supervisor"
+	"pipesched/internal/machine"
 	"pipesched/internal/netchaos"
 	"pipesched/internal/server"
 )
@@ -57,6 +59,16 @@ func TestMetricsNameDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer px.Close()
+	// The §16 campaign runner registers its series at construction; no
+	// programs need to run.
+	sm := machine.SimulationMachine()
+	if _, err := campaign.NewRunner(campaign.Config{
+		Machine:  sm,
+		Compiler: &campaign.LocalCompiler{M: sm},
+		Metrics:  pm,
+	}); err != nil {
+		t.Fatal(err)
+	}
 
 	ts, err := pipesched.ServeTelemetry("127.0.0.1:0", pm)
 	if err != nil {

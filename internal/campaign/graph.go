@@ -1,0 +1,172 @@
+// Package campaign turns the block-level scheduling service into a
+// whole-program compiler. It parses multi-block source files into a
+// block-level control-flow graph, merges branch-free chains into
+// superblock traces that are scheduled as single units (extending the
+// paper's footnote-1 boundary trimming across every seam of the
+// trace), and runs incremental compilation campaigns over directories
+// of programs through the in-process scheduler, the compile service,
+// or the fleet front door — with content-hash dedup across programs
+// and a durable manifest so re-runs recompile only dirty blocks.
+package campaign
+
+import (
+	"fmt"
+
+	"pipesched/internal/frontend"
+	"pipesched/internal/ir"
+	"pipesched/internal/opt"
+	"pipesched/internal/tuplegen"
+)
+
+// Block is one basic block of a program: a node of the block-level CFG.
+type Block struct {
+	Name    string
+	Index   int       // position in file order
+	Source  string    // the block's source text (frontend statements)
+	IR      *ir.Block // lowered (and optionally optimized) tuples
+	Targets []string  // explicit successors from the "->" header, if any
+	Succs   []int     // resolved successor block indices
+	Preds   []int     // resolved predecessor block indices
+}
+
+// Graph is the block-level control-flow graph of one program file.
+// Successor edges come from explicit "-> target" headers; a block
+// without targets falls through to the next block in file order (the
+// last block exits).
+type Graph struct {
+	Name   string // program name (usually the file path)
+	Blocks []*Block
+}
+
+// ParseProgram lowers a multi-block source file into a block-level CFG.
+// Every block is lowered to tuples independently (values cross block
+// boundaries through memory, never through tuple references), then the
+// fallthrough and explicit-target edges are resolved.
+func ParseProgram(name, src string, optimize bool) (*Graph, error) {
+	parsed, err := frontend.ParseFile(src)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", name, err)
+	}
+	g := &Graph{Name: name}
+	index := make(map[string]int, len(parsed))
+	for i, np := range parsed {
+		label := np.Name
+		if label == "" {
+			label = fmt.Sprintf("block%d", i)
+		}
+		lowered, err := tuplegen.Generate(np.Program, label)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s block %q: %w", name, label, err)
+		}
+		if optimize {
+			lowered = opt.Optimize(lowered)
+		}
+		g.Blocks = append(g.Blocks, &Block{
+			Name: label, Index: i, IR: lowered, Targets: np.Targets,
+		})
+		index[label] = i
+	}
+	for i, b := range g.Blocks {
+		if len(b.Targets) > 0 {
+			seen := map[int]bool{}
+			for _, t := range b.Targets {
+				j, ok := index[t]
+				if !ok {
+					// ParseFile already validates targets; this guards the
+					// fmt.Sprintf fallback names colliding with real ones.
+					return nil, fmt.Errorf("campaign: %s block %q targets unknown block %q", name, b.Name, t)
+				}
+				if !seen[j] {
+					seen[j] = true
+					b.Succs = append(b.Succs, j)
+				}
+			}
+		} else if i+1 < len(g.Blocks) {
+			b.Succs = []int{i + 1}
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, b.Index)
+		}
+	}
+	return g, nil
+}
+
+// Trace is a superblock: a maximal branch-free chain of blocks merged
+// into a single scheduling unit. Within a trace, control always flows
+// from each member to the next (single successor, single predecessor),
+// so the footnote-1 entry-state threading — and full merged-DAG
+// scheduling — is sound across every internal seam.
+type Trace struct {
+	Blocks []*Block // members in control-flow order
+}
+
+// Name is the trace's label: the head block's name, with the member
+// count when more than one block merged.
+func (t *Trace) Name() string {
+	if len(t.Blocks) == 1 {
+		return t.Blocks[0].Name
+	}
+	return fmt.Sprintf("%s+%d", t.Blocks[0].Name, len(t.Blocks)-1)
+}
+
+// Merged concatenates the member blocks into one ir.Block (tuple IDs
+// renumbered by ir.Concat).
+func (t *Trace) Merged() (*ir.Block, error) {
+	if len(t.Blocks) == 1 {
+		return t.Blocks[0].IR, nil
+	}
+	members := make([]*ir.Block, len(t.Blocks))
+	for i, b := range t.Blocks {
+		members[i] = b.IR
+	}
+	return ir.Concat(t.Name(), members...)
+}
+
+// Traces partitions the CFG into superblock traces: u→v merge into one
+// trace exactly when v is u's only successor and u is v's only
+// predecessor. Every block belongs to exactly one trace; traces are
+// returned in file order of their head blocks. Cycles are handled by
+// never extending a trace back into itself (a pure single-entry loop
+// becomes one trace that is cut where it would close).
+func (g *Graph) Traces() []*Trace {
+	inTrace := make([]bool, len(g.Blocks))
+	isHead := func(b *Block) bool {
+		if len(b.Preds) != 1 {
+			return true
+		}
+		p := g.Blocks[b.Preds[0]]
+		return len(p.Succs) != 1
+	}
+	var traces []*Trace
+	grow := func(head *Block) {
+		t := &Trace{}
+		for cur := head; ; {
+			t.Blocks = append(t.Blocks, cur)
+			inTrace[cur.Index] = true
+			if len(cur.Succs) != 1 {
+				break
+			}
+			next := g.Blocks[cur.Succs[0]]
+			if len(next.Preds) != 1 || inTrace[next.Index] {
+				break
+			}
+			cur = next
+		}
+		traces = append(traces, t)
+	}
+	for _, b := range g.Blocks {
+		if !inTrace[b.Index] && isHead(b) {
+			grow(b)
+		}
+	}
+	// Pure cycles (every member single-pred/single-succ) have no head;
+	// start them at the lowest-index unvisited block.
+	for _, b := range g.Blocks {
+		if !inTrace[b.Index] {
+			grow(b)
+		}
+	}
+	return traces
+}

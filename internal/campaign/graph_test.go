@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Graph {
+	t.Helper()
+	g, err := ParseProgram("test", src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func traceNames(g *Graph) [][]string {
+	var out [][]string
+	for _, tr := range g.Traces() {
+		var names []string
+		for _, b := range tr.Blocks {
+			names = append(names, b.Name)
+		}
+		out = append(out, names)
+	}
+	return out
+}
+
+func assertTraces(t *testing.T, g *Graph, want [][]string) {
+	t.Helper()
+	got := traceNames(g)
+	if len(got) != len(want) {
+		t.Fatalf("traces = %v, want %v", got, want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("trace %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("trace %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStraightLineMergesIntoOneTrace(t *testing.T) {
+	g := mustParse(t, `
+block a { x = 1 }
+block b { y = x + 1 }
+block c { z = y * 2 }
+`)
+	assertTraces(t, g, [][]string{{"a", "b", "c"}})
+}
+
+func TestBranchSplitsTraces(t *testing.T) {
+	// a branches two ways: neither arm can merge upward into a.
+	g := mustParse(t, `
+block a -> b, c { x = 1 }
+block b { y = x + 1 }
+block c { z = x * 2 }
+`)
+	// b falls through to c, but c has two predecessors (a and b), so
+	// every block is its own trace.
+	assertTraces(t, g, [][]string{{"a"}, {"b"}, {"c"}})
+}
+
+func TestDiamondTraces(t *testing.T) {
+	g := mustParse(t, `
+block entry -> left, right { x = 1 }
+block left -> join { y = x + 1 }
+block right -> join { y = x * 2 }
+block join { z = y + y }
+`)
+	assertTraces(t, g, [][]string{{"entry"}, {"left"}, {"right"}, {"join"}})
+}
+
+func TestJumpThenChainMerges(t *testing.T) {
+	// a jumps over b straight to c, and b spins on itself: a→c is a
+	// single-succ/single-pred edge, so a and c merge even though they
+	// are not adjacent in the file; b stands alone.
+	g := mustParse(t, `
+block a -> c { x = 1 }
+block b -> b { i = i + 1 }
+block c { z = x * 2 }
+`)
+	assertTraces(t, g, [][]string{{"a", "c"}, {"b"}})
+}
+
+func TestSelfLoopIsSingleTrace(t *testing.T) {
+	g := mustParse(t, `
+block spin -> spin { i = i + 1 }
+`)
+	assertTraces(t, g, [][]string{{"spin"}})
+}
+
+func TestPureCycleCutsOnce(t *testing.T) {
+	// a → b → a: every member single-pred/single-succ, no head. The
+	// trace starts at the lowest index and cuts where it would close.
+	g := mustParse(t, `
+block a -> b { x = x + 1 }
+block b -> a { y = y + 1 }
+`)
+	assertTraces(t, g, [][]string{{"a", "b"}})
+}
+
+func TestFallthroughEdgesResolved(t *testing.T) {
+	g := mustParse(t, `
+block a { x = 1 }
+block b { y = 2 }
+`)
+	if len(g.Blocks[0].Succs) != 1 || g.Blocks[0].Succs[0] != 1 {
+		t.Errorf("a.Succs = %v", g.Blocks[0].Succs)
+	}
+	if len(g.Blocks[1].Succs) != 0 {
+		t.Errorf("last block Succs = %v", g.Blocks[1].Succs)
+	}
+	if len(g.Blocks[1].Preds) != 1 || g.Blocks[1].Preds[0] != 0 {
+		t.Errorf("b.Preds = %v", g.Blocks[1].Preds)
+	}
+}
+
+func TestDuplicateTargetsCollapse(t *testing.T) {
+	g := mustParse(t, `
+block a -> b, b { x = 1 }
+block b { y = 2 }
+`)
+	if len(g.Blocks[0].Succs) != 1 {
+		t.Errorf("duplicate targets kept: %v", g.Blocks[0].Succs)
+	}
+}
+
+func TestEveryBlockInExactlyOneTrace(t *testing.T) {
+	g := mustParse(t, `
+block a -> c { x = 1 }
+block b -> a { y = 2 }
+block c -> b, c { z = 3 }
+`)
+	seen := map[string]int{}
+	for _, tr := range g.Traces() {
+		for _, b := range tr.Blocks {
+			seen[b.Name]++
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("blocks covered: %v", seen)
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("block %q in %d traces", name, n)
+		}
+	}
+}
+
+func TestMergedRenumbersTuples(t *testing.T) {
+	g := mustParse(t, `
+block a { x = 1 }
+block b { y = x + 1 }
+`)
+	traces := g.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("want one trace, got %d", len(traces))
+	}
+	merged, err := traces[0].Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != g.Blocks[0].IR.Len()+g.Blocks[1].IR.Len() {
+		t.Errorf("merged %d tuples, members %d+%d", merged.Len(), g.Blocks[0].IR.Len(), g.Blocks[1].IR.Len())
+	}
+	if err := merged.Validate(); err != nil {
+		t.Errorf("merged block invalid: %v", err)
+	}
+}

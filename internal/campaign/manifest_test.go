@@ -1,0 +1,165 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"pipesched/internal/machine"
+)
+
+func openTestManifest(t *testing.T, mode machine.SchedMode) *Manifest {
+	t.Helper()
+	mf, rep, err := OpenManifest(t.TempDir(), machine.SimulationMachine(), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 0 {
+		t.Fatalf("fresh manifest quarantined %d", rep.Quarantined)
+	}
+	t.Cleanup(mf.Close)
+	return mf
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := machine.SimulationMachine()
+	mode := machine.SchedMode{}
+	mf := openTestManifest(t, mode)
+	g := mustParse(t, `
+block a { x = p * q }
+block b { y = x + r }
+`)
+	tr := g.Traces()[0]
+	if _, ok := mf.Lookup(tr, m, mode); ok {
+		t.Fatal("empty manifest hit")
+	}
+	res, err := ScheduleTrace(context.Background(), tr, m, mode, localCompiler(m, mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Record(tr, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := mf.Lookup(tr, m, mode)
+	if !ok {
+		t.Fatal("recorded trace missed")
+	}
+	if got.DeliveredNOPs != res.DeliveredNOPs || got.Name != res.Name {
+		t.Errorf("lookup = %+v, want %+v", got, res)
+	}
+}
+
+func TestManifestKeyChangesWhenBlockEdited(t *testing.T) {
+	mf := openTestManifest(t, machine.SchedMode{})
+	g1 := mustParse(t, "block a { x = p * q }\nblock b { y = x + r }\n")
+	g2 := mustParse(t, "block a { x = p * q }\nblock b { y = x - r }\n") // one-line edit
+	g3 := mustParse(t, "block a { x = p * q }\nblock b { y = x + r }\n")
+	k1 := mf.TraceKey(g1.Traces()[0])
+	k2 := mf.TraceKey(g2.Traces()[0])
+	k3 := mf.TraceKey(g3.Traces()[0])
+	if k1 == k2 {
+		t.Error("editing a member block did not change the trace key")
+	}
+	if k1 != k3 {
+		t.Error("identical content produced different keys")
+	}
+}
+
+func TestManifestKeyIgnoresBlockNames(t *testing.T) {
+	// Renaming blocks (and therefore the trace) must not invalidate:
+	// the key hashes label-stripped content.
+	mf := openTestManifest(t, machine.SchedMode{})
+	g1 := mustParse(t, "block a { x = p * q }\nblock b { y = x + r }\n")
+	g2 := mustParse(t, "block alpha { x = p * q }\nblock beta { y = x + r }\n")
+	if mf.TraceKey(g1.Traces()[0]) != mf.TraceKey(g2.Traces()[0]) {
+		t.Error("renaming blocks changed the trace key")
+	}
+}
+
+func TestManifestSeparatesModes(t *testing.T) {
+	dir := t.TempDir()
+	m := machine.SimulationMachine()
+	paper := machine.SchedMode{}
+	sb, err := machine.ParseSchedMode("scoreboard=4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfPaper, _, err := OpenManifest(dir, m, paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mfPaper.Close()
+	g := mustParse(t, "block a { x = p * q }\nblock b { y = x + r }\n")
+	tr := g.Traces()[0]
+	res, err := ScheduleTrace(context.Background(), tr, m, paper, localCompiler(m, paper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mfPaper.Record(tr, res); err != nil {
+		t.Fatal(err)
+	}
+	mfPaper.Close()
+
+	mfSB, _, err := OpenManifest(dir, m, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mfSB.Close()
+	if _, ok := mfSB.Lookup(tr, m, sb); ok {
+		t.Error("scoreboard mode hit a paper-mode entry: cache pollution across modes")
+	}
+}
+
+func TestManifestVerifiesOnHit(t *testing.T) {
+	// A stored record whose schedule no longer verifies must miss, not
+	// serve a wrong answer. Corrupt the stored payload semantically
+	// (valid JSON, broken schedule) by recording a tampered result.
+	m := machine.SimulationMachine()
+	mode := machine.SchedMode{}
+	mf := openTestManifest(t, mode)
+	g := mustParse(t, "block a { x = p * q }\nblock b { y = x + r }\n")
+	tr := g.Traces()[0]
+	res, err := ScheduleTrace(context.Background(), tr, m, mode, localCompiler(m, mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *res
+	tampered.DeliveredNOPs = res.DeliveredNOPs + 5 // claims NOPs it does not have
+	if err := mf.Record(tr, &tampered); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mf.Lookup(tr, m, mode); ok {
+		t.Error("tampered record served from manifest; verification on hit is broken")
+	}
+}
+
+func TestManifestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	m := machine.SimulationMachine()
+	mode := machine.SchedMode{}
+	mf, _, err := OpenManifest(dir, m, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustParse(t, "block a { x = p * q }\nblock b { y = x + r }\n")
+	tr := g.Traces()[0]
+	res, err := ScheduleTrace(context.Background(), tr, m, mode, localCompiler(m, mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Record(tr, res); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	mf2, rep, err := OpenManifest(dir, m, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf2.Close()
+	if rep.Recovered != 1 {
+		t.Errorf("recovered %d entries, want 1", rep.Recovered)
+	}
+	if _, ok := mf2.Lookup(tr, m, mode); !ok {
+		t.Error("entry lost across reopen")
+	}
+}

@@ -1,0 +1,32 @@
+package campaign
+
+import "pipesched/internal/telemetry"
+
+// campaignMetrics is the campaign-layer metric set; nil fields are
+// no-ops, matching the repo-wide nil-by-default telemetry idiom.
+type campaignMetrics struct {
+	programs    *telemetry.Counter   // pipesched_campaign_programs_total
+	traces      *telemetry.Counter   // pipesched_campaign_traces_total
+	recompiled  *telemetry.Counter   // pipesched_campaign_recompiled_total
+	manifestHit *telemetry.Counter   // pipesched_campaign_manifest_hits_total
+	dedupHits   *telemetry.Counter   // pipesched_campaign_dedup_hits_total
+	nopsSaved   *telemetry.Counter   // pipesched_campaign_nops_saved_total
+	failures    *telemetry.Counter   // pipesched_campaign_trace_failures_total
+	traceDur    *telemetry.Histogram // pipesched_campaign_trace_seconds (µs native)
+}
+
+func newCampaignMetrics(reg *telemetry.Registry) *campaignMetrics {
+	m := &campaignMetrics{}
+	if reg == nil {
+		return m
+	}
+	m.programs = reg.Counter("pipesched_campaign_programs_total", "Program files compiled by campaign runs.")
+	m.traces = reg.Counter("pipesched_campaign_traces_total", "Superblock traces processed by campaign runs (hits and recompiles).")
+	m.recompiled = reg.Counter("pipesched_campaign_recompiled_total", "Traces actually recompiled (manifest miss or verification-failed hit).")
+	m.manifestHit = reg.Counter("pipesched_campaign_manifest_hits_total", "Traces served from the durable campaign manifest after re-verification.")
+	m.dedupHits = reg.Counter("pipesched_campaign_dedup_hits_total", "Block compiles collapsed onto content-identical twins across the campaign.")
+	m.nopsSaved = reg.Counter("pipesched_campaign_nops_saved_total", "NOPs (or stalls) saved by cross-block amortization vs the threaded per-block baseline.")
+	m.failures = reg.Counter("pipesched_campaign_trace_failures_total", "Traces whose compilation hard-failed.")
+	m.traceDur = reg.Histogram("pipesched_campaign_trace_seconds", "Wall-clock latency of one trace compile (manifest hits included).", 1e-6)
+	return m
+}

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pipesched/internal/stats"
+)
+
+// ProgramReport aggregates one program's traces.
+type ProgramReport struct {
+	Name          string   `json:"name"`
+	Blocks        int      `json:"blocks"`
+	Traces        int      `json:"traces"`
+	Tuples        int      `json:"tuples"`
+	ColdNOPs      int      `json:"cold_nops"`
+	BaselineNOPs  int      `json:"baseline_nops"`
+	DeliveredNOPs int      `json:"delivered_nops"`
+	NOPsSaved     int      `json:"nops_saved"`
+	ManifestHits  int      `json:"manifest_hits"`
+	Recompiled    int      `json:"recompiled"`
+	Optimal       bool     `json:"optimal"`
+	Errors        []string `json:"errors,omitempty"`
+}
+
+// Report is one campaign run's outcome: per-program rows plus the
+// aggregates the CI gates and benchmarks consume.
+type Report struct {
+	Machine     string          `json:"machine"`
+	Mode        string          `json:"mode"`
+	Concurrency int             `json:"concurrency"`
+	Programs    []ProgramReport `json:"programs"`
+
+	TotalPrograms int `json:"total_programs"`
+	TotalBlocks   int `json:"total_blocks"`
+	TotalTraces   int `json:"total_traces"`
+	TotalTuples   int `json:"total_tuples"`
+
+	ColdNOPs      int `json:"cold_nops"`
+	BaselineNOPs  int `json:"baseline_nops"`
+	DeliveredNOPs int `json:"delivered_nops"`
+	NOPsSaved     int `json:"nops_saved"`
+
+	ManifestHits int `json:"manifest_hits"`
+	Recompiled   int `json:"recompiled"`
+	// IncrementalRate = ManifestHits / (ManifestHits + Recompiled):
+	// 1.0 means a fully warm re-run, 0 a cold campaign.
+	IncrementalRate float64 `json:"incremental_rate"`
+
+	DedupHits   int64        `json:"dedup_hits"`
+	DedupMisses int64        `json:"dedup_misses"`
+	Compile     CompileStats `json:"compile"`
+
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+	Failed       int     `json:"failed"`
+}
+
+// finish folds the per-program rows and run-wide counters into the
+// aggregate fields.
+func (rep *Report) finish(latencies []float64, elapsed time.Duration, dedup *DedupCompiler) {
+	rep.TotalPrograms = len(rep.Programs)
+	for _, pr := range rep.Programs {
+		rep.TotalBlocks += pr.Blocks
+		rep.TotalTraces += pr.Traces
+		rep.TotalTuples += pr.Tuples
+		rep.ColdNOPs += pr.ColdNOPs
+		rep.BaselineNOPs += pr.BaselineNOPs
+		rep.DeliveredNOPs += pr.DeliveredNOPs
+		rep.NOPsSaved += pr.NOPsSaved
+		rep.ManifestHits += pr.ManifestHits
+		rep.Recompiled += pr.Recompiled
+		rep.Failed += len(pr.Errors)
+	}
+	if done := rep.ManifestHits + rep.Recompiled; done > 0 {
+		rep.IncrementalRate = float64(rep.ManifestHits) / float64(done)
+	}
+	if dedup != nil {
+		rep.DedupHits = dedup.Hits()
+		rep.DedupMisses = dedup.Misses()
+		rep.Compile = dedup.Stats()
+	}
+	rep.LatencyP50MS = 1e3 * stats.Percentile(latencies, 50)
+	rep.LatencyP99MS = 1e3 * stats.Percentile(latencies, 99)
+	rep.ElapsedMS = elapsed.Milliseconds()
+}
+
+// Table renders the human-readable campaign summary.
+func (rep *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d programs, %d blocks, %d traces, %d tuples (machine %s, mode %s)\n",
+		rep.TotalPrograms, rep.TotalBlocks, rep.TotalTraces, rep.TotalTuples, rep.Machine, rep.Mode)
+	fmt.Fprintf(&b, "%-32s %6s %6s %8s %9s %9s %7s %5s %5s\n",
+		"program", "blocks", "traces", "baseline", "delivered", "saved", "optimal", "hits", "fresh")
+	for _, pr := range rep.Programs {
+		name := pr.Name
+		if len(name) > 32 {
+			name = "…" + name[len(name)-31:]
+		}
+		status := "yes"
+		if !pr.Optimal {
+			status = "no"
+		}
+		if len(pr.Errors) > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-32s %6d %6d %8d %9d %9d %7s %5d %5d\n",
+			name, pr.Blocks, pr.Traces, pr.BaselineNOPs, pr.DeliveredNOPs, pr.NOPsSaved,
+			status, pr.ManifestHits, pr.Recompiled)
+	}
+	fmt.Fprintf(&b, "totals: baseline %d → delivered %d NOPs (saved %d, cold-sum %d)\n",
+		rep.BaselineNOPs, rep.DeliveredNOPs, rep.NOPsSaved, rep.ColdNOPs)
+	fmt.Fprintf(&b, "incremental: %d manifest hits / %d recompiled (rate %.2f); dedup %d hits / %d misses\n",
+		rep.ManifestHits, rep.Recompiled, rep.IncrementalRate, rep.DedupHits, rep.DedupMisses)
+	if rep.Compile.Requests > 0 {
+		fmt.Fprintf(&b, "service: %d requests, %d cached (%d disk), %d deduped in flight\n",
+			rep.Compile.Requests, rep.Compile.Cached, rep.Compile.DiskHits, rep.Compile.Deduped)
+	}
+	fmt.Fprintf(&b, "latency: p50 %.2fms p99 %.2fms; elapsed %dms", rep.LatencyP50MS, rep.LatencyP99MS, rep.ElapsedMS)
+	if rep.Failed > 0 {
+		fmt.Fprintf(&b, "; FAILED traces/programs: %d", rep.Failed)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"pipesched"
+	"pipesched/internal/fleet"
+	"pipesched/internal/machine"
+	"pipesched/internal/server"
+	"pipesched/internal/synth"
+)
+
+// TestSoakCampaignIncremental is the campaign-soak CI gate: a synth
+// corpus compiled twice through a 3-node fleet front door with a
+// durable manifest. The first run is cold; the second — after a
+// one-line edit to a single block — must be >= 90% incremental, the
+// recompile must be visible in pipesched_campaign_recompiled_total,
+// and every delivered schedule sim-verifies (ScheduleTrace refuses to
+// return otherwise, so a clean run IS the verification).
+func TestSoakCampaignIncremental(t *testing.T) {
+	if testing.Short() && os.Getenv("PIPESCHED_SOAK") == "" {
+		t.Skip("campaign soak skipped in -short (set PIPESCHED_SOAK=1 to force)")
+	}
+	pm := pipesched.EnableTelemetry()
+	defer pipesched.DisableTelemetry()
+
+	f := fleet.New(fleet.Config{Metrics: pm})
+	for _, id := range []string{"soak-a", "soak-b", "soak-c"} {
+		f.AddNode(fleet.NewNode(id, t.TempDir(), server.Config{
+			Workers: 2, DefaultTimeout: 10 * time.Second, Metrics: pm,
+		}))
+	}
+	defer f.Close()
+
+	m := machine.SimulationMachine()
+	mode := machine.SchedMode{}
+	mf, _, err := OpenManifest(t.TempDir(), m, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+
+	rng := rand.New(rand.NewSource(404))
+	var inputs []Input
+	for i := 0; i < 8; i++ {
+		p, err := synth.GenerateProgram(rng, synth.ProgramParams{
+			Blocks: 3 + rng.Intn(4), BlockStatements: 4,
+			Variables: 5, Constants: 3, BranchPercent: 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, Input{Name: string(rune('a'+i)) + ".psrc", Source: p.Source})
+	}
+
+	newRunner := func() *Runner {
+		r, err := NewRunner(Config{
+			Machine: m, Mode: mode, Manifest: mf, Concurrency: 6, Metrics: pm,
+			Compiler: &SubmitCompiler{
+				Sub:     f,
+				Machine: server.MachineSpec{Preset: "simulation"},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	cold, err := newRunner().Run(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Failed > 0 {
+		t.Fatalf("cold soak failed %d traces: %+v", cold.Failed, cold.Programs)
+	}
+	if cold.Recompiled != cold.TotalTraces {
+		t.Fatalf("cold run: recompiled %d of %d traces", cold.Recompiled, cold.TotalTraces)
+	}
+
+	// One-line edit to a single block of one program; everything else is
+	// untouched and must come out of the manifest.
+	edited := make([]Input, len(inputs))
+	copy(edited, inputs)
+	idx := strings.Index(edited[0].Source, "= ")
+	if idx < 0 {
+		t.Fatalf("no statement to edit in %q", edited[0].Source)
+	}
+	edited[0].Source = edited[0].Source[:idx] + "= 12345 + " + edited[0].Source[idx+2:]
+
+	warm, err := newRunner().Run(context.Background(), edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Failed > 0 {
+		t.Fatalf("warm soak failed %d traces: %+v", warm.Failed, warm.Programs)
+	}
+	if warm.IncrementalRate < 0.9 {
+		t.Errorf("warm incremental rate %.2f < 0.90 (%d hits / %d recompiled)",
+			warm.IncrementalRate, warm.ManifestHits, warm.Recompiled)
+	}
+	if warm.Recompiled < 1 {
+		t.Error("edited block recompiled 0 traces")
+	}
+	if warm.DeliveredNOPs > warm.BaselineNOPs {
+		t.Errorf("warm delivered %d > baseline %d", warm.DeliveredNOPs, warm.BaselineNOPs)
+	}
+
+	// The campaign series land in the same registry the fleet exports at
+	// /metrics, and the recompile shows up in the counter.
+	snap := pm.Registry().Snapshot()
+	if got := snap["pipesched_campaign_recompiled_total"]; got != int64(cold.Recompiled+warm.Recompiled) {
+		t.Errorf("pipesched_campaign_recompiled_total = %d, want %d",
+			got, cold.Recompiled+warm.Recompiled)
+	}
+	if snap["pipesched_campaign_manifest_hits_total"] != int64(warm.ManifestHits) {
+		t.Errorf("pipesched_campaign_manifest_hits_total = %d, want %d",
+			snap["pipesched_campaign_manifest_hits_total"], warm.ManifestHits)
+	}
+	if snap["pipesched_campaign_programs_total"] != int64(cold.TotalPrograms+warm.TotalPrograms) {
+		t.Errorf("pipesched_campaign_programs_total = %d, want %d",
+			snap["pipesched_campaign_programs_total"], cold.TotalPrograms+warm.TotalPrograms)
+	}
+
+	t.Logf("soak: cold %d traces, warm rate %.2f (%d hits / %d recompiled), fleet requests cached=%d dedup=%d",
+		cold.TotalTraces, warm.IncrementalRate, warm.ManifestHits, warm.Recompiled,
+		warm.Compile.Cached, warm.Compile.Deduped)
+}

@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pipesched"
+	"pipesched/internal/machine"
+	"pipesched/internal/synth"
+)
+
+// TestOverLargeTraceSplits is the splitter × campaign interaction: a
+// long straight-line program merges into one trace far beyond the
+// exact-search comfort zone; the local compiler's SplitOver threshold
+// routes the merged block through the windowed splitter
+// (ScheduleLargeCtx). The end-to-end contract survives: legality at
+// every seam (verifyTrace inside ScheduleTrace) and delivered cost
+// never above the threaded per-block baseline — a curtailed or
+// window-suboptimal merge loses to the baseline and the baseline is
+// delivered instead.
+func TestOverLargeTraceSplits(t *testing.T) {
+	m := machine.SimulationMachine()
+	mode := machine.SchedMode{}
+	rng := rand.New(rand.NewSource(17))
+	prog, err := synth.GenerateProgram(rng, synth.ProgramParams{
+		Blocks: 10, BlockStatements: 5, Variables: 6, Constants: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseProgram("big", prog.Source, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := g.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("straight-line program formed %d traces", len(traces))
+	}
+	merged, err := traces[0].Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() < 40 {
+		t.Fatalf("merged trace only %d tuples; not a splitter-sized case", merged.Len())
+	}
+
+	split := &LocalCompiler{
+		M: m, Options: pipesched.Options{Sched: mode, Lambda: 50000},
+		SplitOver: 24, Window: 10,
+	}
+	res, err := ScheduleTrace(context.Background(), traces[0], m, mode, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredNOPs > res.BaselineNOPs {
+		t.Errorf("split merge delivered %d > baseline %d", res.DeliveredNOPs, res.BaselineNOPs)
+	}
+	if len(res.Order) != merged.Len() {
+		t.Errorf("delivered order covers %d of %d tuples", len(res.Order), merged.Len())
+	}
+
+	// Same trace, exact search allowed: must also respect the oracle,
+	// and the split path can never beat the exact path.
+	exact := localCompiler(m, mode)
+	eres, err := ScheduleTrace(context.Background(), traces[0], m, mode, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eres.Optimal && res.DeliveredNOPs < eres.DeliveredNOPs {
+		t.Errorf("windowed split (%d NOPs) beat the exact merge (%d NOPs)", res.DeliveredNOPs, eres.DeliveredNOPs)
+	}
+	t.Logf("merged %d tuples: baseline %d, split %d, exact %d",
+		merged.Len(), res.BaselineNOPs, res.DeliveredNOPs, eres.DeliveredNOPs)
+}
+
+// TestSplitterCampaignEndToEnd runs a whole campaign where every
+// multi-block merge goes through the splitter, and cross-checks the
+// aggregate report invariants.
+func TestSplitterCampaignEndToEnd(t *testing.T) {
+	m := machine.SimulationMachine()
+	mode := machine.SchedMode{}
+	r, err := NewRunner(Config{
+		Machine: m, Mode: mode,
+		Compiler: &LocalCompiler{
+			M: m, Options: pipesched.Options{Sched: mode, Lambda: 50000},
+			SplitOver: 12, Window: 6,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), synthInputs(t, 33, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed > 0 {
+		var msgs []string
+		for _, pr := range rep.Programs {
+			msgs = append(msgs, pr.Errors...)
+		}
+		t.Fatalf("split campaign failed traces: %s", strings.Join(msgs, "; "))
+	}
+	if rep.DeliveredNOPs > rep.BaselineNOPs {
+		t.Errorf("aggregate delivered %d > baseline %d", rep.DeliveredNOPs, rep.BaselineNOPs)
+	}
+}

@@ -1,0 +1,158 @@
+package campaign
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"pipesched"
+	"pipesched/internal/machine"
+	"pipesched/internal/synth"
+)
+
+func localCompiler(m *machine.Machine, mode machine.SchedMode) *LocalCompiler {
+	return &LocalCompiler{M: m, Options: pipesched.Options{Sched: mode, Lambda: 50000}}
+}
+
+// verifyModes is the scheduler-mode matrix from the verify-soak CI job.
+func verifyModes(t *testing.T) map[string]machine.SchedMode {
+	t.Helper()
+	modes := map[string]machine.SchedMode{}
+	for _, s := range []string{"paper", "minreg-lex", "minreg-k=3", "scoreboard=4x2"} {
+		md, err := machine.ParseSchedMode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modes[s] = md
+	}
+	return modes
+}
+
+// TestTraceOracleAllModes is the tentpole acceptance property: for
+// random multi-block traces, under every SchedMode in the verify
+// matrix, the delivered merged-trace cost never exceeds the threaded
+// per-block baseline, and the delivered schedule sim-verifies over the
+// merged graph (ScheduleTrace fails loudly otherwise — simulation of
+// every seam is built into it).
+func TestTraceOracleAllModes(t *testing.T) {
+	m := machine.SimulationMachine()
+	for name, mode := range verifyModes(t) {
+		mode := mode
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			comp := localCompiler(m, mode)
+			for i := 0; i < 25; i++ {
+				prog, err := synth.GenerateProgram(rng, synth.ProgramParams{
+					Blocks: 2 + rng.Intn(3), BlockStatements: 3,
+					Variables: 4, Constants: 3,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, err := ParseProgram("synth", prog.Source, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tr := range g.Traces() {
+					res, err := ScheduleTrace(context.Background(), tr, m, mode, comp)
+					if err != nil {
+						t.Fatalf("iter %d trace %s: %v", i, tr.Name(), err)
+					}
+					if res.DeliveredNOPs > res.BaselineNOPs {
+						t.Errorf("iter %d trace %s: delivered %d > baseline %d",
+							i, tr.Name(), res.DeliveredNOPs, res.BaselineNOPs)
+					}
+					if res.Optimal && res.MergedNOPs >= 0 && res.MergedNOPs > res.BaselineNOPs {
+						t.Errorf("iter %d trace %s: optimal merged %d beat by baseline %d",
+							i, tr.Name(), res.MergedNOPs, res.BaselineNOPs)
+					}
+					if res.NOPsSaved() < 0 {
+						t.Errorf("iter %d trace %s: negative savings", i, tr.Name())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTraceAmortizesBoundaryNOP pins the canonical footnote-1 example:
+// two single-Mul blocks. The threaded baseline needs one boundary NOP
+// (multiplier enqueue 2); the merged superblock cannot do better here
+// (both Muls still fight for the pipe) but must never do worse.
+func TestTraceAmortizesBoundaryNOP(t *testing.T) {
+	m := machine.SimulationMachine()
+	g := mustParse(t, `
+block one { a = b * c }
+block two { d = e * f }
+`)
+	traces := g.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("want one trace, got %d", len(traces))
+	}
+	mode := machine.SchedMode{}
+	res, err := ScheduleTrace(context.Background(), traces[0], m, mode, localCompiler(m, mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredNOPs > res.BaselineNOPs {
+		t.Errorf("delivered %d > baseline %d", res.DeliveredNOPs, res.BaselineNOPs)
+	}
+	if res.Blocks != 2 {
+		t.Errorf("trace has %d blocks", res.Blocks)
+	}
+}
+
+// TestTraceMergedCanBeatBaseline demonstrates real cross-block
+// amortization: a block that ends in a long-latency multiply followed
+// by a block of independent adds. Per-block scheduling must eat the
+// multiply's latency inside the first block's store; the merged trace
+// hides it under the second block's adds.
+func TestTraceMergedCanBeatBaseline(t *testing.T) {
+	m := machine.SimulationMachine()
+	g := mustParse(t, `
+block first { x = a * b }
+block second {
+    p = c + d
+    q = e + f
+    r = g + h
+}
+`)
+	traces := g.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("want one trace, got %d", len(traces))
+	}
+	mode := machine.SchedMode{}
+	res, err := ScheduleTrace(context.Background(), traces[0], m, mode, localCompiler(m, mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold %d baseline %d merged %d delivered %d",
+		res.ColdNOPs, res.BaselineNOPs, res.MergedNOPs, res.DeliveredNOPs)
+	if res.DeliveredNOPs > res.BaselineNOPs {
+		t.Errorf("delivered %d > baseline %d", res.DeliveredNOPs, res.BaselineNOPs)
+	}
+	if res.NOPsSaved() == 0 {
+		t.Skip("machine hides the latency already; amortization not observable here")
+	}
+	if !res.UsedMerged {
+		t.Error("savings reported but merged schedule not used")
+	}
+}
+
+// TestSingleBlockTraceDegenerate: a one-block trace's baseline, merged
+// handling and delivery collapse onto the plain block compile.
+func TestSingleBlockTraceDegenerate(t *testing.T) {
+	m := machine.SimulationMachine()
+	g := mustParse(t, `block only { x = a * b }`)
+	mode := machine.SchedMode{}
+	res, err := ScheduleTrace(context.Background(), g.Traces()[0], m, mode, localCompiler(m, mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MergedNOPs != -1 || res.UsedMerged {
+		t.Errorf("single-block trace attempted a merge: %+v", res)
+	}
+	if res.DeliveredNOPs != res.BaselineNOPs {
+		t.Errorf("delivered %d != baseline %d", res.DeliveredNOPs, res.BaselineNOPs)
+	}
+}

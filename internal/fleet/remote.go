@@ -438,40 +438,11 @@ func (r *RemoteNode) responseFromWire(wire *server.WireResponse, sp *telemetry.T
 }
 
 // compiledFromWire rebuilds a Compiled from the wire schedule; nil when
-// the response carries no schedule (rejections, legacy peers).
+// the response carries no schedule (rejections, legacy peers). The
+// decoding itself lives in server.CompiledFromWire so the campaign
+// front-door client and this transport can never drift apart.
 func compiledFromWire(wire *server.WireResponse) (*pipesched.Compiled, error) {
-	s := wire.Schedule
-	if s == nil {
-		return nil, nil
-	}
-	blk, err := pipesched.ParseBlock(s.Tuples)
-	if err != nil {
-		return nil, fmt.Errorf("wire schedule tuples: %w", err)
-	}
-	q, err := pipesched.ParseQuality(wire.Quality)
-	if err != nil {
-		return nil, fmt.Errorf("wire schedule: %w", err)
-	}
-	sched, err := pipesched.ParseSchedMode(wire.Sched)
-	if err != nil {
-		return nil, fmt.Errorf("wire schedule: %w", err)
-	}
-	return &pipesched.Compiled{
-		Original:   blk,
-		Order:      s.Order,
-		Eta:        s.Eta,
-		Pipes:      s.Pipes,
-		TotalNOPs:  wire.NOPs,
-		Ticks:      wire.Ticks,
-		Optimal:    wire.Optimal,
-		Gap:        wire.Gap,
-		RootLB:     wire.RootLB,
-		Quality:    q,
-		Assembly:   wire.Assembly,
-		Sched:      sched,
-		MaxLive:    wire.MaxLive,
-		IssueTicks: s.IssueTicks,
-	}, nil
+	return server.CompiledFromWire(wire)
 }
 
 // errorFromWire decodes a wire error code back into the typed failure

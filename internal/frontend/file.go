@@ -6,9 +6,13 @@ import (
 )
 
 // NamedProgram is one basic block of a multi-block source file.
+// Targets lists the explicit successor blocks declared with the
+// optional "-> a, b" header syntax; an empty list means the block
+// falls through to the next block in file order (or exits, if last).
 type NamedProgram struct {
 	Name    string
 	Program *Program
+	Targets []string
 }
 
 // ParseFile reads a source file that may contain several basic blocks in
@@ -20,6 +24,17 @@ type NamedProgram struct {
 //	block step {
 //	    y = x * 2
 //	}
+//
+// A block header may optionally declare its control-flow successors
+// with "-> name[, name...]" between the name and the opening brace:
+//
+//	block loop -> loop, exit {
+//	    i = i + 1
+//	}
+//
+// Blocks without a target list fall through to the next block in file
+// order. Target names are validated against the declared blocks after
+// the whole file parses.
 //
 // A file without any "block" header parses as a single unnamed block
 // (plain Parse semantics), so simple sources keep working unchanged.
@@ -56,7 +71,7 @@ func ParseFile(src string) ([]NamedProgram, error) {
 		}
 		rest = strings.TrimPrefix(rest, "block")
 		rest = strings.TrimLeft(rest, " \t")
-		nameEnd := strings.IndexAny(rest, " \t{\n")
+		nameEnd := strings.IndexAny(rest, " \t{\n-")
 		if nameEnd <= 0 {
 			return nil, fmt.Errorf("frontend: block header missing name near %q", firstLine(rest))
 		}
@@ -64,7 +79,24 @@ func ParseFile(src string) ([]NamedProgram, error) {
 		if !validBlockName(name) {
 			return nil, fmt.Errorf("frontend: bad block name %q", name)
 		}
-		rest = strings.TrimLeft(rest[nameEnd:], " \t\n")
+		rest = strings.TrimLeft(rest[nameEnd:], " \t")
+		var targets []string
+		if strings.HasPrefix(rest, "->") {
+			rest = rest[2:]
+			brace := strings.IndexAny(rest, "{\n")
+			if brace < 0 || rest[brace] != '{' {
+				return nil, fmt.Errorf("frontend: block %q target list missing '{'", name)
+			}
+			for _, t := range strings.Split(rest[:brace], ",") {
+				t = strings.TrimSpace(t)
+				if !validBlockName(t) {
+					return nil, fmt.Errorf("frontend: block %q: bad target name %q", name, t)
+				}
+				targets = append(targets, t)
+			}
+			rest = rest[brace:]
+		}
+		rest = strings.TrimLeft(rest, " \t\n")
 		if !strings.HasPrefix(rest, "{") {
 			return nil, fmt.Errorf("frontend: block %q missing '{'", name)
 		}
@@ -84,11 +116,22 @@ func ParseFile(src string) ([]NamedProgram, error) {
 				return nil, fmt.Errorf("frontend: duplicate block name %q", name)
 			}
 		}
-		out = append(out, NamedProgram{Name: name, Program: p})
+		out = append(out, NamedProgram{Name: name, Program: p, Targets: targets})
 		_ = lineBase
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("frontend: no blocks found")
+	}
+	declared := make(map[string]bool, len(out))
+	for _, b := range out {
+		declared[b.Name] = true
+	}
+	for _, b := range out {
+		for _, t := range b.Targets {
+			if !declared[t] {
+				return nil, fmt.Errorf("frontend: block %q targets undeclared block %q", b.Name, t)
+			}
+		}
 	}
 	return out, nil
 }

@@ -106,3 +106,77 @@ func TestParseFileCommentsBetweenBlocks(t *testing.T) {
 		t.Error("second block lost its body")
 	}
 }
+
+const targetSrc = `
+block entry -> body {
+    n = 8
+}
+block body -> body, exit {
+    n = n - 1
+}
+block exit {
+    r = n * 2
+}
+`
+
+func TestParseFileTargets(t *testing.T) {
+	blocks, err := ParseFile(targetSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	want := [][]string{{"body"}, {"body", "exit"}, nil}
+	for i, w := range want {
+		got := blocks[i].Targets
+		if len(got) != len(w) {
+			t.Fatalf("block %q targets = %v, want %v", blocks[i].Name, got, w)
+		}
+		for j := range w {
+			if got[j] != w[j] {
+				t.Errorf("block %q target[%d] = %q, want %q", blocks[i].Name, j, got[j], w[j])
+			}
+		}
+	}
+}
+
+func TestParseFileTargetsCompact(t *testing.T) {
+	// No whitespace between name, arrow, targets and brace.
+	blocks, err := ParseFile("block a->b{ x = 1 }\nblock b { y = 2 }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || len(blocks[0].Targets) != 1 || blocks[0].Targets[0] != "b" {
+		t.Fatalf("compact arrow: blocks=%d targets=%v", len(blocks), blocks[0].Targets)
+	}
+}
+
+func TestParseFileTargetErrors(t *testing.T) {
+	bad := map[string]string{
+		"block a -> nosuch { x = 1 }":                   "undeclared",
+		"block a -> { x = 1 }":                          "bad target name",
+		"block a -> b,, a { x = 1 }\nblock b { y = 2 }": "bad target name",
+		"block a -> b\n{ x = 1 }":                       "missing '{'",
+	}
+	for src, frag := range bad {
+		_, err := ParseFile(src)
+		if err == nil {
+			t.Errorf("ParseFile(%q) succeeded, want error containing %q", src, frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("ParseFile(%q) error %q, want fragment %q", src, err, frag)
+		}
+	}
+}
+
+func TestParseFileSelfLoopTargetAllowed(t *testing.T) {
+	blocks, err := ParseFile("block spin -> spin { i = i + 1 }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || len(blocks[0].Targets) != 1 || blocks[0].Targets[0] != "spin" {
+		t.Fatalf("self loop: %+v", blocks)
+	}
+}

@@ -47,6 +47,22 @@ type Result struct {
 	// Stopped is the first block's early-stop reason (core.ErrBudget or
 	// a context error), or nil when every search ran to completion.
 	Stopped error
+	// ExitPipeLast is the last enqueue tick of every pipeline after the
+	// final block — with TotalTicks it forms the entry state a following
+	// sequence would continue from (see ExitState).
+	ExitPipeLast map[int]int
+}
+
+// ExitState returns the pipeline state the sequence leaves behind, in
+// the form a subsequent ScheduleFrom call accepts. The ReadyTick field
+// is left nil: tuple references never escape a block in this IR, so
+// only the clock and pipeline reservations cross the boundary.
+func (r *Result) ExitState() *nopins.EntryState {
+	pl := make(map[int]int, len(r.ExitPipeLast))
+	for k, v := range r.ExitPipeLast {
+		pl[k] = v
+	}
+	return &nopins.EntryState{StartTick: r.TotalTicks, PipeLast: pl}
 }
 
 // blockScheduler produces one block's schedule given its DAG and the
@@ -57,7 +73,17 @@ type blockScheduler func(g *dag.Graph, entry *nopins.EntryState) (*core.Schedule
 // across the boundaries. opts applies to every block's search (its Entry
 // and InitialOrder fields are overridden per block).
 func Schedule(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*Result, error) {
-	return scheduleWith(blocks, func(g *dag.Graph, entry *nopins.EntryState) (*core.Schedule, error) {
+	return ScheduleFrom(blocks, m, opts, nil)
+}
+
+// ScheduleFrom is Schedule starting from an explicit entry state — the
+// clock and pipeline reservations a preceding sequence left behind (see
+// Result.ExitState). A nil entry means a cold start at tick zero.
+// Grouping is associative under this threading: scheduling [A,B] and
+// continuing with [C] from the exit state yields the same per-block
+// schedules and total cost as [A] continued with [B,C].
+func ScheduleFrom(blocks []*ir.Block, m *machine.Machine, opts core.Options, entry *nopins.EntryState) (*Result, error) {
+	return scheduleWith(blocks, entry, func(g *dag.Graph, entry *nopins.EntryState) (*core.Schedule, error) {
 		o := opts
 		o.InitialOrder = nil
 		o.Entry = entry
@@ -71,7 +97,7 @@ func Schedule(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*Resul
 // ladder: legal and hazard-free by the same entry-state analysis as
 // Schedule, just without optimality. Every block reports Optimal=false.
 func ScheduleSeed(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*Result, error) {
-	r, err := scheduleWith(blocks, func(g *dag.Graph, entry *nopins.EntryState) (*core.Schedule, error) {
+	r, err := scheduleWith(blocks, nil, func(g *dag.Graph, entry *nopins.EntryState) (*core.Schedule, error) {
 		order := listsched.Schedule(g, opts.SeedPriority)
 		eval := nopins.NewEvaluator(g, m, opts.Assign)
 		eval.SetEntryState(entry)
@@ -106,10 +132,16 @@ func ScheduleSeed(blocks []*ir.Block, m *machine.Machine, opts core.Options) (*R
 	return r, nil
 }
 
-func scheduleWith(blocks []*ir.Block, schedule blockScheduler) (*Result, error) {
+func scheduleWith(blocks []*ir.Block, entry *nopins.EntryState, schedule blockScheduler) (*Result, error) {
 	res := &Result{Optimal: true}
 	startTick := 0
 	pipeLast := map[int]int{}
+	if entry != nil {
+		startTick = entry.StartTick
+		for k, v := range entry.PipeLast {
+			pipeLast[k] = v
+		}
+	}
 	for bi, b := range blocks {
 		g, err := dag.Build(b)
 		if err != nil {
@@ -146,6 +178,7 @@ func scheduleWith(blocks []*ir.Block, schedule blockScheduler) (*Result, error) 
 		res.Blocks = append(res.Blocks, bs)
 	}
 	res.TotalTicks = startTick
+	res.ExitPipeLast = pipeLast
 	return res, nil
 }
 

@@ -81,6 +81,48 @@ func (w *WireResponse) AttachSchedule(resp *Response) {
 	}
 }
 
+// CompiledFromWire rebuilds a sim-verifiable pipesched.Compiled from a
+// wire response's schedule payload — the inverse of AttachSchedule +
+// ToWire. It returns nil (no error) when the response carries no
+// schedule (rejections, legacy peers). Both the fleet's remote-node
+// transport and the campaign runner's HTTP front-door client rebuild
+// answers through this one decoder, so any drift in the wire shape
+// breaks both loudly.
+func CompiledFromWire(wire *WireResponse) (*pipesched.Compiled, error) {
+	s := wire.Schedule
+	if s == nil {
+		return nil, nil
+	}
+	blk, err := pipesched.ParseBlock(s.Tuples)
+	if err != nil {
+		return nil, fmt.Errorf("wire schedule tuples: %w", err)
+	}
+	q, err := pipesched.ParseQuality(wire.Quality)
+	if err != nil {
+		return nil, fmt.Errorf("wire schedule: %w", err)
+	}
+	sched, err := pipesched.ParseSchedMode(wire.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("wire schedule: %w", err)
+	}
+	return &pipesched.Compiled{
+		Original:   blk,
+		Order:      s.Order,
+		Eta:        s.Eta,
+		Pipes:      s.Pipes,
+		TotalNOPs:  wire.NOPs,
+		Ticks:      wire.Ticks,
+		Optimal:    wire.Optimal,
+		Gap:        wire.Gap,
+		RootLB:     wire.RootLB,
+		Quality:    q,
+		Assembly:   wire.Assembly,
+		Sched:      sched,
+		MaxLive:    wire.MaxLive,
+		IssueTicks: s.IssueTicks,
+	}, nil
+}
+
 // WireError is the JSON shape of a typed failure. TraceID joins a
 // failed request to its distributed trace (JSONL sink records and
 // flight-recorder dumps carry the same ID).

@@ -1,0 +1,106 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pipesched/internal/frontend"
+)
+
+// ProgramParams configures the multi-block program generator that feeds
+// compilation campaigns: N blocks drawing statements from one shared
+// variable pool (so values flow across block boundaries through
+// memory), with an optional fraction of explicit "-> target" branch
+// headers to break fallthrough chains and create join points.
+type ProgramParams struct {
+	Blocks          int // number of basic blocks
+	BlockStatements int // max statements per block (min 1)
+	Variables       int // shared variable pool across all blocks
+	Constants       int
+	Mix             Mix
+	// BranchPercent is the chance (0..100) that a non-final block
+	// declares an explicit target list instead of falling through: half
+	// such blocks get a two-way conditional (fallthrough + random
+	// block), half a direct jump to a random block. 0 yields a pure
+	// straight-line chain that trace formation merges end to end.
+	BranchPercent int
+	Optimize      bool
+}
+
+// Program is one generated multi-block benchmark.
+type Program struct {
+	Source string // full source file in "block name [-> targets] { ... }" form
+	Blocks []frontend.NamedProgram
+}
+
+// GenerateProgram produces one multi-block program from rng. The
+// generated source always round-trips through frontend.ParseFile; every
+// explicit target names a declared block.
+func GenerateProgram(rng *rand.Rand, p ProgramParams) (*Program, error) {
+	if p.Blocks <= 0 {
+		return nil, fmt.Errorf("synth: need at least one block")
+	}
+	if p.BlockStatements <= 0 {
+		p.BlockStatements = 4
+	}
+	if p.Variables <= 0 {
+		p.Variables = 6
+	}
+	if p.Constants <= 0 {
+		p.Constants = 4
+	}
+	if p.BranchPercent < 0 || p.BranchPercent > 100 {
+		return nil, fmt.Errorf("synth: branch percent %d out of range", p.BranchPercent)
+	}
+	mix := p.Mix
+	if mix == (Mix{}) {
+		mix = DefaultMix
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+
+	names := make([]string, p.Blocks)
+	for i := range names {
+		names[i] = fmt.Sprintf("b%d", i)
+	}
+
+	var sb strings.Builder
+	for i := range names {
+		// One shared Params per block: the same variable names appear in
+		// every block, so a store in block i feeds loads in block j.
+		body, err := Generate(rng, Params{
+			Statements: 1 + rng.Intn(p.BlockStatements),
+			Variables:  p.Variables,
+			Constants:  p.Constants,
+			Mix:        mix,
+			Optimize:   p.Optimize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		header := "block " + names[i]
+		if i < len(names)-1 && rng.Intn(100) < p.BranchPercent {
+			other := names[rng.Intn(len(names))]
+			if rng.Intn(2) == 0 {
+				// Two-way conditional: explicit fallthrough + a random arm.
+				header += " -> " + names[i+1] + ", " + other
+			} else {
+				header += " -> " + other
+			}
+		}
+		sb.WriteString(header + " {\n")
+		for _, line := range strings.Split(strings.TrimRight(body.Source, "\n"), "\n") {
+			sb.WriteString("    " + line + "\n")
+		}
+		sb.WriteString("}\n\n")
+	}
+
+	src := sb.String()
+	blocks, err := frontend.ParseFile(src)
+	if err != nil {
+		return nil, fmt.Errorf("synth: generated unparseable program: %w", err)
+	}
+	return &Program{Source: src, Blocks: blocks}, nil
+}

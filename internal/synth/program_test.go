@@ -1,0 +1,89 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pipesched/internal/frontend"
+)
+
+func TestGenerateProgramRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		p, err := GenerateProgram(rng, ProgramParams{
+			Blocks: 1 + rng.Intn(8), BlockStatements: 4,
+			Variables: 5, Constants: 3, BranchPercent: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := frontend.ParseFile(p.Source)
+		if err != nil {
+			t.Fatalf("round trip: %v\n%s", err, p.Source)
+		}
+		if len(reparsed) != len(p.Blocks) {
+			t.Fatalf("reparse lost blocks: %d vs %d", len(reparsed), len(p.Blocks))
+		}
+	}
+}
+
+func TestGenerateProgramDeterministic(t *testing.T) {
+	gen := func() string {
+		rng := rand.New(rand.NewSource(42))
+		p, err := GenerateProgram(rng, ProgramParams{Blocks: 5, Variables: 4, Constants: 3, BranchPercent: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Source
+	}
+	if gen() != gen() {
+		t.Error("same seed produced different programs")
+	}
+}
+
+func TestGenerateProgramSharesVariables(t *testing.T) {
+	// With a tiny pool, some variable must appear in more than one block.
+	rng := rand.New(rand.NewSource(3))
+	p, err := GenerateProgram(rng, ProgramParams{Blocks: 6, BlockStatements: 5, Variables: 2, Constants: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocksUsing := 0
+	for _, b := range p.Blocks {
+		if strings.Contains(sourceOf(p, b.Name), "v0") {
+			blocksUsing++
+		}
+	}
+	if blocksUsing < 2 {
+		t.Errorf("v0 used in %d blocks; shared pool should span boundaries", blocksUsing)
+	}
+}
+
+// sourceOf extracts one block's body text from the program source.
+func sourceOf(p *Program, name string) string {
+	idx := strings.Index(p.Source, "block "+name)
+	if idx < 0 {
+		return ""
+	}
+	rest := p.Source[idx:]
+	open := strings.IndexByte(rest, '{')
+	close := strings.IndexByte(rest, '}')
+	if open < 0 || close < open {
+		return ""
+	}
+	return rest[open:close]
+}
+
+func TestGenerateProgramStraightLineHasNoTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p, err := GenerateProgram(rng, ProgramParams{Blocks: 5, Variables: 4, Constants: 3, BranchPercent: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p.Blocks {
+		if len(b.Targets) != 0 {
+			t.Errorf("block %q has targets %v with BranchPercent=0", b.Name, b.Targets)
+		}
+	}
+}
